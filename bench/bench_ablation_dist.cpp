@@ -1,0 +1,43 @@
+// Ablation: simulated processor-count scaling of the distributed pipeline.
+// Measures wall time and communication volume per rank count, checking the
+// communication-volume model the paper sketches for the parallel kernels
+// (kernel 3's allreduce term grows linearly in P).
+#include <cstdio>
+
+#include "dist/pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prpb;
+
+  util::ArgParser args("bench_ablation_dist",
+                       "distributed pipeline scaling + comm volume");
+  args.add_option("scale", "graph scale", "14");
+  args.add_option("max-ranks", "largest simulated processor count", "8");
+  if (!args.parse(argc, argv)) return 0;
+
+  dist::DistConfig config;
+  config.scale = static_cast<int>(args.get_int("scale"));
+  const auto max_ranks = static_cast<std::size_t>(args.get_int("max-ranks"));
+
+  std::printf("distributed pipeline scaling, scale %d\n\n", config.scale);
+  util::TextTable table({"ranks", "seconds", "K1 exchange", "K3 allreduce",
+                         "K3 model", "model ok"});
+  for (std::size_t p = 1; p <= max_ranks; p *= 2) {
+    util::Stopwatch watch;
+    const dist::DistResult result = dist::run_distributed(config, p);
+    const double seconds = watch.seconds();
+    const std::uint64_t k3_model =
+        static_cast<std::uint64_t>(config.iterations) * p *
+        config.num_vertices() * sizeof(double);
+    table.add_row({std::to_string(p), util::fixed(seconds, 3),
+                   util::human_bytes(result.k1_exchange_bytes),
+                   util::human_bytes(result.k3_allreduce_bytes),
+                   util::human_bytes(k3_model),
+                   result.k3_allreduce_bytes == k3_model ? "YES" : "NO"});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

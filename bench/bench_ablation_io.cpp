@@ -1,0 +1,112 @@
+// Ablation: edge-file codec and shard-count choices (google-benchmark).
+// Quantifies the fast-vs-generic TSV codec gap that separates the native
+// and interpreted stacks in Figures 4-6, and the effect of the "number of
+// files is a free parameter" knob.
+#include <benchmark/benchmark.h>
+
+#include "gen/kronecker.hpp"
+#include "io/edge_files.hpp"
+#include "io/mmap_file.hpp"
+#include "io/tsv.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace prpb;
+
+gen::EdgeList sample_edges() {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  return gen::KroneckerGenerator(params).generate_all();
+}
+
+void BM_FormatEdges(benchmark::State& state) {
+  const gen::EdgeList edges = sample_edges();
+  const auto codec = static_cast<io::Codec>(state.range(0));
+  for (auto _ : state) {
+    std::string out;
+    out.reserve(edges.size() * 16);
+    for (const auto& edge : edges) io::append_edge(out, edge, codec);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_ParseEdges(benchmark::State& state) {
+  const gen::EdgeList edges = sample_edges();
+  const auto codec = static_cast<io::Codec>(state.range(0));
+  std::string text;
+  for (const auto& edge : edges) io::append_edge_fast(text, edge);
+  for (auto _ : state) {
+    gen::EdgeList parsed;
+    parsed.reserve(edges.size());
+    io::parse_edges(text, parsed, codec);
+    benchmark::DoNotOptimize(parsed.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_WriteStageSharded(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-io");
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    io::write_generated_edges(generator, dir.path(), shards,
+                              io::Codec::kFast);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+}
+
+void BM_ReadStageSharded(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-io");
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  io::write_generated_edges(generator, dir.path(), shards, io::Codec::kFast);
+  for (auto _ : state) {
+    const auto edges = io::read_all_edges(dir.path(), io::Codec::kFast);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_FormatEdges)
+    ->Arg(static_cast<int>(io::Codec::kFast))
+    ->Arg(static_cast<int>(io::Codec::kGeneric))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParseEdges)
+    ->Arg(static_cast<int>(io::Codec::kFast))
+    ->Arg(static_cast<int>(io::Codec::kGeneric))
+    ->Unit(benchmark::kMillisecond);
+void BM_ReadStageMmap(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-io");
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  io::write_generated_edges(generator, dir.path(), shards, io::Codec::kFast);
+  for (auto _ : state) {
+    const auto edges = io::read_all_edges_mmap(dir.path(), io::Codec::kFast);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_WriteStageSharded)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadStageSharded)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadStageMmap)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

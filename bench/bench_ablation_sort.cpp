@@ -1,0 +1,82 @@
+// Ablation: kernel 1 sorting engine choice (google-benchmark).
+// Compares std::stable_sort, LSD radix, parallel merge, and the external
+// merge sort across scales — the design decision behind the paper's "the
+// type of sorting algorithm may depend upon the scale parameter".
+#include <benchmark/benchmark.h>
+
+#include "gen/kronecker.hpp"
+#include "io/edge_files.hpp"
+#include "sort/edge_sort.hpp"
+#include "sort/external_sort.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace prpb;
+
+gen::EdgeList edges_at_scale(int scale) {
+  gen::KroneckerParams params;
+  params.scale = scale;
+  return gen::KroneckerGenerator(params).generate_all();
+}
+
+void BM_SortStd(benchmark::State& state) {
+  const gen::EdgeList edges = edges_at_scale(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    gen::EdgeList copy = edges;
+    sort::sort_edges(copy, sort::InMemoryAlgo::kStd);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_SortRadix(benchmark::State& state) {
+  const gen::EdgeList edges = edges_at_scale(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    gen::EdgeList copy = edges;
+    sort::radix_sort(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_SortParallelMerge(benchmark::State& state) {
+  const gen::EdgeList edges = edges_at_scale(static_cast<int>(state.range(0)));
+  util::ThreadPool pool;
+  for (auto _ : state) {
+    gen::EdgeList copy = edges;
+    sort::parallel_merge_sort(copy, pool);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_SortExternal(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  gen::KroneckerParams params;
+  params.scale = scale;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir work("prpb-bench-ext");
+  const auto in_dir = work.sub("in");
+  io::write_generated_edges(generator, in_dir, 2, io::Codec::kFast);
+  for (auto _ : state) {
+    sort::ExternalSortConfig config;
+    config.memory_budget_bytes = 1 << 20;  // force multiple runs
+    sort::external_sort_stage(in_dir, work.sub("out"), work.sub("tmp"),
+                              config);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_SortStd)->Arg(12)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortRadix)->Arg(12)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortParallelMerge)->Arg(12)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortExternal)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

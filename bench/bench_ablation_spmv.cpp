@@ -1,0 +1,83 @@
+// Ablation: kernel 3's SpMV formulation (google-benchmark).
+// r·A via row-major CSR traversal (native), via the transposed matrix with
+// output partitioning (parallel backend's formulation), via grb::vxm with
+// the plus-times semiring, and the full 20-iteration kernel.
+#include <benchmark/benchmark.h>
+
+#include "gen/kronecker.hpp"
+#include "grb/ops.hpp"
+#include "sparse/filter.hpp"
+#include "sparse/pagerank.hpp"
+
+namespace {
+
+using namespace prpb;
+
+sparse::CsrMatrix matrix_at_scale(int scale) {
+  gen::KroneckerParams params;
+  params.scale = scale;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  return sparse::filter_edges(edges, 1ULL << scale);
+}
+
+void BM_SpmvCsrRowMajor(benchmark::State& state) {
+  const auto a = matrix_at_scale(static_cast<int>(state.range(0)));
+  const auto r = sparse::pagerank_initial_vector(a.rows(), 1);
+  std::vector<double> y;
+  for (auto _ : state) {
+    a.vec_mat(r, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(a.nnz()) *
+                          state.iterations());
+}
+
+void BM_SpmvTransposed(benchmark::State& state) {
+  const auto a = matrix_at_scale(static_cast<int>(state.range(0)));
+  const auto at = a.transpose();
+  const auto r = sparse::pagerank_initial_vector(a.rows(), 1);
+  std::vector<double> y(a.cols());
+  for (auto _ : state) {
+    for (std::uint64_t j = 0; j < at.rows(); ++j) {
+      double acc = 0.0;
+      for (std::uint64_t k = at.row_ptr()[j]; k < at.row_ptr()[j + 1]; ++k)
+        acc += at.values()[k] * r[at.col_idx()[k]];
+      y[j] = acc;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(a.nnz()) *
+                          state.iterations());
+}
+
+void BM_SpmvGrbVxm(benchmark::State& state) {
+  const grb::Matrix a{matrix_at_scale(static_cast<int>(state.range(0)))};
+  const grb::Vector r{sparse::pagerank_initial_vector(a.nrows(), 1)};
+  for (auto _ : state) {
+    grb::Vector y = grb::vxm(r, a);
+    benchmark::DoNotOptimize(&y);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(a.nvals()) *
+                          state.iterations());
+}
+
+void BM_PageRank20Iterations(benchmark::State& state) {
+  const auto a = matrix_at_scale(static_cast<int>(state.range(0)));
+  sparse::PageRankConfig config;
+  for (auto _ : state) {
+    const auto r = sparse::pagerank(a, config);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(20 * static_cast<std::int64_t>(a.nnz()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_SpmvCsrRowMajor)->Arg(12)->Arg(14)->Arg(16);
+BENCHMARK(BM_SpmvTransposed)->Arg(12)->Arg(14)->Arg(16);
+BENCHMARK(BM_SpmvGrbVxm)->Arg(12)->Arg(14)->Arg(16);
+BENCHMARK(BM_PageRank20Iterations)->Arg(12)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

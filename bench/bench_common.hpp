@@ -1,0 +1,185 @@
+// Shared helpers for the PRPB benchmark harness binaries.
+//
+// Each figure binary sweeps {backend x scale}, times one kernel per cell
+// exactly the way the paper does (wall time for the full kernel, edges/sec
+// metric), and prints the figure's series as a table:
+//     backend  scale  edges  seconds  edges/sec
+// Absolute numbers differ from the paper's Xeon/Lustre platform; the series
+// *shape* (ordering, dispersion, trend in M) is the reproduction target —
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/backend_native.hpp"
+#include "core/config.hpp"
+#include "core/runner.hpp"
+#include "io/file_stream.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/fs.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace prpb::bench {
+
+struct SweepOptions {
+  int min_scale = 16;
+  int max_scale = 18;
+  std::vector<std::string> backends = core::backend_names();
+  std::size_t num_files = 4;
+  std::uint64_t seed = 20160205;
+  int trials = 1;        ///< repeated timings per cell; median is reported
+  std::string csv_path;  ///< when set, the series is also written as CSV
+  std::string generator = "kronecker";
+};
+
+/// Standard CLI for figure benches. Returns false if --help was printed.
+inline bool parse_sweep_options(int argc, char** argv, const char* name,
+                                const char* doc, SweepOptions& options) {
+  util::ArgParser args(name, doc);
+  args.add_option("min-scale", "smallest scale to run", "16");
+  args.add_option("max-scale",
+                  "largest scale to run (paper sweeps to 22)", "18");
+  args.add_option("backends",
+                  "comma-separated backend list (default: all)", "");
+  args.add_option("files", "shard files per stage", "4");
+  args.add_option("seed", "generator seed", "20160205");
+  args.add_option("trials", "timings per cell (median reported)", "1");
+  args.add_option("csv", "also write the series to this CSV file", "");
+  args.add_option("generator", "kronecker|bter|ppl", "kronecker");
+  if (!args.parse(argc, argv)) return false;
+  options.min_scale = static_cast<int>(args.get_int("min-scale"));
+  options.max_scale = static_cast<int>(args.get_int("max-scale"));
+  options.num_files = static_cast<std::size_t>(args.get_int("files"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.trials = static_cast<int>(args.get_int("trials"));
+  options.csv_path = args.get("csv");
+  options.generator = args.get("generator");
+  util::require(options.trials >= 1, "--trials must be >= 1");
+  const std::string list = args.get("backends");
+  if (!list.empty()) {
+    options.backends.clear();
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string item =
+          comma == std::string::npos ? list.substr(pos)
+                                     : list.substr(pos, comma - pos);
+      if (!item.empty()) options.backends.push_back(item);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return true;
+}
+
+/// One figure cell: a kernel measurement for (backend, scale).
+struct SeriesPoint {
+  std::string backend;
+  int scale = 0;
+  std::uint64_t edges = 0;
+  double seconds = 0;
+  double edges_per_second = 0;
+};
+
+inline void print_series(const std::string& title,
+                         const std::vector<SeriesPoint>& points) {
+  std::printf("## %s\n\n", title.c_str());
+  util::TextTable table({"backend", "scale", "edges", "seconds",
+                         "edges/sec"});
+  for (const auto& p : points) {
+    table.add_row({p.backend, std::to_string(p.scale),
+                   util::human_count(p.edges), util::fixed(p.seconds, 4),
+                   util::sci(p.edges_per_second)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+/// Builds the standard pipeline config for one sweep cell.
+inline core::PipelineConfig cell_config(const util::TempDir& work,
+                                        const SweepOptions& options,
+                                        int scale) {
+  core::PipelineConfig config;
+  config.scale = scale;
+  config.num_files = options.num_files;
+  config.seed = options.seed;
+  config.generator = options.generator;
+  config.work_dir = work.path();
+  return config;
+}
+
+/// Runs one kernel for every (backend, scale) sweep cell and returns the
+/// figure series. Earlier pipeline stages are prepared untimed with the
+/// native backend — legal because every backend produces identical stages
+/// (enforced by the integration tests).
+inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
+                                             int kernel) {
+  std::vector<SeriesPoint> points;
+  for (int scale = options.min_scale; scale <= options.max_scale; ++scale) {
+    // Shared untimed preparation per scale.
+    util::TempDir work("prpb-fig");
+    const core::PipelineConfig config = cell_config(work, options, scale);
+    core::NativeBackend prep;
+    if (kernel >= 1) prep.kernel0(config, config.stage0_dir());
+    if (kernel >= 2) prep.kernel1(config, config.stage0_dir(),
+                                  config.stage1_dir());
+    sparse::CsrMatrix matrix;
+    if (kernel >= 3) matrix = prep.kernel2(config, config.stage1_dir());
+
+    for (const auto& name : options.backends) {
+      const auto backend = core::make_backend(name);
+      std::uint64_t processed = config.num_edges();
+      std::vector<double> timings;
+      timings.reserve(options.trials);
+      for (int trial = 0; trial < options.trials; ++trial) {
+        util::TempDir scratch("prpb-fig-out");
+        util::Stopwatch watch;
+        switch (kernel) {
+          case 0:
+            backend->kernel0(config, scratch.sub("k0"));
+            break;
+          case 1:
+            backend->kernel1(config, config.stage0_dir(),
+                             scratch.sub("k1"));
+            break;
+          case 2:
+            (void)backend->kernel2(config, config.stage1_dir());
+            break;
+          case 3:
+            (void)backend->kernel3(config, matrix);
+            break;
+          default:
+            throw util::ConfigError("sweep_kernel: kernel must be 0-3");
+        }
+        timings.push_back(watch.seconds());
+      }
+      if (kernel == 3) {
+        processed *= static_cast<std::uint64_t>(config.iterations);
+      }
+      const double seconds = util::median(timings);
+      points.push_back({name, scale, config.num_edges(), seconds,
+                        seconds > 0
+                            ? static_cast<double>(processed) / seconds
+                            : 0.0});
+      std::fprintf(stderr, "  [fig] kernel%d %s scale %d: %.3fs\n", kernel,
+                   name.c_str(), scale, seconds);
+    }
+  }
+  if (!options.csv_path.empty()) {
+    std::string csv = "backend,scale,edges,seconds,edges_per_second\n";
+    for (const auto& p : points) {
+      csv += p.backend + "," + std::to_string(p.scale) + "," +
+             std::to_string(p.edges) + "," + util::fixed(p.seconds, 6) +
+             "," + util::sci(p.edges_per_second) + "\n";
+    }
+    io::write_file(options.csv_path, csv);
+  }
+  return points;
+}
+
+}  // namespace prpb::bench

@@ -1,0 +1,18 @@
+// Figure 4 — kernel 0 (generate + write): edges/sec vs number of edges,
+// one series per stack. The paper's insight target: "performance of the
+// code for writing data to non-volatile storage"; the fast-codec stacks
+// cluster above the generic-codec stacks.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  prpb::bench::SweepOptions options;
+  if (!prpb::bench::parse_sweep_options(
+          argc, argv, "bench_fig4_kernel0",
+          "Figure 4: kernel 0 generate+write rates per stack", options)) {
+    return 0;
+  }
+  const auto points = prpb::bench::sweep_kernel(options, 0);
+  prpb::bench::print_series(
+      "Figure 4 — Kernel 0 (generate graph, write edge files)", points);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5 — kernel 1 (sort): edges/sec vs number of edges per stack.
+// Timed work: read the kernel-0 stage, sort by start vertex, rewrite.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  prpb::bench::SweepOptions options;
+  if (!prpb::bench::parse_sweep_options(
+          argc, argv, "bench_fig5_kernel1",
+          "Figure 5: kernel 1 sort rates per stack", options)) {
+    return 0;
+  }
+  const auto points = prpb::bench::sweep_kernel(options, 1);
+  prpb::bench::print_series(
+      "Figure 5 — Kernel 1 (read, sort by start vertex, write)", points);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6 — kernel 2 (filter): edges/sec vs number of edges per stack.
+// Timed work: read the sorted stage, build the sparse count matrix, zero
+// super-node/leaf columns, normalize rows ("combined impacts from I/O and
+// memory limitations", per the paper).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  prpb::bench::SweepOptions options;
+  if (!prpb::bench::parse_sweep_options(
+          argc, argv, "bench_fig6_kernel2",
+          "Figure 6: kernel 2 filter rates per stack", options)) {
+    return 0;
+  }
+  const auto points = prpb::bench::sweep_kernel(options, 2);
+  prpb::bench::print_series(
+      "Figure 6 — Kernel 2 (construct, filter, normalize adjacency matrix)",
+      points);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7 — kernel 3 (PageRank): edges/sec vs number of edges per stack,
+// 20 iterations, metric 20·M / time. The paper's qualitative finding to
+// reproduce: "minimal dispersion among the performance measurements in
+// Kernel 3 for each of the languages" — every stack funnels into the same
+// vectorized SpMV.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  prpb::bench::SweepOptions options;
+  if (!prpb::bench::parse_sweep_options(
+          argc, argv, "bench_fig7_kernel3",
+          "Figure 7: kernel 3 PageRank rates per stack", options)) {
+    return 0;
+  }
+  const auto points = prpb::bench::sweep_kernel(options, 3);
+  prpb::bench::print_series(
+      "Figure 7 — Kernel 3 (20 PageRank iterations, rate = 20M/t)", points);
+
+  // Dispersion check per scale: max/min rate across stacks.
+  std::printf("dispersion across stacks (max rate / min rate per scale):\n");
+  for (int scale = options.min_scale; scale <= options.max_scale; ++scale) {
+    double lo = 0.0, hi = 0.0;
+    for (const auto& p : points) {
+      if (p.scale != scale) continue;
+      if (lo == 0.0 || p.edges_per_second < lo) lo = p.edges_per_second;
+      if (p.edges_per_second > hi) hi = p.edges_per_second;
+    }
+    if (lo > 0.0) {
+      std::printf("  scale %d: %.2fx  (paper: minimal dispersion)\n", scale,
+                  hi / lo);
+    }
+  }
+  return 0;
+}

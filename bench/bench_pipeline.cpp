@@ -1,0 +1,65 @@
+// Full pipeline benchmark (paper §IV): runs kernels 0-3 back-to-back for
+// each stack at one scale, printing the paper's per-kernel metrics plus the
+// end-to-end wall time. The pipeline barrier semantics (each kernel fully
+// completes before the next begins) come from core::run_pipeline.
+#include <cstdio>
+
+#include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "core/validate.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/fs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prpb;
+
+  util::ArgParser args("bench_pipeline",
+                       "full four-kernel pipeline per stack");
+  args.add_option("scale", "graph scale", "16");
+  args.add_option("files", "shard files per stage", "4");
+  args.add_option("backends", "comma-separated backends (default all)", "");
+  if (!args.parse(argc, argv)) return 0;
+
+  std::vector<std::string> backends = core::backend_names();
+  if (!args.get("backends").empty()) {
+    backends.clear();
+    const std::string list = args.get("backends");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      backends.push_back(comma == std::string::npos
+                             ? list.substr(pos)
+                             : list.substr(pos, comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const int scale = static_cast<int>(args.get_int("scale"));
+  std::printf("Full pipeline at scale %d (N = %s, M = %s)\n\n", scale,
+              util::human_count(1ULL << scale).c_str(),
+              util::human_count(16ULL << scale).c_str());
+
+  util::TextTable table({"backend", "K0 e/s", "K1 e/s", "K2 e/s",
+                         "K3 e/s", "total s"});
+  for (const auto& name : backends) {
+    util::TempDir work("prpb-pipeline");
+    core::PipelineConfig config;
+    config.scale = scale;
+    config.num_files = static_cast<std::size_t>(args.get_int("files"));
+    config.work_dir = work.path();
+    const auto backend = core::make_backend(name);
+    const auto result = core::run_pipeline(config, *backend);
+    table.add_row({name, util::sci(result.k0.edges_per_second()),
+                   util::sci(result.k1.edges_per_second()),
+                   util::sci(result.k2.edges_per_second()),
+                   util::sci(result.k3.edges_per_second()),
+                   util::fixed(result.k0.seconds + result.k1.seconds +
+                                   result.k2.seconds + result.k3.seconds,
+                               3)});
+    std::fprintf(stderr, "  [pipeline] %s done\n", name.c_str());
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

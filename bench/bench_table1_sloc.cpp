@@ -1,0 +1,113 @@
+// Table I — source lines of code per implementation stack.
+//
+// The paper counts the serial benchmark implementations: C++ 494 lines,
+// Python/Julia 162, Matlab/Octave 102. This repo's analogue is "the kernel
+// code a user of each stack writes": the tuned C++ path spells out parsing,
+// sorting, and sparse construction by hand, while the interpreted stack's
+// four kernel programs are Matlab-sized. Counts are non-blank, non-comment
+// lines, measured from the source tree at PRPB_SOURCE_DIR.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/backend_arraylang.hpp"
+#include "io/file_stream.hpp"
+#include "util/format.hpp"
+
+#ifndef PRPB_SOURCE_DIR
+#error "PRPB_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using prpb::core::ArrayLangBackend;
+
+/// Counts non-blank lines that are not pure comments ('//', '%').
+std::size_t sloc_of_text(const std::string& text) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(text.data() + pos,
+                                (eol == std::string::npos ? text.size()
+                                                          : eol) -
+                                    pos);
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::string_view body = line.substr(i);
+    const bool blank = body.empty();
+    const bool comment = body.starts_with("//") || body.starts_with("%") ||
+                         body.starts_with("*") || body.starts_with("/*");
+    if (!blank && !comment) ++count;
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return count;
+}
+
+std::size_t sloc_of_files(const std::vector<std::string>& relative_paths) {
+  const std::filesystem::path root = PRPB_SOURCE_DIR;
+  std::size_t total = 0;
+  for (const auto& rel : relative_paths) {
+    total += sloc_of_text(prpb::io::read_file(root / rel));
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I — source lines of code per implementation stack\n");
+  std::printf("(paper: C++ 494, Python 162, Python w/Pandas 162, Matlab "
+              "102, Octave 102, Julia 162)\n\n");
+
+  // The tuned C++ path: everything the native backend spells out by hand.
+  const std::size_t native_sloc = sloc_of_files({
+      "src/core/backend_native.cpp",
+      "src/io/tsv.cpp",
+      "src/sort/edge_sort.cpp",
+      "src/sparse/csr.cpp",
+      "src/sparse/filter.cpp",
+      "src/sparse/pagerank.cpp",
+  });
+  const std::size_t parallel_sloc = sloc_of_files({
+      "src/core/backend_parallel.cpp",
+      "src/io/tsv.cpp",
+      "src/sort/edge_sort.cpp",
+      "src/sparse/csr.cpp",
+      "src/sparse/filter.cpp",
+      "src/sparse/pagerank.cpp",
+  });
+  const std::size_t graphblas_sloc = sloc_of_files({
+      "src/core/backend_graphblas.cpp",
+  });
+  const std::size_t dataframe_sloc = sloc_of_files({
+      "src/core/backend_dataframe.cpp",
+  });
+  // The interpreted stack: the four kernel programs themselves — the
+  // direct analogue of the paper's 102-line Matlab implementation.
+  const std::size_t arraylang_sloc =
+      sloc_of_text(ArrayLangBackend::kernel0_source()) +
+      sloc_of_text(ArrayLangBackend::kernel1_source()) +
+      sloc_of_text(ArrayLangBackend::kernel2_source()) +
+      sloc_of_text(ArrayLangBackend::kernel3_source());
+
+  prpb::util::TextTable table({"stack", "SLOC", "paper analogue"});
+  table.add_row({"native (tuned C++)", std::to_string(native_sloc),
+                 "C++: 494"});
+  table.add_row({"parallel (C++ + threads)", std::to_string(parallel_sloc),
+                 "(future work in paper)"});
+  table.add_row({"graphblas (driver over grb)",
+                 std::to_string(graphblas_sloc), "-"});
+  table.add_row({"dataframe (driver over df)",
+                 std::to_string(dataframe_sloc), "Python w/Pandas: 162"});
+  table.add_row({"arraylang (kernel programs)",
+                 std::to_string(arraylang_sloc), "Matlab/Octave: 102"});
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("shape check: tuned C++ requires several times more kernel "
+              "code than the\ninterpreted stack (paper: 494 vs 102) -> %s\n",
+              native_sloc > 3 * arraylang_sloc ? "HOLDS" : "VIOLATED");
+  return native_sloc > 3 * arraylang_sloc ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Interactive arraylang REPL — explore the benchmark's interpreted stack
+// directly. The same language the arraylang backend runs kernels in:
+//
+//   $ ./build/examples/arraylang_repl
+//   > e = gen_edges('kronecker', 8, 16, 1)
+//   > u = stride(e, 2, 1)
+//   > A = sparse(u, stride(e, 2, 2), 1, 256, 256)
+//   > din = sum(A, 1)
+//   > print(max(din))
+//
+// Also runs a script file when given one as an argument:
+//   $ ./build/examples/arraylang_repl script.m
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "interp/ast.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/parser.hpp"
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+void print_value(const prpb::interp::Value& value) {
+  using prpb::interp::Value;
+  if (value.is_scalar()) {
+    std::printf("ans = %s\n", prpb::util::fixed(value.scalar(), 6).c_str());
+  } else if (value.is_string()) {
+    std::printf("ans = '%s'\n", value.str().c_str());
+  } else if (value.is_array()) {
+    const auto& a = value.array();
+    std::printf("ans = array[%zu]:", a.size());
+    for (std::size_t i = 0; i < a.size() && i < 10; ++i) {
+      std::printf(" %s", prpb::util::fixed(a[i], 4).c_str());
+    }
+    if (a.size() > 10) std::printf(" ...");
+    std::printf("\n");
+  } else {
+    std::printf("ans = sparse %llu x %llu, nnz %llu\n",
+                (unsigned long long)value.matrix().rows(),
+                (unsigned long long)value.matrix().cols(),
+                (unsigned long long)value.matrix().nnz());
+  }
+}
+
+void drain_output(prpb::interp::Interpreter& vm, std::size_t& cursor) {
+  for (; cursor < vm.output().size(); ++cursor) {
+    std::printf("%s\n", vm.output()[cursor].c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  prpb::interp::Interpreter vm;
+  std::size_t output_cursor = 0;
+
+  if (argc > 1) {
+    try {
+      vm.run(prpb::io::read_file(argv[1]));
+      drain_output(vm, output_cursor);
+    } catch (const prpb::util::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  std::printf("arraylang repl — the PRPB interpreted stack. Ctrl-D quits.\n");
+  std::string line;
+  std::string pending;  // multi-line blocks (for/if/while/function ... end)
+  int open_blocks = 0;
+  while (true) {
+    std::printf(open_blocks > 0 ? "... " : "> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // naive block tracking: count block openers and 'end's at line starts
+    const auto first_word = line.substr(0, line.find_first_of(" (\t"));
+    if (first_word == "for" || first_word == "if" || first_word == "while" ||
+        first_word == "function") {
+      ++open_blocks;
+    } else if (first_word == "end") {
+      if (open_blocks > 0) --open_blocks;
+    }
+    pending += line;
+    pending += '\n';
+    if (open_blocks > 0) continue;
+
+    const std::string program = std::move(pending);
+    pending.clear();
+    try {
+      // A lone expression is evaluated and echoed; anything else runs as a
+      // program.
+      const prpb::interp::Program parsed = prpb::interp::parse(program);
+      if (parsed.size() == 1 &&
+          parsed.front()->kind == prpb::interp::Stmt::Kind::kExpr) {
+        print_value(vm.eval_expression(program));
+      } else {
+        vm.run(program);
+      }
+      drain_output(vm, output_cursor);
+    } catch (const prpb::util::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

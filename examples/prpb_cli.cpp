@@ -1,0 +1,121 @@
+// prpb — the full pipeline driver.
+//
+// Runs any backend at any scale with any generator, reporting the paper's
+// per-kernel metrics, with optional result validation. Examples:
+//
+//   prpb --scale 18 --backend native
+//   prpb --scale 14 --backend arraylang --generator ppl --files 8
+//   prpb --scale 10 --backend graphblas --validate
+//   prpb --scale 20 --backend native --memory-budget 16000000   # external sort
+#include <cstdio>
+
+#include "core/backend.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "core/validate.hpp"
+#include "io/file_stream.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prpb;
+
+  util::ArgParser args("prpb", "PageRank Pipeline Benchmark driver");
+  args.add_option("scale", "graph scale S (N = 2^S)", "16");
+  args.add_option("edge-factor", "edges per vertex k", "16");
+  args.add_option("backend",
+                  "native|parallel|graphblas|arraylang|dataframe", "native");
+  args.add_option("generator", "kronecker|bter|ppl", "kronecker");
+  args.add_option("files", "shard files per stage", "1");
+  args.add_option("iterations", "PageRank iterations", "20");
+  args.add_option("damping", "PageRank damping factor c", "0.85");
+  args.add_option("seed", "graph generator seed", "20160205");
+  args.add_option("work-dir",
+                  "staging directory (default: fresh temp dir)", "");
+  args.add_option("memory-budget",
+                  "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
+  args.add_option("json", "write a machine-readable run report here", "");
+  args.add_flag("validate", "run the dense eigenvector check (N <= 8192)");
+  args.add_flag("sort-start-only", "kernel 1 orders by start vertex only");
+  args.add_flag("verbose", "log kernel progress");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (args.get_flag("verbose")) util::set_log_level(util::LogLevel::kInfo);
+
+  core::PipelineConfig config;
+  config.scale = static_cast<int>(args.get_int("scale"));
+  config.edge_factor = static_cast<int>(args.get_int("edge-factor"));
+  config.generator = args.get("generator");
+  config.num_files = static_cast<std::size_t>(args.get_int("files"));
+  config.iterations = static_cast<int>(args.get_int("iterations"));
+  config.damping = args.get_double("damping");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.memory_budget_bytes =
+      static_cast<std::uint64_t>(args.get_int("memory-budget"));
+  if (args.get_flag("sort-start-only"))
+    config.sort_key = sort::SortKey::kStart;
+
+  std::optional<util::TempDir> temp;
+  if (args.get("work-dir").empty()) {
+    temp.emplace("prpb-cli");
+    config.work_dir = temp->path();
+  } else {
+    config.work_dir = args.get("work-dir");
+  }
+
+  try {
+    const auto backend = core::make_backend(args.get("backend"));
+    std::printf("prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu\n",
+                backend->name().c_str(), config.generator.c_str(),
+                config.scale,
+                util::human_count(config.num_vertices()).c_str(),
+                util::human_count(config.num_edges()).c_str(),
+                config.num_files);
+
+    const core::PipelineResult result = core::run_pipeline(config, *backend);
+
+    util::TextTable table({"kernel", "seconds", "edges/sec", "note"});
+    table.add_row({"K0 generate", util::fixed(result.k0.seconds, 4),
+                   util::sci(result.k0.edges_per_second()),
+                   "untimed by spec"});
+    table.add_row({"K1 sort", util::fixed(result.k1.seconds, 4),
+                   util::sci(result.k1.edges_per_second()), ""});
+    table.add_row({"K2 filter", util::fixed(result.k2.seconds, 4),
+                   util::sci(result.k2.edges_per_second()), ""});
+    table.add_row({"K3 pagerank", util::fixed(result.k3.seconds, 4),
+                   util::sci(result.k3.edges_per_second()),
+                   std::to_string(config.iterations) + " iterations"});
+    std::printf("\n%s", table.str().c_str());
+
+    std::printf("\nkernel-2 matrix: %llu x %llu, nnz = %llu\n",
+                (unsigned long long)result.matrix.rows(),
+                (unsigned long long)result.matrix.cols(),
+                (unsigned long long)result.matrix.nnz());
+
+    std::optional<core::EigenCheck> check;
+    if (args.get_flag("validate")) {
+      util::require(config.num_vertices() <= 8192,
+                    "--validate requires scale <= 13");
+      check = core::validate_against_eigenvector(
+          result.matrix, result.ranks, config.damping, 1e-6);
+      std::printf("eigenvector check: %s (max |diff| = %.2e, %d solver "
+                  "iterations)\n",
+                  check->pass ? "PASS" : "FAIL", check->max_abs_diff,
+                  check->eigensolver_iterations);
+    }
+
+    if (!args.get("json").empty()) {
+      io::write_file(args.get("json"),
+                     core::run_report_json(config, result, check) + "\n");
+      std::printf("report written to %s\n", args.get("json").c_str());
+    }
+    if (check && !check->pass) return 1;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "prpb: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

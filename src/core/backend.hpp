@@ -1,0 +1,60 @@
+// Backend interface: one implementation of the four pipeline kernels.
+//
+// The paper evaluates the same mathematically fixed kernels across six
+// language stacks. This repo's backends are C++ implementations occupying
+// the same software-stack niches (see DESIGN.md §2):
+//   native     — tuned C++ (the paper's C++ entry)
+//   parallel   — thread-parallel native (paper's "future work" direction)
+//   graphblas  — kernels 2-3 via the mini-GraphBLAS layer
+//   arraylang  — interpreted vectorized array language (Matlab/Octave niche)
+//   dataframe  — typed dataframe engine (Python-with-Pandas niche)
+//
+// Every backend must produce identical mathematical results from the same
+// PipelineConfig: the same edge files after K0, the same sorted stage after
+// K1, the same normalized matrix after K2 and the same r after K3 (up to fp
+// tolerance). Integration tests enforce this pairwise.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace prpb::core {
+
+class PipelineBackend {
+ public:
+  virtual ~PipelineBackend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Kernel 0: generate the graph and write TSV edge shards to `out_dir`.
+  virtual void kernel0(const PipelineConfig& config,
+                       const std::filesystem::path& out_dir) = 0;
+
+  /// Kernel 1: read `in_dir`, sort by start vertex, write to `out_dir`.
+  virtual void kernel1(const PipelineConfig& config,
+                       const std::filesystem::path& in_dir,
+                       const std::filesystem::path& out_dir) = 0;
+
+  /// Kernel 2: read `in_dir`, build + filter + normalize the adjacency
+  /// matrix.
+  virtual sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                                    const std::filesystem::path& in_dir) = 0;
+
+  /// Kernel 3: fixed-iteration PageRank on the kernel-2 matrix.
+  virtual std::vector<double> kernel3(const PipelineConfig& config,
+                                      const sparse::CsrMatrix& matrix) = 0;
+};
+
+/// Factory. Known names: native, parallel, graphblas, arraylang, dataframe.
+/// Throws ConfigError for unknown names.
+std::unique_ptr<PipelineBackend> make_backend(const std::string& name);
+
+/// All registered backend names, in canonical report order.
+std::vector<std::string> backend_names();
+
+}  // namespace prpb::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/backend.hpp"
+
+namespace prpb::core {
+
+/// Interpreted backend: every kernel is an arraylang program (see
+/// src/interp/) mirroring the paper's Matlab reference line for line.
+/// Vectorized primitives run at near-native speed; everything else —
+/// dispatch, boxing, generic string I/O — pays the interpreted-stack tax,
+/// reproducing the Matlab/Octave/NumPy cost profile of Figures 4-7.
+class ArrayLangBackend final : public PipelineBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "arraylang"; }
+
+  void kernel0(const PipelineConfig& config,
+               const std::filesystem::path& out_dir) override;
+  void kernel1(const PipelineConfig& config,
+               const std::filesystem::path& in_dir,
+               const std::filesystem::path& out_dir) override;
+  sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                            const std::filesystem::path& in_dir) override;
+  std::vector<double> kernel3(const PipelineConfig& config,
+                              const sparse::CsrMatrix& matrix) override;
+
+  /// The kernel programs, exposed for tests and the SLOC accounting of
+  /// Table I.
+  static const char* kernel0_source();
+  static const char* kernel1_source();
+  static const char* kernel2_source();
+  static const char* kernel3_source();
+};
+
+}  // namespace prpb::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/backend.hpp"
+
+namespace prpb::core {
+
+/// Dataframe backend (the paper's "Python with Pandas" niche): kernels 0-2
+/// run through the typed column engine — generic delimited I/O,
+/// sort_values, groupby aggregation — and kernel 3 drops into the sparse
+/// substrate exactly the way a pandas pipeline drops into scipy.sparse.
+class DataFrameBackend final : public PipelineBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "dataframe"; }
+
+  void kernel0(const PipelineConfig& config,
+               const std::filesystem::path& out_dir) override;
+  void kernel1(const PipelineConfig& config,
+               const std::filesystem::path& in_dir,
+               const std::filesystem::path& out_dir) override;
+  sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                            const std::filesystem::path& in_dir) override;
+  std::vector<double> kernel3(const PipelineConfig& config,
+                              const sparse::CsrMatrix& matrix) override;
+};
+
+}  // namespace prpb::core

@@ -1,0 +1,26 @@
+#include "core/backend.hpp"
+#include "core/backend_arraylang.hpp"
+#include "core/backend_dataframe.hpp"
+#include "core/backend_graphblas.hpp"
+#include "core/backend_native.hpp"
+#include "core/backend_parallel.hpp"
+#include "util/error.hpp"
+
+namespace prpb::core {
+
+std::unique_ptr<PipelineBackend> make_backend(const std::string& name) {
+  if (name == "native") return std::make_unique<NativeBackend>();
+  if (name == "parallel") return std::make_unique<ParallelBackend>();
+  if (name == "graphblas") return std::make_unique<GraphBlasBackend>();
+  if (name == "arraylang") return std::make_unique<ArrayLangBackend>();
+  if (name == "dataframe") return std::make_unique<DataFrameBackend>();
+  throw util::ConfigError(
+      "unknown backend '" + name +
+      "' (expected native|parallel|graphblas|arraylang|dataframe)");
+}
+
+std::vector<std::string> backend_names() {
+  return {"native", "parallel", "graphblas", "arraylang", "dataframe"};
+}
+
+}  // namespace prpb::core

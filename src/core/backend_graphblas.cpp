@@ -1,0 +1,81 @@
+#include "core/backend_graphblas.hpp"
+
+#include "core/backend_native.hpp"
+#include "grb/ops.hpp"
+#include "io/edge_files.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/error.hpp"
+
+namespace prpb::core {
+
+namespace fs = std::filesystem;
+
+void GraphBlasBackend::kernel0(const PipelineConfig& config,
+                               const fs::path& out_dir) {
+  NativeBackend native;
+  native.kernel0(config, out_dir);
+}
+
+void GraphBlasBackend::kernel1(const PipelineConfig& config,
+                               const fs::path& in_dir,
+                               const fs::path& out_dir) {
+  NativeBackend native;
+  native.kernel1(config, in_dir, out_dir);
+}
+
+sparse::CsrMatrix GraphBlasBackend::kernel2(const PipelineConfig& config,
+                                            const fs::path& in_dir) {
+  const gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
+  const std::uint64_t n = config.num_vertices();
+
+  // A = GrB_Matrix_build(u, v, 1, plus-dup)
+  std::vector<std::uint64_t> rows(edges.size());
+  std::vector<std::uint64_t> cols(edges.size());
+  const std::vector<double> ones(edges.size(), 1.0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    rows[i] = edges[i].u;
+    cols[i] = edges[i].v;
+  }
+  grb::Matrix a = grb::Matrix::build(rows, cols, ones, n, n);
+
+  // din = reduce over columns (plus monoid); max_din = reduce(din, max).
+  const grb::Vector din = grb::reduce_columns<grb::Plus>(a);
+  const double max_din = grb::reduce<grb::Max>(din);
+
+  // GrB_select: keep entries whose column is neither a super-node nor leaf.
+  a = grb::select(a, [&din, max_din](std::uint64_t, std::uint64_t col,
+                                     double) {
+    const double d = din[col];
+    return !((max_din > 0.0 && d == max_din) || d == 1.0);
+  });
+
+  // dout = reduce over rows; A = diag(1/dout) ·(+,*) A.
+  const grb::Vector dout = grb::reduce_rows<grb::Plus>(a);
+  const grb::Vector inv_dout = grb::apply(
+      dout, [](double d) { return d > 0.0 ? 1.0 / d : 0.0; });
+  const grb::Matrix d_inv = grb::diag(inv_dout);
+  a = grb::mxm<grb::PlusTimes>(d_inv, a);
+
+  return a.csr();
+}
+
+std::vector<double> GraphBlasBackend::kernel3(const PipelineConfig& config,
+                                              const sparse::CsrMatrix& matrix) {
+  util::require(matrix.rows() == config.num_vertices(),
+                "kernel3: matrix size does not match N = 2^scale");
+  const std::uint64_t n = matrix.rows();
+  const grb::Matrix a{matrix};
+  grb::Vector r{sparse::pagerank_initial_vector(n, config.seed)};
+  const double c = config.damping;
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // r = c * (r vxm A) + (1-c)/N * reduce(r, plus)
+    const double r_sum = grb::reduce<grb::Plus>(r);
+    grb::Vector y = grb::vxm<grb::PlusTimes>(r, a);
+    const double add = (1.0 - c) * r_sum / static_cast<double>(n);
+    r = grb::apply(y, [c, add](double x) { return c * x + add; });
+  }
+  return r.data();
+}
+
+}  // namespace prpb::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/backend.hpp"
+
+namespace prpb::core {
+
+/// GraphBLAS backend: kernels 2-3 expressed entirely in mini-GraphBLAS
+/// operations (build, reduce, select, diag, mxm, vxm), demonstrating the
+/// paper's "well suited to the GraphBLAS standard" claim. Kernels 0-1 use
+/// the same tuned I/O as `native` (GraphBLAS does not define file I/O).
+class GraphBlasBackend final : public PipelineBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "graphblas"; }
+
+  void kernel0(const PipelineConfig& config,
+               const std::filesystem::path& out_dir) override;
+  void kernel1(const PipelineConfig& config,
+               const std::filesystem::path& in_dir,
+               const std::filesystem::path& out_dir) override;
+  sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                            const std::filesystem::path& in_dir) override;
+  std::vector<double> kernel3(const PipelineConfig& config,
+                              const sparse::CsrMatrix& matrix) override;
+};
+
+}  // namespace prpb::core

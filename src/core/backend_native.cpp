@@ -1,0 +1,67 @@
+// `native` backend: tuned serial C++ — the paper's C++ implementation.
+// Fast TSV codec, LSD radix sort (or the external sort when the configured
+// memory budget is exceeded), direct CSR construction, fused PageRank loop.
+#include "core/backend_native.hpp"
+
+#include "gen/generator.hpp"
+#include "io/edge_files.hpp"
+#include "sort/external_sort.hpp"
+#include "sort/policy.hpp"
+#include "sparse/filter.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace prpb::core {
+
+namespace fs = std::filesystem;
+
+void NativeBackend::kernel0(const PipelineConfig& config,
+                            const fs::path& out_dir) {
+  const auto generator = gen::make_generator(config.generator, config.scale,
+                                             config.edge_factor, config.seed);
+  io::write_generated_edges(*generator, out_dir, config.num_files,
+                            io::Codec::kFast);
+}
+
+void NativeBackend::kernel1(const PipelineConfig& config,
+                            const fs::path& in_dir, const fs::path& out_dir) {
+  if (config.memory_budget_bytes > 0) {
+    const auto decision = sort::choose_sort_policy(
+        config.num_edges(), config.memory_budget_bytes);
+    if (decision.strategy == sort::SortStrategy::kExternal) {
+      util::log_info("kernel1(native): memory budget ",
+                     config.memory_budget_bytes,
+                     " bytes exceeded; using external sort");
+      sort::ExternalSortConfig ext;
+      ext.memory_budget_bytes = config.memory_budget_bytes / 2;
+      ext.output_shards = config.num_files;
+      ext.codec = io::Codec::kFast;
+      ext.key = config.sort_key;
+      sort::external_sort_stage(in_dir, out_dir, config.temp_dir(), ext);
+      return;
+    }
+  }
+  gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
+  sort::radix_sort(edges, config.sort_key);
+  io::write_edge_list(edges, out_dir, config.num_files, io::Codec::kFast);
+}
+
+sparse::CsrMatrix NativeBackend::kernel2(const PipelineConfig& config,
+                                         const fs::path& in_dir) {
+  const gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
+  return sparse::filter_edges(edges, config.num_vertices(), &filter_report_);
+}
+
+std::vector<double> NativeBackend::kernel3(const PipelineConfig& config,
+                                           const sparse::CsrMatrix& matrix) {
+  util::require(matrix.rows() == config.num_vertices(),
+                "kernel3: matrix size does not match N = 2^scale");
+  sparse::PageRankConfig pr;
+  pr.iterations = config.iterations;
+  pr.damping = config.damping;
+  pr.seed = config.seed;
+  return sparse::pagerank(matrix, pr);
+}
+
+}  // namespace prpb::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/backend.hpp"
+#include "sparse/filter.hpp"
+
+namespace prpb::core {
+
+/// Tuned serial C++ backend (see backend.hpp for the backend contract).
+class NativeBackend final : public PipelineBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "native"; }
+
+  void kernel0(const PipelineConfig& config,
+               const std::filesystem::path& out_dir) override;
+  void kernel1(const PipelineConfig& config,
+               const std::filesystem::path& in_dir,
+               const std::filesystem::path& out_dir) override;
+  sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                            const std::filesystem::path& in_dir) override;
+  std::vector<double> kernel3(const PipelineConfig& config,
+                              const sparse::CsrMatrix& matrix) override;
+
+  /// Filter statistics from the most recent kernel2 call.
+  [[nodiscard]] const sparse::FilterReport& filter_report() const {
+    return filter_report_;
+  }
+
+ private:
+  sparse::FilterReport filter_report_;
+};
+
+}  // namespace prpb::core

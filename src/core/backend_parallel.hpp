@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/backend.hpp"
+
+namespace prpb::core {
+
+/// Thread-parallel backend: the paper's sketched parallel decomposition
+/// ("each processor holds a set of rows"). Kernel 0 generates shards
+/// concurrently (the counter-based generator needs no communication),
+/// kernel 1 uses the parallel merge sort, kernel 3 partitions the SpMV by
+/// output entry via the transposed matrix. Results are bit-identical to
+/// `native` for kernels 0-2 and fp-identical for kernel 3's additions
+/// within each output entry.
+class ParallelBackend final : public PipelineBackend {
+ public:
+  /// threads == 0 means hardware concurrency.
+  explicit ParallelBackend(std::size_t threads = 0) : threads_(threads) {}
+
+  [[nodiscard]] std::string name() const override { return "parallel"; }
+
+  void kernel0(const PipelineConfig& config,
+               const std::filesystem::path& out_dir) override;
+  void kernel1(const PipelineConfig& config,
+               const std::filesystem::path& in_dir,
+               const std::filesystem::path& out_dir) override;
+  sparse::CsrMatrix kernel2(const PipelineConfig& config,
+                            const std::filesystem::path& in_dir) override;
+  std::vector<double> kernel3(const PipelineConfig& config,
+                              const sparse::CsrMatrix& matrix) override;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace prpb::core

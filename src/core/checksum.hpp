@@ -1,0 +1,51 @@
+// Canonical output checksums — the repo's answer to the paper's §V open
+// question "What outputs should be recorded to validate correctness?".
+//
+// Every pipeline stage gets a compact deterministic digest:
+//   * kernel 0/1 stages — an order-insensitive multiset hash of the edges
+//     (so any shard layout / sort stability choice yields the same value
+//     for the same edge multiset) plus an order-sensitive sequence hash
+//     for the sorted stage;
+//   * kernel 2 — a structural + value fingerprint of the CSR matrix;
+//   * kernel 3 — a digest of the L1-normalized rank vector quantized to a
+//     tolerance, so any backend within fp tolerance produces the same
+//     digest.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/edge.hpp"
+#include "sparse/csr.hpp"
+
+namespace prpb::core {
+
+/// Order-insensitive multiset hash: identical for any permutation of the
+/// same edges, different (w.h.p.) for any other multiset.
+std::uint64_t edge_multiset_hash(const gen::EdgeList& edges);
+
+/// Order-sensitive sequence hash: also pins the on-disk ordering.
+std::uint64_t edge_sequence_hash(const gen::EdgeList& edges);
+
+/// Hashes a TSV stage directory (reads every shard in file order).
+struct StageChecksum {
+  std::uint64_t multiset = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t edges = 0;
+};
+StageChecksum stage_checksum(const std::filesystem::path& dir);
+
+/// CSR fingerprint: shape, structure, and values quantized to `quantum`.
+std::uint64_t matrix_fingerprint(const sparse::CsrMatrix& a,
+                                 double quantum = 1e-9);
+
+/// Rank digest: L1-normalize, quantize to `quantum`, hash.
+std::uint64_t rank_digest(const std::vector<double>& ranks,
+                          double quantum = 1e-9);
+
+/// Formats a digest as fixed-width hex for reports.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace prpb::core

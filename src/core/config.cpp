@@ -1,0 +1,31 @@
+#include "core/config.hpp"
+
+#include "util/error.hpp"
+
+namespace prpb::core {
+
+void PipelineConfig::validate() const {
+  util::require(scale >= 1 && scale <= 32,
+                "pipeline: scale must be in [1, 32]");
+  util::require(edge_factor >= 1, "pipeline: edge_factor must be >= 1");
+  util::require(num_files >= 1, "pipeline: num_files must be >= 1");
+  util::require(iterations >= 0, "pipeline: iterations must be >= 0");
+  util::require(damping >= 0.0 && damping <= 1.0,
+                "pipeline: damping must be in [0, 1]");
+  util::require(generator == "kronecker" || generator == "bter" ||
+                    generator == "ppl",
+                "pipeline: generator must be kronecker|bter|ppl");
+  util::require(!work_dir.empty(), "pipeline: work_dir must be set");
+}
+
+RunSize run_size(int scale, int edge_factor) {
+  util::require(scale >= 1 && scale <= 40, "run_size: scale in [1, 40]");
+  RunSize size;
+  size.scale = scale;
+  size.max_vertices = 1ULL << scale;
+  size.max_edges = static_cast<std::uint64_t>(edge_factor) * size.max_vertices;
+  size.memory_bytes = 16 * size.max_edges;  // 16 bytes per edge, Table II
+  return size;
+}
+
+}  // namespace prpb::core

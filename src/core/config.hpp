@@ -1,0 +1,61 @@
+// Pipeline configuration — the benchmark's free parameters (paper §IV):
+// scale S, edge factor k (fixed at 16 by the benchmark), number of files,
+// damping factor c = 0.85, 20 PageRank iterations, and the staging root.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "io/tsv.hpp"
+#include "sort/edge_sort.hpp"
+
+namespace prpb::core {
+
+struct PipelineConfig {
+  int scale = 16;
+  int edge_factor = 16;
+  std::uint64_t seed = 20160205;
+  std::string generator = "kronecker";  ///< kronecker | bter | ppl
+  std::size_t num_files = 1;            ///< shards per stage (free parameter)
+  int iterations = 20;
+  double damping = 0.85;
+  sort::SortKey sort_key = sort::SortKey::kStartEnd;
+  /// Staging root; kernel stages live in subdirectories of it.
+  std::filesystem::path work_dir;
+  /// RAM budget for kernel 1; 0 means unlimited (always in-memory).
+  /// When the in-memory sort would exceed it, the external sort runs.
+  std::uint64_t memory_budget_bytes = 0;
+
+  [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
+  [[nodiscard]] std::uint64_t num_edges() const {
+    return static_cast<std::uint64_t>(edge_factor) * num_vertices();
+  }
+
+  /// Stage directories under work_dir.
+  [[nodiscard]] std::filesystem::path stage0_dir() const {
+    return work_dir / "k0_edges";
+  }
+  [[nodiscard]] std::filesystem::path stage1_dir() const {
+    return work_dir / "k1_sorted";
+  }
+  [[nodiscard]] std::filesystem::path temp_dir() const {
+    return work_dir / "tmp";
+  }
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Table II row: the benchmark run-size bookkeeping for one scale.
+struct RunSize {
+  int scale = 0;
+  std::uint64_t max_vertices = 0;  ///< N = 2^S
+  std::uint64_t max_edges = 0;     ///< M = k*N
+  std::uint64_t memory_bytes = 0;  ///< 16 bytes per edge (paper's accounting)
+};
+
+/// Computes the Table II row for a scale (edge factor defaults to 16).
+RunSize run_size(int scale, int edge_factor = 16);
+
+}  // namespace prpb::core

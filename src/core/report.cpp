@@ -1,0 +1,77 @@
+#include "core/report.hpp"
+
+#include "core/checksum.hpp"
+#include "util/json.hpp"
+
+namespace prpb::core {
+
+namespace {
+void kernel_object(util::JsonWriter& json, const char* name,
+                   const KernelMetrics& metrics) {
+  json.begin_object(name);
+  json.field("seconds", metrics.seconds);
+  json.field("edges_processed", metrics.edges_processed);
+  json.field("edges_per_second", metrics.edges_per_second());
+  json.end_object();
+}
+}  // namespace
+
+std::string run_report_json(const PipelineConfig& config,
+                            const PipelineResult& result,
+                            const std::optional<EigenCheck>& check,
+                            const ReportOptions& options) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("benchmark", "pagerank-pipeline");
+
+  json.begin_object("config");
+  json.field("scale", static_cast<std::int64_t>(config.scale));
+  json.field("edge_factor", static_cast<std::int64_t>(config.edge_factor));
+  json.field("generator", config.generator);
+  json.field("seed", config.seed);
+  json.field("num_files", static_cast<std::uint64_t>(config.num_files));
+  json.field("iterations", static_cast<std::int64_t>(config.iterations));
+  json.field("damping", config.damping);
+  json.field("num_vertices", config.num_vertices());
+  json.field("num_edges", config.num_edges());
+  json.end_object();
+
+  json.field("backend", result.backend);
+
+  json.begin_object("kernels");
+  kernel_object(json, "k0_generate", result.k0);
+  kernel_object(json, "k1_sort", result.k1);
+  kernel_object(json, "k2_filter", result.k2);
+  kernel_object(json, "k3_pagerank", result.k3);
+  json.end_object();
+
+  json.begin_object("matrix");
+  json.field("rows", result.matrix.rows());
+  json.field("cols", result.matrix.cols());
+  json.field("nnz", result.matrix.nnz());
+  json.end_object();
+
+  if (options.include_checksums) {
+    json.begin_object("checksums");
+    json.field("rank_digest", digest_hex(rank_digest(result.ranks)));
+    if (result.matrix.nnz() > 0) {
+      json.field("matrix_fingerprint",
+                 digest_hex(matrix_fingerprint(result.matrix)));
+    }
+    json.end_object();
+  }
+
+  if (check.has_value()) {
+    json.begin_object("eigen_check");
+    json.field("pass", check->pass);
+    json.field("max_abs_diff", check->max_abs_diff);
+    json.field("eigensolver_iterations",
+               static_cast<std::int64_t>(check->eigensolver_iterations));
+    json.end_object();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace prpb::core

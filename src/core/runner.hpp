@@ -1,0 +1,51 @@
+// Pipeline orchestration: runs kernels 0-3 in order through a backend,
+// timing each and reporting the paper's metrics (edges/second; kernel 3
+// counts 20·M edge traversals). "Each kernel in the pipeline must be fully
+// completed before the next kernel can begin" — the runner enforces the
+// barrier by materializing every stage before the next kernel starts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/config.hpp"
+#include "sparse/csr.hpp"
+#include "util/timer.hpp"
+
+namespace prpb::core {
+
+struct KernelMetrics {
+  double seconds = 0.0;
+  std::uint64_t edges_processed = 0;  ///< M, or iterations·M for kernel 3
+
+  [[nodiscard]] double edges_per_second() const {
+    return seconds > 0.0
+               ? static_cast<double>(edges_processed) / seconds
+               : 0.0;
+  }
+};
+
+struct PipelineResult {
+  std::string backend;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  KernelMetrics k0;  ///< untimed by the benchmark; measured for insight
+  KernelMetrics k1;
+  KernelMetrics k2;
+  KernelMetrics k3;
+  sparse::CsrMatrix matrix;     ///< kernel-2 output
+  std::vector<double> ranks;    ///< kernel-3 output
+};
+
+struct RunOptions {
+  bool run_kernel0 = true;  ///< when false, stage0 must already exist
+  bool keep_matrix = true;  ///< retain the kernel-2 matrix in the result
+};
+
+/// Runs the full pipeline. Stages live under config.work_dir.
+PipelineResult run_pipeline(const PipelineConfig& config,
+                            PipelineBackend& backend,
+                            const RunOptions& options = {});
+
+}  // namespace prpb::core

@@ -1,0 +1,71 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sparse/dense.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/error.hpp"
+
+namespace prpb::core {
+
+EigenCheck validate_against_eigenvector(const sparse::CsrMatrix& a,
+                                        const std::vector<double>& r,
+                                        double damping, double tol) {
+  util::require(a.rows() == a.cols(), "validate: matrix must be square");
+  util::require(r.size() == a.rows(), "validate: rank vector size mismatch");
+  util::require(a.rows() <= 8192,
+                "validate: dense eigenvector check limited to N <= 8192");
+
+  const sparse::DenseMatrix g =
+      sparse::pagerank_validation_matrix(a, damping);
+  const auto eig = sparse::power_iteration(g, /*max_iterations=*/2000,
+                                           /*tol=*/tol * 1e-2);
+
+  EigenCheck check;
+  check.eigenvalue = eig.eigenvalue;
+  check.eigensolver_iterations = eig.iterations;
+  const std::vector<double> rn = sparse::normalized1(r);
+  const std::vector<double> en = sparse::normalized1(eig.eigenvector);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < rn.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(rn[i] - en[i]));
+  check.max_abs_diff = max_diff;
+  check.pass = eig.converged && max_diff <= tol;
+  return check;
+}
+
+double normalized_difference(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  util::require(a.size() == b.size(),
+                "normalized_difference: size mismatch");
+  const std::vector<double> an = sparse::normalized1(a);
+  const std::vector<double> bn = sparse::normalized1(b);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < an.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(an[i] - bn[i]));
+  return max_diff;
+}
+
+bool ranks_agree(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol) {
+  return normalized_difference(a, b) <= tol;
+}
+
+std::vector<std::uint64_t> top_k(const std::vector<double>& values,
+                                 std::size_t k) {
+  std::vector<std::uint64_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&values](std::uint64_t x, std::uint64_t y) {
+                      return values[x] != values[y] ? values[x] > values[y]
+                                                    : x < y;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace prpb::core

@@ -1,0 +1,41 @@
+// Result validation per the paper:
+//   "The results of the above calculation can be checked by comparing r with
+//    the first eigenvector of c.*A.' + (1-c)/N ... Normalizing both r and r1
+//    by the sums of their absolute values, these quantities should be
+//    equivalent."
+// Plus cross-backend agreement checks used by the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::core {
+
+struct EigenCheck {
+  bool pass = false;
+  double max_abs_diff = 0.0;  ///< between L1-normalized r and eigenvector
+  double eigenvalue = 0.0;
+  int eigensolver_iterations = 0;
+};
+
+/// Dense eigenvector validation. Builds G = c·Aᵀ + (1−c)/N densely, so this
+/// is restricted to small N (the caller should keep N ≤ ~4096).
+EigenCheck validate_against_eigenvector(const sparse::CsrMatrix& a,
+                                        const std::vector<double>& r,
+                                        double damping, double tol = 1e-6);
+
+/// Max absolute difference between two L1-normalized vectors.
+double normalized_difference(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// True when both vectors, L1-normalized, agree entrywise within tol.
+bool ranks_agree(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol = 1e-9);
+
+/// Indices of the k largest entries, ties broken by lower index first.
+std::vector<std::uint64_t> top_k(const std::vector<double>& values,
+                                 std::size_t k);
+
+}  // namespace prpb::core

@@ -1,0 +1,200 @@
+#include "df/csv.hpp"
+
+#include <charconv>
+
+#include "io/edge_files.hpp"
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/parse.hpp"
+
+namespace prpb::df {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TypedBuffers {
+  std::vector<std::vector<std::int64_t>> i64;
+  std::vector<std::vector<double>> f64;
+  std::vector<std::vector<std::string>> str;
+};
+
+void parse_line(std::string_view line, const CsvSchema& schema, char sep,
+                TypedBuffers& buffers) {
+  std::size_t field = 0;
+  std::size_t pos = 0;
+  while (field < schema.dtypes.size()) {
+    const std::size_t next = line.find(sep, pos);
+    std::string_view raw = next == std::string_view::npos
+                               ? line.substr(pos)
+                               : line.substr(pos, next - pos);
+    // Materialize the field as a string first — the generic path.
+    const std::string cell(raw);
+    switch (schema.dtypes[field]) {
+      case DType::kInt64: {
+        const auto v = util::parse_i64_full(cell);
+        util::io_require(v.has_value(), "csv: bad int64 field '" + cell + "'");
+        buffers.i64[field].push_back(*v);
+        break;
+      }
+      case DType::kFloat64: {
+        const auto v = util::parse_f64_full(cell);
+        util::io_require(v.has_value(),
+                         "csv: bad float64 field '" + cell + "'");
+        buffers.f64[field].push_back(*v);
+        break;
+      }
+      case DType::kString:
+        buffers.str[field].push_back(cell);
+        break;
+    }
+    ++field;
+    if (next == std::string_view::npos) {
+      util::io_require(field == schema.dtypes.size(),
+                       "csv: too few fields in line");
+      return;
+    }
+    pos = next + 1;
+  }
+  util::io_require(pos >= line.size(), "csv: too many fields in line");
+}
+
+void append_frame(DataFrame& frame, const CsvSchema& schema,
+                  TypedBuffers& buffers) {
+  for (std::size_t c = 0; c < schema.dtypes.size(); ++c) {
+    switch (schema.dtypes[c]) {
+      case DType::kInt64:
+        frame.add_column(schema.names[c], Column(std::move(buffers.i64[c])));
+        break;
+      case DType::kFloat64:
+        frame.add_column(schema.names[c], Column(std::move(buffers.f64[c])));
+        break;
+      case DType::kString:
+        frame.add_column(schema.names[c], Column(std::move(buffers.str[c])));
+        break;
+    }
+  }
+}
+
+void read_into(const fs::path& path, const CsvSchema& schema,
+               const CsvOptions& options, TypedBuffers& buffers) {
+  io::FileReader reader(path);
+  std::string carry;
+  bool first_line = true;
+  auto consume = [&](std::string_view text) -> std::size_t {
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      if (eol == std::string_view::npos) break;
+      std::string_view line = util::strip_cr(text.substr(pos, eol - pos));
+      if (!(first_line && options.header) && !line.empty()) {
+        parse_line(line, schema, options.separator, buffers);
+      }
+      first_line = false;
+      pos = eol + 1;
+    }
+    return pos;
+  };
+  for (;;) {
+    const auto chunk = reader.read_chunk();
+    if (chunk.empty()) break;
+    if (carry.empty()) {
+      const std::size_t consumed = consume(chunk);
+      carry.assign(chunk.substr(consumed));
+    } else {
+      carry.append(chunk);
+      const std::size_t consumed = consume(carry);
+      carry.erase(0, consumed);
+    }
+  }
+  util::io_require(carry.empty(),
+                   "csv: file does not end with a newline: " + path.string());
+}
+
+TypedBuffers make_buffers(const CsvSchema& schema) {
+  util::require(schema.names.size() == schema.dtypes.size(),
+                "csv schema: names/dtypes size mismatch");
+  util::require(!schema.names.empty(), "csv schema: empty");
+  TypedBuffers buffers;
+  buffers.i64.resize(schema.dtypes.size());
+  buffers.f64.resize(schema.dtypes.size());
+  buffers.str.resize(schema.dtypes.size());
+  return buffers;
+}
+
+}  // namespace
+
+DataFrame read_csv(const fs::path& path, const CsvSchema& schema,
+                   const CsvOptions& options) {
+  TypedBuffers buffers = make_buffers(schema);
+  read_into(path, schema, options, buffers);
+  DataFrame frame;
+  append_frame(frame, schema, buffers);
+  return frame;
+}
+
+DataFrame read_csv_dir(const fs::path& dir, const CsvSchema& schema,
+                       const CsvOptions& options) {
+  TypedBuffers buffers = make_buffers(schema);
+  for (const auto& file : util::list_files_sorted(dir)) {
+    read_into(file, schema, options, buffers);
+  }
+  DataFrame frame;
+  append_frame(frame, schema, buffers);
+  return frame;
+}
+
+namespace {
+void write_rows(const DataFrame& frame, io::FileWriter& writer,
+                std::size_t row_begin, std::size_t row_end,
+                const CsvOptions& options) {
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    std::string line;
+    for (std::size_t c = 0; c < frame.num_columns(); ++c) {
+      if (c != 0) line.push_back(options.separator);
+      line += frame.col_at(c).cell_str(r);  // generic formatting
+    }
+    line.push_back('\n');
+    writer.write(line);
+  }
+}
+
+void write_header(const DataFrame& frame, io::FileWriter& writer,
+                  const CsvOptions& options) {
+  if (!options.header) return;
+  std::string line;
+  for (std::size_t c = 0; c < frame.num_columns(); ++c) {
+    if (c != 0) line.push_back(options.separator);
+    line += frame.names()[c];
+  }
+  line.push_back('\n');
+  writer.write(line);
+}
+}  // namespace
+
+void write_csv(const DataFrame& frame, const fs::path& path,
+               const CsvOptions& options) {
+  io::FileWriter writer(path);
+  write_header(frame, writer, options);
+  write_rows(frame, writer, 0, frame.num_rows(), options);
+  writer.close();
+}
+
+std::uint64_t write_csv_dir(const DataFrame& frame, const fs::path& dir,
+                            std::size_t shards, const CsvOptions& options) {
+  util::ensure_dir(dir);
+  util::clear_dir(dir);
+  const auto bounds = io::shard_boundaries(frame.num_rows(), shards);
+  std::uint64_t bytes = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    io::FileWriter writer(io::shard_path(dir, s));
+    write_header(frame, writer, options);
+    write_rows(frame, writer, bounds[s], bounds[s + 1], options);
+    writer.close();
+    bytes += writer.bytes_written();
+  }
+  return bytes;
+}
+
+}  // namespace prpb::df

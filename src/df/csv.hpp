@@ -1,0 +1,45 @@
+// Delimited text I/O for the dataframe engine (pandas read_csv/to_csv
+// analogue). Every field round-trips through a std::string — the columnar
+// but generic cost profile the dataframe backend is meant to exhibit.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "df/dataframe.hpp"
+
+namespace prpb::df {
+
+struct CsvOptions {
+  char separator = '\t';
+  bool header = false;  ///< benchmark edge files carry no header
+};
+
+/// Schema for headerless reads: column names + dtypes in file order.
+struct CsvSchema {
+  std::vector<std::string> names;
+  std::vector<DType> dtypes;
+};
+
+/// Reads one delimited file. With options.header the first line names the
+/// columns and dtypes are inferred per column (int64 -> float64 -> string).
+DataFrame read_csv(const std::filesystem::path& path, const CsvSchema& schema,
+                   const CsvOptions& options = {});
+
+/// Reads and concatenates every file in a stage directory (sorted order).
+DataFrame read_csv_dir(const std::filesystem::path& dir,
+                       const CsvSchema& schema, const CsvOptions& options = {});
+
+/// Writes the frame to one file.
+void write_csv(const DataFrame& frame, const std::filesystem::path& path,
+               const CsvOptions& options = {});
+
+/// Writes the frame row-partitioned into `shards` files under `dir`
+/// (named like the pipeline's edge stages). Returns total bytes written.
+std::uint64_t write_csv_dir(const DataFrame& frame,
+                            const std::filesystem::path& dir,
+                            std::size_t shards,
+                            const CsvOptions& options = {});
+
+}  // namespace prpb::df

@@ -1,0 +1,207 @@
+#include "df/dataframe.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace prpb::df {
+
+void DataFrame::add_column(const std::string& name, Column column) {
+  util::require(!has_column(name), "add_column: duplicate column '" + name +
+                                       "'");
+  if (!columns_.empty()) {
+    util::require(column.size() == rows_,
+                  "add_column: length mismatch for '" + name + "'");
+  } else {
+    rows_ = column.size();
+  }
+  names_.push_back(name);
+  columns_.push_back(std::move(column));
+}
+
+bool DataFrame::has_column(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::size_t DataFrame::column_index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  util::require(it != names_.end(), "no such column '" + name + "'");
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+const Column& DataFrame::col(const std::string& name) const {
+  return columns_[column_index(name)];
+}
+
+Column& DataFrame::col(const std::string& name) {
+  return columns_[column_index(name)];
+}
+
+DataFrame DataFrame::sort_values(const std::vector<std::string>& by) const {
+  util::require(!by.empty(), "sort_values: need at least one key");
+  std::vector<const Column*> keys;
+  keys.reserve(by.size());
+  for (const auto& name : by) keys.push_back(&col(name));
+
+  std::vector<std::size_t> order(rows_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](std::size_t a, std::size_t b) {
+                     for (const Column* key : keys) {
+                       const int c = key->compare(a, b);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  return take(order);
+}
+
+DataFrame DataFrame::filter(const std::vector<bool>& mask) const {
+  util::require(mask.size() == rows_, "filter: mask length mismatch");
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  return take(indices);
+}
+
+DataFrame DataFrame::take(const std::vector<std::size_t>& indices) const {
+  DataFrame out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out.add_column(names_[c], columns_[c].take(indices));
+  }
+  if (columns_.empty()) out.rows_ = 0;
+  return out;
+}
+
+DataFrame DataFrame::head(std::size_t n) const {
+  std::vector<std::size_t> indices(std::min(n, rows_));
+  std::iota(indices.begin(), indices.end(), 0);
+  return take(indices);
+}
+
+namespace {
+/// Sorted-group scaffolding shared by the aggregations: returns row order
+/// sorted by keys plus group boundaries in that order.
+struct Groups {
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> starts;  // group start offsets; ends with order
+};
+
+Groups group_rows(const DataFrame& frame,
+                  const std::vector<std::string>& keys) {
+  util::require(!keys.empty(), "groupby: need at least one key");
+  std::vector<const Column*> cols;
+  cols.reserve(keys.size());
+  for (const auto& name : keys) cols.push_back(&frame.col(name));
+
+  Groups g;
+  g.order.resize(frame.num_rows());
+  std::iota(g.order.begin(), g.order.end(), 0);
+  std::stable_sort(g.order.begin(), g.order.end(),
+                   [&cols](std::size_t a, std::size_t b) {
+                     for (const Column* key : cols) {
+                       const int c = key->compare(a, b);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  auto same_group = [&cols](std::size_t a, std::size_t b) {
+    for (const Column* key : cols) {
+      if (key->compare(a, b) != 0) return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < g.order.size(); ++i) {
+    if (i == 0 || !same_group(g.order[i - 1], g.order[i]))
+      g.starts.push_back(i);
+  }
+  g.starts.push_back(g.order.size());
+  return g;
+}
+
+std::vector<std::size_t> group_representatives(const Groups& g) {
+  std::vector<std::size_t> reps;
+  reps.reserve(g.starts.size() - 1);
+  for (std::size_t gi = 0; gi + 1 < g.starts.size(); ++gi)
+    reps.push_back(g.order[g.starts[gi]]);
+  return reps;
+}
+}  // namespace
+
+DataFrame DataFrame::groupby_count(const std::vector<std::string>& keys,
+                                   const std::string& count_name) const {
+  const Groups g = group_rows(*this, keys);
+  const auto reps = group_representatives(g);
+
+  DataFrame out;
+  for (const auto& key : keys) out.add_column(key, col(key).take(reps));
+  std::vector<std::int64_t> counts;
+  counts.reserve(reps.size());
+  for (std::size_t gi = 0; gi + 1 < g.starts.size(); ++gi) {
+    counts.push_back(
+        static_cast<std::int64_t>(g.starts[gi + 1] - g.starts[gi]));
+  }
+  out.add_column(count_name, Column(std::move(counts)));
+  return out;
+}
+
+DataFrame DataFrame::groupby_sum(const std::vector<std::string>& keys,
+                                 const std::string& value,
+                                 const std::string& sum_name) const {
+  const Groups g = group_rows(*this, keys);
+  const auto reps = group_representatives(g);
+  const Column& values = col(value);
+
+  DataFrame out;
+  for (const auto& key : keys) out.add_column(key, col(key).take(reps));
+  std::vector<double> sums;
+  sums.reserve(reps.size());
+  for (std::size_t gi = 0; gi + 1 < g.starts.size(); ++gi) {
+    double acc = 0.0;
+    for (std::size_t i = g.starts[gi]; i < g.starts[gi + 1]; ++i)
+      acc += values.as_double(g.order[i]);
+    sums.push_back(acc);
+  }
+  out.add_column(sum_name, Column(std::move(sums)));
+  return out;
+}
+
+DataFrame DataFrame::merge(const DataFrame& right,
+                           const std::string& key) const {
+  const auto& left_keys = col(key).i64();
+  const auto& right_keys = right.col(key).i64();
+
+  // Hash-join: bucket right rows by key value.
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(right_keys.size());
+  for (std::size_t r = 0; r < right_keys.size(); ++r) {
+    buckets[right_keys[r]].push_back(r);
+  }
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t l = 0; l < left_keys.size(); ++l) {
+    const auto it = buckets.find(left_keys[l]);
+    if (it == buckets.end()) continue;
+    for (const std::size_t r : it->second) {
+      left_rows.push_back(l);
+      right_rows.push_back(r);
+    }
+  }
+
+  DataFrame out = take(left_rows);
+  for (std::size_t c = 0; c < right.num_columns(); ++c) {
+    const std::string& name = right.names()[c];
+    if (name == key) continue;
+    util::require(!out.has_column(name),
+                  "merge: column name collision on '" + name + "'");
+    out.add_column(name, right.columns_[c].take(right_rows));
+  }
+  // Edge case: zero matched rows with a column-less left frame.
+  if (out.num_columns() == 0) out.rows_ = 0;
+  return out;
+}
+
+}  // namespace prpb::df

@@ -1,0 +1,135 @@
+#include "dist/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace prpb::dist {
+
+Cluster::Cluster(std::size_t ranks) : ranks_(ranks) {
+  util::require(ranks >= 1, "Cluster: need at least one rank");
+  reduce_slots_.resize(ranks, nullptr);
+  mailboxes_.assign(ranks, std::vector<gen::EdgeList>(ranks));
+  stats_.resize(ranks);
+}
+
+void Cluster::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == ranks_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this, my_generation] {
+    return generation_ != my_generation;
+  });
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& body) {
+  stats_.assign(ranks_, CommStats{});
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(ranks_);
+  threads.reserve(ranks_);
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, &body, &errors, r] {
+      Communicator comm(*this, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Keep participating in nothing further; other ranks may deadlock
+        // if the failure happens mid-collective — acceptable for a test
+        // substrate where bodies either all throw or none do.
+      }
+      stats_[r] = comm.stats();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::uint64_t Cluster::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.bytes_sent;
+  return total;
+}
+
+std::size_t Communicator::size() const { return cluster_->size(); }
+
+void Communicator::barrier() {
+  ++stats_.collective_calls;
+  cluster_->barrier_wait();
+}
+
+void Communicator::allreduce_sum(std::vector<double>& data) {
+  ++stats_.collective_calls;
+  // Every rank ships its full vector (the paper's "summed across all
+  // processors and broadcast back"): P·N·8 bytes of traffic per call.
+  stats_.bytes_sent += data.size() * sizeof(double);
+  {
+    const std::lock_guard<std::mutex> lock(cluster_->mutex_);
+    cluster_->reduce_slots_[rank_] = &data;
+  }
+  cluster_->barrier_wait();
+  if (rank_ == 0) {
+    auto& acc = cluster_->reduce_accumulator_;
+    acc.assign(data.size(), 0.0);
+    for (std::size_t r = 0; r < size(); ++r) {
+      const auto* slot = cluster_->reduce_slots_[r];
+      util::ensure(slot != nullptr && slot->size() == data.size(),
+                   "allreduce_sum: mismatched participation");
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += (*slot)[i];
+    }
+  }
+  cluster_->barrier_wait();
+  data = cluster_->reduce_accumulator_;
+  cluster_->barrier_wait();  // everyone copied before scratch reuse
+}
+
+double Communicator::allreduce_sum(double value) {
+  std::vector<double> one{value};
+  allreduce_sum(one);
+  return one[0];
+}
+
+void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
+  ++stats_.collective_calls;
+  if (rank_ == root) {
+    stats_.bytes_sent += data.size() * sizeof(double) * (size() - 1);
+    const std::lock_guard<std::mutex> lock(cluster_->mutex_);
+    cluster_->reduce_accumulator_ = data;
+  }
+  cluster_->barrier_wait();
+  data = cluster_->reduce_accumulator_;
+  cluster_->barrier_wait();
+}
+
+gen::EdgeList Communicator::alltoallv(std::vector<gen::EdgeList> outboxes) {
+  ++stats_.collective_calls;
+  util::require(outboxes.size() == size(),
+                "alltoallv: one outbox per rank required");
+  for (std::size_t dst = 0; dst < size(); ++dst) {
+    if (dst != rank_) {
+      stats_.bytes_sent += outboxes[dst].size() * sizeof(gen::Edge);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cluster_->mutex_);
+    cluster_->mailboxes_[rank_] = std::move(outboxes);
+  }
+  cluster_->barrier_wait();
+  gen::EdgeList inbox;
+  for (std::size_t src = 0; src < size(); ++src) {
+    const auto& box = cluster_->mailboxes_[src][rank_];
+    inbox.insert(inbox.end(), box.begin(), box.end());
+  }
+  cluster_->barrier_wait();  // everyone read before mailboxes are reused
+  return inbox;
+}
+
+}  // namespace prpb::dist

@@ -1,0 +1,141 @@
+#include "gen/bter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace prpb::gen {
+
+void BterParams::validate() const {
+  util::require(scale >= 1 && scale <= 32, "bter: scale must be in [1, 32]");
+  util::require(edge_factor >= 1, "bter: edge_factor must be >= 1");
+  util::require(alpha > 0, "bter: alpha must be > 0");
+  util::require(community_fraction >= 0.0 && community_fraction <= 1.0,
+                "bter: community_fraction must be in [0, 1]");
+}
+
+namespace {
+struct Plan {
+  std::vector<std::uint64_t> degrees;
+  std::vector<double> excess;  // per-vertex phase-2 weight
+};
+
+Plan build_plan(const BterParams& params) {
+  params.validate();
+  const std::uint64_t n = 1ULL << params.scale;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(params.edge_factor) * n;
+  const std::uint64_t dmax = std::max<std::uint64_t>(4, n >> 4);
+  Plan plan;
+  plan.degrees = power_law_degrees(n, params.alpha, dmax, target);
+  plan.excess.resize(plan.degrees.size());
+  for (std::size_t i = 0; i < plan.degrees.size(); ++i) {
+    plan.excess[i] = static_cast<double>(plan.degrees[i]) *
+                     (1.0 - params.community_fraction);
+    // Every vertex keeps a sliver of phase-2 weight so the sampler is valid
+    // even with community_fraction == 1.
+    plan.excess[i] = std::max(plan.excess[i], 1e-9);
+  }
+  return plan;
+}
+}  // namespace
+
+BterGenerator::BterGenerator(const BterParams& params)
+    : params_(params),
+      rng_(params.seed),
+      degrees_(build_plan(params).degrees),
+      excess_sampler_([&] {
+        // recompute excess weights against the same deterministic plan
+        return build_plan(params).excess;
+      }()) {
+  // Group vertices (already sorted by descending degree) into affinity
+  // blocks: a vertex of degree d lands in a block of d+1 similar-degree
+  // vertices, the classic BTER blocking rule.
+  std::uint64_t cursor = 0;
+  const std::uint64_t n = degrees_.size();
+  while (cursor < n) {
+    const std::uint64_t d = degrees_[cursor];
+    const std::uint64_t size = std::min<std::uint64_t>(d + 1, n - cursor);
+    Block block;
+    block.first_vertex = cursor;
+    block.size = size;
+    blocks_.push_back(block);
+    cursor += size;
+  }
+
+  // Phase-1 budget per block: community_fraction of the block's total degree
+  // (halved: each edge covers two stubs), capped by the number of distinct
+  // pairs so tiny blocks do not explode into multi-edges.
+  std::uint64_t edge_cursor = 0;
+  block_edge_prefix_.reserve(blocks_.size() + 1);
+  for (auto& block : blocks_) {
+    std::uint64_t block_degree = 0;
+    for (std::uint64_t i = 0; i < block.size; ++i)
+      block_degree += degrees_[block.first_vertex + i];
+    auto budget = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(block_degree) *
+                     params_.community_fraction / 2.0));
+    if (block.size >= 2) {
+      const std::uint64_t pairs = block.size * (block.size - 1) / 2;
+      budget = std::min(budget, pairs * 2);  // allow some multiplicity
+    } else {
+      budget = 0;
+    }
+    block.edge_begin = edge_cursor;
+    block.edge_end = edge_cursor + budget;
+    block_edge_prefix_.push_back(block.edge_begin);
+    edge_cursor = block.edge_end;
+  }
+  block_edge_prefix_.push_back(edge_cursor);
+  phase1_edges_ = edge_cursor;
+
+  const std::uint64_t n_vertices = 1ULL << params_.scale;
+  total_edges_ =
+      static_cast<std::uint64_t>(params_.edge_factor) * n_vertices;
+  // If communities consumed more than the target, trim phase 1.
+  phase1_edges_ = std::min(phase1_edges_, total_edges_);
+}
+
+std::uint64_t BterGenerator::num_vertices() const {
+  return 1ULL << params_.scale;
+}
+
+std::uint64_t BterGenerator::num_edges() const { return total_edges_; }
+
+Edge BterGenerator::edge_at(std::uint64_t i) const {
+  if (i < phase1_edges_) {
+    // Locate the owning block via the prefix table.
+    const auto it = std::upper_bound(block_edge_prefix_.begin(),
+                                     block_edge_prefix_.end(), i);
+    const auto bi = static_cast<std::size_t>(it - block_edge_prefix_.begin()) - 1;
+    const Block& block = blocks_[std::min(bi, blocks_.size() - 1)];
+    // ER pair within the block: two independent draws, rejecting loops by
+    // shifting the second endpoint.
+    const std::uint64_t a =
+        block.first_vertex +
+        (rng_.at(/*stream=*/10, i) % block.size);
+    std::uint64_t b =
+        block.first_vertex + (rng_.at(/*stream=*/11, i) % block.size);
+    if (a == b) {
+      b = block.first_vertex + ((b - block.first_vertex + 1) % block.size);
+    }
+    return Edge{a, b};
+  }
+  // Phase 2: Chung–Lu edge, endpoints weighted by excess degree.
+  const std::uint64_t u =
+      excess_sampler_.sample(rng_.uniform(/*stream=*/20, i));
+  const std::uint64_t v =
+      excess_sampler_.sample(rng_.uniform(/*stream=*/21, i));
+  return Edge{u, v};
+}
+
+void BterGenerator::generate_range(std::uint64_t begin, std::uint64_t end,
+                                   EdgeList& out) const {
+  util::require(begin <= end && end <= total_edges_,
+                "bter: generate_range out of bounds");
+  out.reserve(out.size() + (end - begin));
+  for (std::uint64_t i = begin; i < end; ++i) out.push_back(edge_at(i));
+}
+
+}  // namespace prpb::gen

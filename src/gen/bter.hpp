@@ -1,0 +1,65 @@
+// Block Two-Level Erdős–Rényi (BTER) generator [Seshadhri, Kolda, Pinar 2012].
+//
+// BTER reproduces both a power-law degree distribution and high clustering by
+// two phases:
+//   phase 1 — vertices are grouped into "affinity blocks" of similar degree;
+//             each block is a dense Erdős–Rényi community,
+//   phase 2 — residual degree is matched with Chung–Lu style edges whose
+//             endpoints are drawn proportionally to excess degree.
+// Our implementation assigns each edge index deterministically to a phase and
+// samples its endpoints with counter-based RNG, keeping the
+// no-communication/per-index-deterministic property of the other generators.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/generator.hpp"
+#include "gen/powerlaw.hpp"
+#include "rand/rng.hpp"
+
+namespace prpb::gen {
+
+struct BterParams {
+  int scale = 16;        ///< N = 2^scale vertices
+  int edge_factor = 16;  ///< target M = edge_factor * N edges
+  double alpha = 1.3;    ///< degree distribution exponent
+  double community_fraction = 0.5;  ///< fraction of degree spent in phase 1
+  std::uint64_t seed = 20160205;
+
+  void validate() const;
+};
+
+class BterGenerator final : public EdgeGenerator {
+ public:
+  explicit BterGenerator(const BterParams& params);
+
+  [[nodiscard]] std::uint64_t num_vertices() const override;
+  [[nodiscard]] std::uint64_t num_edges() const override;
+  void generate_range(std::uint64_t begin, std::uint64_t end,
+                      EdgeList& out) const override;
+  [[nodiscard]] std::string name() const override { return "bter"; }
+
+  [[nodiscard]] Edge edge_at(std::uint64_t i) const;
+
+  /// Number of phase-1 (within-community) edges; the rest are phase 2.
+  [[nodiscard]] std::uint64_t phase1_edges() const { return phase1_edges_; }
+
+ private:
+  struct Block {
+    std::uint64_t first_vertex = 0;
+    std::uint64_t size = 0;
+    std::uint64_t edge_begin = 0;  // first phase-1 edge index owned
+    std::uint64_t edge_end = 0;
+  };
+
+  BterParams params_;
+  rnd::CounterRng rng_;
+  std::vector<std::uint64_t> degrees_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint64_t> block_edge_prefix_;  // for edge->block lookup
+  DiscreteSampler excess_sampler_;
+  std::uint64_t phase1_edges_ = 0;
+  std::uint64_t total_edges_ = 0;
+};
+
+}  // namespace prpb::gen

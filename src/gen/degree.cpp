@@ -1,0 +1,57 @@
+#include "gen/degree.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace prpb::gen {
+
+DegreeStats degree_stats(const EdgeList& edges, std::uint64_t n) {
+  DegreeStats stats;
+  stats.out_degree.assign(n, 0);
+  stats.in_degree.assign(n, 0);
+  for (const auto& edge : edges) {
+    util::ensure(edge.u < n && edge.v < n,
+                 "degree_stats: edge endpoint out of range");
+    ++stats.out_degree[edge.u];
+    ++stats.in_degree[edge.v];
+    if (edge.u == edge.v) ++stats.self_loops;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stats.max_out = std::max(stats.max_out, stats.out_degree[i]);
+    stats.max_in = std::max(stats.max_in, stats.in_degree[i]);
+    if (stats.out_degree[i] == 0 && stats.in_degree[i] == 0)
+      ++stats.isolated_vertices;
+  }
+  return stats;
+}
+
+std::map<std::uint64_t, std::uint64_t> degree_histogram(
+    const std::vector<std::uint64_t>& degrees) {
+  std::map<std::uint64_t, std::uint64_t> histogram;
+  for (const auto d : degrees) {
+    if (d > 0) ++histogram[d];
+  }
+  return histogram;
+}
+
+double log_log_slope(
+    const std::map<std::uint64_t, std::uint64_t>& histogram) {
+  if (histogram.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double count = 0;
+  for (const auto& [degree, vertices] : histogram) {
+    const double x = std::log(static_cast<double>(degree));
+    const double y = std::log(static_cast<double>(vertices));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    count += 1;
+  }
+  const double denom = count * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (count * sxy - sx * sy) / denom;
+}
+
+}  // namespace prpb::gen

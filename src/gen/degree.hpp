@@ -1,0 +1,37 @@
+// Degree-distribution analysis: histograms and log-log slope estimation.
+// Used by tests to check that generated graphs are "approximately power-law"
+// (the paper's characterization of the Graph500 output) and by examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gen/edge.hpp"
+
+namespace prpb::gen {
+
+struct DegreeStats {
+  std::vector<std::uint64_t> out_degree;  ///< per-vertex out-degree
+  std::vector<std::uint64_t> in_degree;   ///< per-vertex in-degree
+  std::uint64_t max_out = 0;
+  std::uint64_t max_in = 0;
+  std::uint64_t isolated_vertices = 0;  ///< neither in nor out edges
+  std::uint64_t self_loops = 0;
+};
+
+/// Computes degree statistics of an edge list over `n` vertices.
+/// Throws InvariantError if an edge references a vertex >= n.
+DegreeStats degree_stats(const EdgeList& edges, std::uint64_t n);
+
+/// Histogram: degree -> number of vertices with that degree (degree 0
+/// excluded).
+std::map<std::uint64_t, std::uint64_t> degree_histogram(
+    const std::vector<std::uint64_t>& degrees);
+
+/// Least-squares slope of log(count) vs log(degree) over the histogram.
+/// A power-law graph yields a clearly negative slope. Returns 0 when the
+/// histogram has fewer than two distinct degrees.
+double log_log_slope(const std::map<std::uint64_t, std::uint64_t>& histogram);
+
+}  // namespace prpb::gen

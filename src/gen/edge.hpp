@@ -1,0 +1,22 @@
+// The fundamental datum of the pipeline: a directed edge (start, end).
+// 16 bytes per edge, matching the paper's Table II memory accounting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace prpb::gen {
+
+struct Edge {
+  std::uint64_t u = 0;  ///< start vertex
+  std::uint64_t v = 0;  ///< end vertex
+
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+static_assert(sizeof(Edge) == 16, "Edge must be 16 bytes (paper's Table II)");
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace prpb::gen

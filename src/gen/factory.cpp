@@ -1,0 +1,37 @@
+#include "gen/bter.hpp"
+#include "gen/generator.hpp"
+#include "gen/kronecker.hpp"
+#include "gen/ppl.hpp"
+#include "util/error.hpp"
+
+namespace prpb::gen {
+
+std::unique_ptr<EdgeGenerator> make_generator(const std::string& name,
+                                              int scale, int edge_factor,
+                                              std::uint64_t seed) {
+  if (name == "kronecker") {
+    KroneckerParams params;
+    params.scale = scale;
+    params.edge_factor = edge_factor;
+    params.seed = seed;
+    return std::make_unique<KroneckerGenerator>(params);
+  }
+  if (name == "bter") {
+    BterParams params;
+    params.scale = scale;
+    params.edge_factor = edge_factor;
+    params.seed = seed;
+    return std::make_unique<BterGenerator>(params);
+  }
+  if (name == "ppl") {
+    PplParams params;
+    params.scale = scale;
+    params.edge_factor = edge_factor;
+    params.seed = seed;
+    return std::make_unique<PplGenerator>(params);
+  }
+  throw util::ConfigError("unknown generator '" + name +
+                          "' (expected kronecker|bter|ppl)");
+}
+
+}  // namespace prpb::gen

@@ -1,0 +1,52 @@
+// Abstract edge-generator interface (kernel 0's pluggable data source).
+//
+// The paper uses the Graph500 Kronecker generator but explicitly invites
+// alternatives ("Other generators also exist such as BTER and PPL... may make
+// the validation of subsequent kernels easier"). All three are provided here
+// behind one interface. Every generator is *index-deterministic*: edge i is a
+// pure function of (params, seed, i), so shards and threads can generate
+// disjoint ranges independently — the Graph500 "no communication" property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gen/edge.hpp"
+
+namespace prpb::gen {
+
+class EdgeGenerator {
+ public:
+  virtual ~EdgeGenerator() = default;
+
+  /// Maximum vertex label + 1 (N in the paper).
+  [[nodiscard]] virtual std::uint64_t num_vertices() const = 0;
+  /// Total number of edges (M in the paper).
+  [[nodiscard]] virtual std::uint64_t num_edges() const = 0;
+
+  /// Appends edges with indices [begin, end) to `out`. Deterministic:
+  /// the same index range always yields the same edges.
+  virtual void generate_range(std::uint64_t begin, std::uint64_t end,
+                              EdgeList& out) const = 0;
+
+  /// Convenience: all M edges.
+  [[nodiscard]] EdgeList generate_all() const {
+    EdgeList edges;
+    edges.reserve(num_edges());
+    generate_range(0, num_edges(), edges);
+    return edges;
+  }
+
+  /// Short identifier ("kronecker", "bter", "ppl") for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory: builds a generator by name with the benchmark's standard
+/// parameters (scale S, edge factor k, seed). Throws ConfigError on an
+/// unknown name. Known names: "kronecker", "bter", "ppl".
+std::unique_ptr<EdgeGenerator> make_generator(const std::string& name,
+                                              int scale, int edge_factor,
+                                              std::uint64_t seed);
+
+}  // namespace prpb::gen

@@ -1,0 +1,78 @@
+#include "gen/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace prpb::gen {
+
+std::vector<std::uint64_t> power_law_degrees(
+    std::uint64_t n, double alpha, std::uint64_t dmax,
+    std::uint64_t target_total_degree) {
+  util::require(n >= 1, "power_law_degrees: n must be >= 1");
+  util::require(alpha > 0, "power_law_degrees: alpha must be > 0");
+  util::require(dmax >= 1, "power_law_degrees: dmax must be >= 1");
+
+  dmax = std::min<std::uint64_t>(dmax, n);
+
+  // Vertex counts per degree: c_d ~ n * d^-alpha / zeta, rounded down but
+  // with at least the residual mass pushed into degree 1.
+  double zeta = 0.0;
+  for (std::uint64_t d = 1; d <= dmax; ++d)
+    zeta += std::pow(static_cast<double>(d), -alpha);
+
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(n);
+  std::uint64_t assigned = 0;
+  for (std::uint64_t d = dmax; d >= 1 && assigned < n; --d) {
+    const double frac = std::pow(static_cast<double>(d), -alpha) / zeta;
+    auto count = static_cast<std::uint64_t>(
+        std::floor(frac * static_cast<double>(n)));
+    if (d == 1) count = n - assigned;  // absorb rounding residue into leaves
+    count = std::min(count, n - assigned);
+    for (std::uint64_t i = 0; i < count; ++i) degrees.push_back(d);
+    assigned += count;
+  }
+  // Guarantee exactly n entries even under pathological rounding.
+  while (degrees.size() < n) degrees.push_back(1);
+
+  // Rescale toward the requested total degree by multiplying each degree by
+  // a common factor (keeping the power-law shape and minimum degree 1).
+  std::uint64_t total = 0;
+  for (const auto d : degrees) total += d;
+  if (target_total_degree > 0 && total > 0) {
+    const double factor = static_cast<double>(target_total_degree) /
+                          static_cast<double>(total);
+    for (auto& d : degrees) {
+      d = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::llround(static_cast<double>(d) * factor)));
+    }
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  return degrees;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  util::require(!weights.empty(), "DiscreteSampler: weights must be non-empty");
+  prefix_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    util::require(w >= 0.0, "DiscreteSampler: weights must be non-negative");
+    acc += w;
+    prefix_.push_back(acc);
+  }
+  util::require(acc > 0.0, "DiscreteSampler: total weight must be positive");
+}
+
+std::uint64_t DiscreteSampler::sample(double unit) const {
+  const double needle = unit * prefix_.back();
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), needle);
+  const auto idx = static_cast<std::uint64_t>(
+      std::min<std::ptrdiff_t>(it - prefix_.begin(),
+                               static_cast<std::ptrdiff_t>(prefix_.size()) - 1));
+  return idx;
+}
+
+}  // namespace prpb::gen

@@ -1,0 +1,37 @@
+// Power-law degree sequences and weighted discrete sampling — shared
+// infrastructure for the BTER and PPL generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rand/rng.hpp"
+
+namespace prpb::gen {
+
+/// Builds a degree sequence over `n` vertices where the number of vertices
+/// with degree d is proportional to d^(-alpha), degrees in [1, dmax], scaled
+/// so that total degree ~= target_total_degree. Returns per-vertex degrees
+/// (descending), always non-empty with every degree >= 1.
+std::vector<std::uint64_t> power_law_degrees(std::uint64_t n, double alpha,
+                                             std::uint64_t dmax,
+                                             std::uint64_t target_total_degree);
+
+/// Inverse-CDF sampler over non-negative weights. Sampling is driven by an
+/// externally supplied uniform in [0,1), so callers can use counter-based
+/// RNG for index-deterministic generation. O(log n) per draw.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Index i with probability weights[i] / total. `unit` in [0, 1).
+  [[nodiscard]] std::uint64_t sample(double unit) const;
+
+  [[nodiscard]] double total_weight() const { return prefix_.back(); }
+  [[nodiscard]] std::size_t size() const { return prefix_.size(); }
+
+ private:
+  std::vector<double> prefix_;  // inclusive prefix sums of weights
+};
+
+}  // namespace prpb::gen

@@ -1,0 +1,74 @@
+#include "gen/ppl.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prpb::gen {
+
+void PplParams::validate() const {
+  util::require(scale >= 1 && scale <= 32, "ppl: scale must be in [1, 32]");
+  util::require(edge_factor >= 1, "ppl: edge_factor must be >= 1");
+  util::require(alpha > 0, "ppl: alpha must be > 0");
+}
+
+namespace {
+std::vector<double> degree_weights(const std::vector<std::uint64_t>& degrees) {
+  std::vector<double> weights(degrees.size());
+  for (std::size_t i = 0; i < degrees.size(); ++i)
+    weights[i] = static_cast<double>(degrees[i]);
+  return weights;
+}
+
+std::vector<std::uint64_t> build_degrees(const PplParams& params) {
+  params.validate();
+  const std::uint64_t n = 1ULL << params.scale;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(params.edge_factor) * n;
+  // Cap the top degree at sqrt-ish scale so the super-node is pronounced but
+  // not degenerate; matches typical PPL parameterizations.
+  const std::uint64_t dmax = std::max<std::uint64_t>(4, n >> 4);
+  return power_law_degrees(n, params.alpha, dmax, target);
+}
+}  // namespace
+
+PplGenerator::PplGenerator(const PplParams& params)
+    : params_(params),
+      rng_(params.seed),
+      degrees_(build_degrees(params)),
+      target_sampler_(degree_weights(degrees_)) {
+  stub_prefix_.reserve(degrees_.size() + 1);
+  std::uint64_t acc = 0;
+  for (const auto d : degrees_) {
+    stub_prefix_.push_back(acc);
+    acc += d;
+  }
+  stub_prefix_.push_back(acc);
+  num_edges_ = acc;
+}
+
+std::uint64_t PplGenerator::num_vertices() const {
+  return 1ULL << params_.scale;
+}
+
+std::uint64_t PplGenerator::num_edges() const { return num_edges_; }
+
+Edge PplGenerator::edge_at(std::uint64_t i) const {
+  // Source: owner of stub i — the vertex whose stub range contains i.
+  const auto it =
+      std::upper_bound(stub_prefix_.begin(), stub_prefix_.end(), i);
+  const auto u = static_cast<std::uint64_t>(it - stub_prefix_.begin()) - 1;
+  // Target: degree-weighted draw (Chung-Lu style), counter-deterministic.
+  const std::uint64_t v = target_sampler_.sample(rng_.uniform(/*stream=*/1, i));
+  return Edge{u, v};
+}
+
+void PplGenerator::generate_range(std::uint64_t begin, std::uint64_t end,
+                                  EdgeList& out) const {
+  util::require(begin <= end && end <= num_edges_,
+                "ppl: generate_range out of bounds");
+  out.reserve(out.size() + (end - begin));
+  for (std::uint64_t i = begin; i < end; ++i) out.push_back(edge_at(i));
+}
+
+}  // namespace prpb::gen

@@ -1,0 +1,55 @@
+// Perfect Power Law (PPL) generator [Kepner 2012, Gadepally 2015].
+//
+// Constructs a graph whose out-degree sequence follows an exact (rounded)
+// power law. Each vertex owns exactly deg(u) out-edge "stubs"; stub i's
+// source is determined by the degree sequence's prefix sums and its target
+// is drawn from the same power-law weight distribution via counter-based
+// RNG, so edge i is a pure function of (params, seed, i).
+//
+// The paper lists PPL as an alternative kernel-0 generator that "may make
+// the validation of subsequent kernels easier" — the in/out degree structure
+// is known in closed form.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/generator.hpp"
+#include "gen/powerlaw.hpp"
+#include "rand/rng.hpp"
+
+namespace prpb::gen {
+
+struct PplParams {
+  int scale = 16;        ///< N = 2^scale vertices
+  int edge_factor = 16;  ///< target M = edge_factor * N edges
+  double alpha = 1.3;    ///< power-law exponent of the degree distribution
+  std::uint64_t seed = 20160205;
+
+  void validate() const;
+};
+
+class PplGenerator final : public EdgeGenerator {
+ public:
+  explicit PplGenerator(const PplParams& params);
+
+  [[nodiscard]] std::uint64_t num_vertices() const override;
+  [[nodiscard]] std::uint64_t num_edges() const override;
+  void generate_range(std::uint64_t begin, std::uint64_t end,
+                      EdgeList& out) const override;
+  [[nodiscard]] std::string name() const override { return "ppl"; }
+
+  [[nodiscard]] Edge edge_at(std::uint64_t i) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& out_degrees() const {
+    return degrees_;
+  }
+
+ private:
+  PplParams params_;
+  rnd::CounterRng rng_;
+  std::vector<std::uint64_t> degrees_;       // per-vertex out-degree, desc
+  std::vector<std::uint64_t> stub_prefix_;   // exclusive prefix sums
+  DiscreteSampler target_sampler_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace prpb::gen

@@ -1,0 +1,160 @@
+#include "grb/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "grb/ops.hpp"
+#include "util/error.hpp"
+
+namespace prpb::grb {
+
+namespace {
+
+/// Structure-only copy with every stored value set to `value`.
+Matrix structural(const Matrix& a, double value) {
+  return apply_values(a, [value](double) { return value; });
+}
+
+/// Symmetrized, de-looped structure of A (for undirected algorithms).
+Matrix symmetrize(const Matrix& a) {
+  util::require(a.nrows() == a.ncols(), "symmetrize: matrix must be square");
+  const auto& csr = a.csr();
+  std::vector<std::uint64_t> rows;
+  std::vector<std::uint64_t> cols;
+  for (std::uint64_t r = 0; r < csr.rows(); ++r) {
+    for (std::uint64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+      const std::uint64_t c = csr.col_idx()[k];
+      if (r == c) continue;  // drop self loops
+      rows.push_back(r);
+      cols.push_back(c);
+      rows.push_back(c);
+      cols.push_back(r);
+    }
+  }
+  const std::vector<double> ones(rows.size(), 1.0);
+  Matrix sym = Matrix::build(rows, cols, ones, a.nrows(), a.ncols());
+  // duplicate accumulation can give 2s; collapse back to structure
+  return structural(sym, 1.0);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> bfs_levels(const Matrix& a, std::uint64_t source) {
+  util::require(a.nrows() == a.ncols(), "bfs: matrix must be square");
+  util::require(source < a.nrows(), "bfs: source out of range");
+  const Matrix structure = structural(a, 1.0);
+  const std::uint64_t n = a.nrows();
+
+  std::vector<std::int64_t> levels(n, -1);
+  Vector frontier(n, 0.0);
+  Vector visited(n, 0.0);
+  frontier[source] = 1.0;
+  visited[source] = 1.0;
+  levels[source] = 0;
+
+  for (std::int64_t level = 1; static_cast<std::uint64_t>(level) <= n;
+       ++level) {
+    // next = (frontier or-and A) masked to unvisited vertices
+    frontier = vxm_masked<OrAnd>(frontier, structure, visited,
+                                 /*complement=*/true);
+    bool any = false;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (frontier[v] != 0.0) {
+        levels[v] = level;
+        visited[v] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return levels;
+}
+
+std::vector<std::uint64_t> frontier_sizes(const Matrix& a,
+                                          std::uint64_t source) {
+  const auto levels = bfs_levels(a, source);
+  std::int64_t max_level = 0;
+  for (const auto l : levels) max_level = std::max(max_level, l);
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(max_level) + 1,
+                                   0);
+  for (const auto l : levels) {
+    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+  }
+  return sizes;
+}
+
+std::vector<double> sssp(const Matrix& a, std::uint64_t source) {
+  util::require(a.nrows() == a.ncols(), "sssp: matrix must be square");
+  util::require(source < a.nrows(), "sssp: source out of range");
+  const std::uint64_t n = a.nrows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  Vector dist(n, kInf);
+  dist[source] = 0.0;
+  for (std::uint64_t round = 0; round <= n; ++round) {
+    // relax one hop: candidate[j] = min_i dist[i] + A(i, j)
+    Vector candidate = vxm<MinPlus>(dist, a);
+    bool changed = false;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (candidate[v] < dist[v]) {
+        dist[v] = candidate[v];
+        changed = true;
+      }
+    }
+    if (!changed) return dist.data();
+    util::ensure(round < n,
+                 "sssp: no fixed point after |V| rounds (negative cycle)");
+  }
+  return dist.data();
+}
+
+std::uint64_t triangle_count(const Matrix& a) {
+  const Matrix sym = symmetrize(a);
+  // Split into strictly-lower L and strictly-upper U; triangles =
+  // sum(entries of (L · U) that coincide with stored entries of L).
+  // (Sandia / GraphChallenge formulation.)
+  const Matrix lower = select(
+      sym, [](std::uint64_t r, std::uint64_t c, double) { return c < r; });
+  const Matrix upper = select(
+      sym, [](std::uint64_t r, std::uint64_t c, double) { return c > r; });
+  const Matrix paths = mxm<PlusTimes>(lower, upper);
+
+  // Mask to L's structure with eWiseMult (L's values are all 1), then
+  // reduce all surviving path counts.
+  const Matrix masked = ewise_mult(paths, lower);
+  double count = 0.0;
+  for (const double v : masked.csr().values()) count += v;
+  return static_cast<std::uint64_t>(count);
+}
+
+std::vector<std::uint64_t> connected_components(const Matrix& a) {
+  util::require(a.nrows() == a.ncols(), "cc: matrix must be square");
+  const Matrix sym = symmetrize(a);
+  const std::uint64_t n = a.nrows();
+
+  // Min-label propagation: label[v] <- min(label[v], min over in-neighbors).
+  // Encode labels directly; min-plus over a 0-weighted structure gives the
+  // neighborhood minimum.
+  const Matrix zero_weights = apply_values(sym, [](double) { return 0.0; });
+  Vector labels(n);
+  for (std::uint64_t v = 0; v < n; ++v)
+    labels[v] = static_cast<double>(v);
+
+  for (std::uint64_t round = 0; round <= n; ++round) {
+    Vector neighbor_min = vxm<MinPlus>(labels, zero_weights);
+    bool changed = false;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (neighbor_min[v] < labels[v]) {
+        labels[v] = neighbor_min[v];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t v = 0; v < n; ++v)
+    out[v] = static_cast<std::uint64_t>(labels[v]);
+  return out;
+}
+
+}  // namespace prpb::grb

@@ -1,0 +1,21 @@
+#include "grb/matrix.hpp"
+
+namespace prpb::grb {
+
+std::uint64_t Vector::nvals(double zero) const {
+  std::uint64_t count = 0;
+  for (const double x : data_) {
+    if (x != zero) ++count;
+  }
+  return count;
+}
+
+Matrix Matrix::build(const std::vector<std::uint64_t>& rows,
+                     const std::vector<std::uint64_t>& cols,
+                     const std::vector<double>& vals, std::uint64_t nrows,
+                     std::uint64_t ncols) {
+  return Matrix(sparse::CsrMatrix::from_triplets(rows, cols, vals, nrows,
+                                                 ncols));
+}
+
+}  // namespace prpb::grb

@@ -1,0 +1,64 @@
+// grb::Matrix and grb::Vector — GraphBLAS-style containers.
+//
+// Matrix wraps the CSR substrate; Vector is dense (GraphBLAS permits dense
+// vector implementations, and the pipeline's r vector is dense by nature).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::grb {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::uint64_t size, double fill = 0.0)
+      : data_(size, fill) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::uint64_t size() const { return data_.size(); }
+  [[nodiscard]] double operator[](std::uint64_t i) const { return data_[i]; }
+  double& operator[](std::uint64_t i) { return data_[i]; }
+
+  /// Number of entries different from `zero` (GraphBLAS nvals analogue).
+  [[nodiscard]] std::uint64_t nvals(double zero = 0.0) const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::uint64_t rows, std::uint64_t cols)
+      : csr_(rows, cols) {}
+  explicit Matrix(sparse::CsrMatrix csr) : csr_(std::move(csr)) {}
+
+  /// GraphBLAS build: duplicates combined with plus (GrB_Matrix_build with
+  /// GrB_PLUS as the dup operator).
+  static Matrix build(const std::vector<std::uint64_t>& rows,
+                      const std::vector<std::uint64_t>& cols,
+                      const std::vector<double>& vals, std::uint64_t nrows,
+                      std::uint64_t ncols);
+
+  [[nodiscard]] std::uint64_t nrows() const { return csr_.rows(); }
+  [[nodiscard]] std::uint64_t ncols() const { return csr_.cols(); }
+  [[nodiscard]] std::uint64_t nvals() const { return csr_.nnz(); }
+
+  [[nodiscard]] double at(std::uint64_t r, std::uint64_t c) const {
+    return csr_.at(r, c);
+  }
+
+  [[nodiscard]] const sparse::CsrMatrix& csr() const { return csr_; }
+  sparse::CsrMatrix& csr() { return csr_; }
+
+ private:
+  sparse::CsrMatrix csr_;
+};
+
+}  // namespace prpb::grb

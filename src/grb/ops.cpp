@@ -1,0 +1,151 @@
+#include "grb/ops.hpp"
+
+namespace prpb::grb {
+
+Vector apply(const Vector& u, const std::function<double(double)>& fn) {
+  Vector w(u.size());
+  for (std::uint64_t i = 0; i < u.size(); ++i) w[i] = fn(u[i]);
+  return w;
+}
+
+Matrix apply_values(const Matrix& a, const std::function<double(double)>& fn) {
+  Matrix out(a);
+  for (auto& v : out.csr().mutable_values()) v = fn(v);
+  return out;
+}
+
+Matrix select(
+    const Matrix& a,
+    const std::function<bool(std::uint64_t, std::uint64_t, double)>& pred) {
+  const auto& csr = a.csr();
+  std::vector<std::uint64_t> rows;
+  std::vector<std::uint64_t> cols;
+  std::vector<double> vals;
+  for (std::uint64_t r = 0; r < csr.rows(); ++r) {
+    for (std::uint64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+      const std::uint64_t c = csr.col_idx()[k];
+      const double v = csr.values()[k];
+      if (pred(r, c, v)) {
+        rows.push_back(r);
+        cols.push_back(c);
+        vals.push_back(v);
+      }
+    }
+  }
+  return Matrix::build(rows, cols, vals, a.nrows(), a.ncols());
+}
+
+Matrix diag(const Vector& d) {
+  std::vector<std::uint64_t> rows;
+  std::vector<std::uint64_t> cols;
+  std::vector<double> vals;
+  for (std::uint64_t i = 0; i < d.size(); ++i) {
+    if (d[i] != 0.0) {
+      rows.push_back(i);
+      cols.push_back(i);
+      vals.push_back(d[i]);
+    }
+  }
+  return Matrix::build(rows, cols, vals, d.size(), d.size());
+}
+
+Vector ewise_add(const Vector& u, const Vector& v) {
+  util::require(u.size() == v.size(), "ewise_add: size mismatch");
+  Vector w(u.size());
+  for (std::uint64_t i = 0; i < u.size(); ++i) w[i] = u[i] + v[i];
+  return w;
+}
+
+Vector ewise_mult(const Vector& u, const Vector& v) {
+  util::require(u.size() == v.size(), "ewise_mult: size mismatch");
+  Vector w(u.size());
+  for (std::uint64_t i = 0; i < u.size(); ++i) w[i] = u[i] * v[i];
+  return w;
+}
+
+Matrix transpose(const Matrix& a) { return Matrix(a.csr().transpose()); }
+
+namespace {
+/// Walks two sorted CSR rows in lockstep, emitting union or intersection.
+template <bool kUnion>
+Matrix ewise_impl(const Matrix& a, const Matrix& b,
+                  const std::function<double(double, double)>& combine) {
+  util::require(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                "ewise: shape mismatch");
+  const auto& ca = a.csr();
+  const auto& cb = b.csr();
+  std::vector<std::uint64_t> rows;
+  std::vector<std::uint64_t> cols;
+  std::vector<double> vals;
+  for (std::uint64_t r = 0; r < ca.rows(); ++r) {
+    std::uint64_t ka = ca.row_ptr()[r];
+    std::uint64_t kb = cb.row_ptr()[r];
+    const std::uint64_t ea = ca.row_ptr()[r + 1];
+    const std::uint64_t eb = cb.row_ptr()[r + 1];
+    while (ka < ea || kb < eb) {
+      const std::uint64_t col_a =
+          ka < ea ? ca.col_idx()[ka] : ~0ULL;
+      const std::uint64_t col_b =
+          kb < eb ? cb.col_idx()[kb] : ~0ULL;
+      if (col_a == col_b) {
+        rows.push_back(r);
+        cols.push_back(col_a);
+        vals.push_back(combine(ca.values()[ka], cb.values()[kb]));
+        ++ka;
+        ++kb;
+      } else if (col_a < col_b) {
+        if constexpr (kUnion) {
+          rows.push_back(r);
+          cols.push_back(col_a);
+          vals.push_back(ca.values()[ka]);
+        }
+        ++ka;
+      } else {
+        if constexpr (kUnion) {
+          rows.push_back(r);
+          cols.push_back(col_b);
+          vals.push_back(cb.values()[kb]);
+        }
+        ++kb;
+      }
+    }
+  }
+  return Matrix::build(rows, cols, vals, a.nrows(), a.ncols());
+}
+}  // namespace
+
+Matrix ewise_add(const Matrix& a, const Matrix& b,
+                 const std::function<double(double, double)>& add) {
+  return ewise_impl<true>(a, b, add);
+}
+
+Matrix ewise_add(const Matrix& a, const Matrix& b) {
+  return ewise_impl<true>(a, b, [](double x, double y) { return x + y; });
+}
+
+Matrix ewise_mult(const Matrix& a, const Matrix& b,
+                  const std::function<double(double, double)>& mul) {
+  return ewise_impl<false>(a, b, mul);
+}
+
+Matrix ewise_mult(const Matrix& a, const Matrix& b) {
+  return ewise_impl<false>(a, b, [](double x, double y) { return x * y; });
+}
+
+void assign_masked(Vector& w, const Vector& mask, double value) {
+  util::require(w.size() == mask.size(), "assign_masked: size mismatch");
+  for (std::uint64_t i = 0; i < w.size(); ++i) {
+    if (mask[i] != 0.0) w[i] = value;
+  }
+}
+
+Vector extract(const Vector& u, const std::vector<std::uint64_t>& indices) {
+  Vector w(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    util::require(indices[i] < u.size(), "extract: index out of range");
+    w[i] = u[indices[i]];
+  }
+  return w;
+}
+
+}  // namespace prpb::grb

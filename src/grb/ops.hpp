@@ -1,0 +1,195 @@
+// GraphBLAS-style operations over grb::Matrix / grb::Vector.
+//
+// Semiring-templated kernels: vxm, mxv, mxm (Gustavson), reduce (matrix →
+// vector along either axis, vector → scalar), apply (unary function on
+// values), select (keep entries satisfying a predicate on (row, col, val)),
+// and diag (diagonal matrix from a vector). These are the building blocks
+// the `graphblas` pipeline backend expresses kernels 2–3 with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+#include "grb/matrix.hpp"
+#include "grb/semiring.hpp"
+#include "util/error.hpp"
+
+namespace prpb::grb {
+
+/// w = u ·ₛ A (row vector times matrix under semiring S).
+template <typename S = PlusTimes>
+Vector vxm(const Vector& u, const Matrix& a) {
+  util::require(u.size() == a.nrows(), "vxm: dimension mismatch");
+  Vector w(a.ncols(), S::Add::identity);
+  const auto& csr = a.csr();
+  for (std::uint64_t r = 0; r < csr.rows(); ++r) {
+    const double ur = u[r];
+    if (ur == S::Add::identity && std::is_same_v<S, PlusTimes>) continue;
+    for (std::uint64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+      const std::uint64_t c = csr.col_idx()[k];
+      w[c] = S::Add::apply(w[c], S::Mul::apply(ur, csr.values()[k]));
+    }
+  }
+  return w;
+}
+
+/// w = A ·ₛ u (matrix times column vector under semiring S).
+template <typename S = PlusTimes>
+Vector mxv(const Matrix& a, const Vector& u) {
+  util::require(u.size() == a.ncols(), "mxv: dimension mismatch");
+  Vector w(a.nrows(), S::Add::identity);
+  const auto& csr = a.csr();
+  for (std::uint64_t r = 0; r < csr.rows(); ++r) {
+    double acc = S::Add::identity;
+    for (std::uint64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+      acc = S::Add::apply(
+          acc, S::Mul::apply(csr.values()[k], u[csr.col_idx()[k]]));
+    }
+    w[r] = acc;
+  }
+  return w;
+}
+
+/// C = A ·ₛ B (Gustavson row-by-row sparse matrix multiply).
+template <typename S = PlusTimes>
+Matrix mxm(const Matrix& a, const Matrix& b);
+
+/// Column reduction: w[c] = ⊕ᵣ A(r, c) — Matlab's sum(A, 1) under Plus.
+template <typename Monoid = Plus>
+Vector reduce_columns(const Matrix& a) {
+  Vector w(a.ncols(), Monoid::identity);
+  const auto& csr = a.csr();
+  for (std::uint64_t k = 0; k < csr.nnz(); ++k) {
+    const std::uint64_t c = csr.col_idx()[k];
+    w[c] = Monoid::apply(w[c], csr.values()[k]);
+  }
+  return w;
+}
+
+/// Row reduction: w[r] = ⊕꜀ A(r, c) — Matlab's sum(A, 2) under Plus.
+template <typename Monoid = Plus>
+Vector reduce_rows(const Matrix& a) {
+  Vector w(a.nrows(), Monoid::identity);
+  const auto& csr = a.csr();
+  for (std::uint64_t r = 0; r < csr.rows(); ++r) {
+    double acc = Monoid::identity;
+    for (std::uint64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k)
+      acc = Monoid::apply(acc, csr.values()[k]);
+    w[r] = acc;
+  }
+  return w;
+}
+
+/// Scalar reduction of a vector.
+template <typename Monoid = Plus>
+double reduce(const Vector& u) {
+  double acc = Monoid::identity;
+  for (std::uint64_t i = 0; i < u.size(); ++i) acc = Monoid::apply(acc, u[i]);
+  return acc;
+}
+
+/// Element-wise unary apply on a vector (dense; applied to every entry).
+Vector apply(const Vector& u, const std::function<double(double)>& fn);
+
+/// Unary apply on stored matrix entries only (structural zeros untouched).
+Matrix apply_values(const Matrix& a, const std::function<double(double)>& fn);
+
+/// Keeps stored entries where pred(row, col, value) is true.
+Matrix select(
+    const Matrix& a,
+    const std::function<bool(std::uint64_t, std::uint64_t, double)>& pred);
+
+/// Diagonal matrix with d on the diagonal (zero entries are kept structural
+/// zeros, matching GrB_Matrix_diag behaviour for implicit zeros).
+Matrix diag(const Vector& d);
+
+/// eWiseAdd / eWiseMult on dense vectors.
+Vector ewise_add(const Vector& u, const Vector& v);
+Vector ewise_mult(const Vector& u, const Vector& v);
+
+/// Masked vxm: entries of the result where mask[i] != 0 are suppressed when
+/// `complement` is false, or kept only there when `complement` is true is
+/// inverted — i.e. GraphBLAS semantics: with a (structural) mask the output
+/// is computed only where the mask is *set*; pass complement=true for
+/// GrB_COMP (computed only where the mask is *unset*, the BFS idiom).
+/// Unset positions hold the semiring's additive identity.
+template <typename S = PlusTimes>
+Vector vxm_masked(const Vector& u, const Matrix& a, const Vector& mask,
+                  bool complement = false) {
+  util::require(mask.size() == a.ncols(), "vxm_masked: mask size mismatch");
+  Vector w = vxm<S>(u, a);
+  for (std::uint64_t i = 0; i < w.size(); ++i) {
+    const bool set = mask[i] != 0.0;
+    if (set == complement) w[i] = S::Add::identity;
+  }
+  return w;
+}
+
+/// Matrix eWiseAdd: union of structures; overlapping entries combined with
+/// `add` (GraphBLAS set-union semantics — absent entries contribute
+/// nothing, NOT the identity-for-both behaviour of dense addition).
+Matrix ewise_add(const Matrix& a, const Matrix& b,
+                 const std::function<double(double, double)>& add);
+/// Plus convenience.
+Matrix ewise_add(const Matrix& a, const Matrix& b);
+
+/// Matrix eWiseMult: intersection of structures; entries present in both
+/// combined with `mul`.
+Matrix ewise_mult(const Matrix& a, const Matrix& b,
+                  const std::function<double(double, double)>& mul);
+/// Times convenience.
+Matrix ewise_mult(const Matrix& a, const Matrix& b);
+
+/// assign: w[i] = value wherever mask[i] != 0 (GrB_assign with a mask).
+void assign_masked(Vector& w, const Vector& mask, double value);
+
+/// extract: the subvector w[indices] (GrB_extract).
+Vector extract(const Vector& u, const std::vector<std::uint64_t>& indices);
+
+/// Transpose.
+Matrix transpose(const Matrix& a);
+
+// ---- template definitions ---------------------------------------------------
+
+template <typename S>
+Matrix mxm(const Matrix& a, const Matrix& b) {
+  util::require(a.ncols() == b.nrows(), "mxm: inner dimension mismatch");
+  const auto& ca = a.csr();
+  const auto& cb = b.csr();
+
+  std::vector<std::uint64_t> out_rows;
+  std::vector<std::uint64_t> out_cols;
+  std::vector<double> out_vals;
+
+  // Gustavson: accumulate row r of C in a sparse accumulator.
+  std::vector<double> acc(b.ncols(), S::Add::identity);
+  std::vector<std::uint64_t> touched;
+  std::vector<bool> seen(b.ncols(), false);
+  for (std::uint64_t r = 0; r < ca.rows(); ++r) {
+    touched.clear();
+    for (std::uint64_t ka = ca.row_ptr()[r]; ka < ca.row_ptr()[r + 1]; ++ka) {
+      const std::uint64_t mid = ca.col_idx()[ka];
+      const double va = ca.values()[ka];
+      for (std::uint64_t kb = cb.row_ptr()[mid]; kb < cb.row_ptr()[mid + 1];
+           ++kb) {
+        const std::uint64_t c = cb.col_idx()[kb];
+        if (!seen[c]) {
+          seen[c] = true;
+          touched.push_back(c);
+          acc[c] = S::Add::identity;
+        }
+        acc[c] = S::Add::apply(acc[c], S::Mul::apply(va, cb.values()[kb]));
+      }
+    }
+    for (const std::uint64_t c : touched) {
+      out_rows.push_back(r);
+      out_cols.push_back(c);
+      out_vals.push_back(acc[c]);
+      seen[c] = false;
+    }
+  }
+  return Matrix::build(out_rows, out_cols, out_vals, a.nrows(), b.ncols());
+}
+
+}  // namespace prpb::grb

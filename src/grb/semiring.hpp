@@ -1,0 +1,70 @@
+// Semiring algebra for the mini-GraphBLAS layer.
+//
+// The paper: "The linear algebraic nature of PageRank makes it well suited to
+// being implemented using the GraphBLAS standard." This header defines the
+// monoids and semirings the grb operations are parameterized over. Only the
+// plus-times semiring is needed for the pipeline itself; min-plus and or-and
+// are provided because any credible GraphBLAS subset supports them (and the
+// test suite exercises BFS/shortest-path style reductions with them).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace prpb::grb {
+
+// ---- binary operators -------------------------------------------------------
+
+struct Plus {
+  static constexpr double identity = 0.0;
+  static constexpr double apply(double a, double b) { return a + b; }
+};
+
+struct Times {
+  static constexpr double identity = 1.0;
+  static constexpr double apply(double a, double b) { return a * b; }
+};
+
+struct Min {
+  static constexpr double identity = std::numeric_limits<double>::infinity();
+  static constexpr double apply(double a, double b) { return std::min(a, b); }
+};
+
+struct Max {
+  static constexpr double identity =
+      -std::numeric_limits<double>::infinity();
+  static constexpr double apply(double a, double b) { return std::max(a, b); }
+};
+
+/// Logical OR over {0, 1}-valued doubles.
+struct LogicalOr {
+  static constexpr double identity = 0.0;
+  static constexpr double apply(double a, double b) {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// Logical AND over {0, 1}-valued doubles.
+struct LogicalAnd {
+  static constexpr double identity = 1.0;
+  static constexpr double apply(double a, double b) {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+// ---- semirings --------------------------------------------------------------
+
+/// A semiring pairs an additive monoid with a multiplicative operator.
+/// `AddMonoid::identity` is the implied value of structural zeros.
+template <typename AddMonoid, typename MulOp>
+struct Semiring {
+  using Add = AddMonoid;
+  using Mul = MulOp;
+};
+
+using PlusTimes = Semiring<Plus, Times>;   ///< classic linear algebra
+using MinPlus = Semiring<Min, Plus>;       ///< shortest paths
+using MaxTimes = Semiring<Max, Times>;     ///< max-probability paths
+using OrAnd = Semiring<LogicalOr, LogicalAnd>;  ///< reachability / BFS
+
+}  // namespace prpb::grb

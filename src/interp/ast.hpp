@@ -1,0 +1,55 @@
+// Abstract syntax tree for arraylang.
+//
+// Statements:  assignment, expression, for-loop, if/else, while-loop
+// Expressions: number, string, variable, binary op, call, range (a:b),
+//              index (x(i) reads; assignment targets may be plain names or
+//              calls whose callee is a variable — resolved at evaluation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prpb::interp {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Expr {
+  enum class Kind { kNumber, kString, kVariable, kBinary, kCall, kRange };
+  Kind kind = Kind::kNumber;
+
+  double number = 0.0;          // kNumber
+  std::string text;             // kString literal / kVariable name /
+                                // kCall callee name
+  BinOp op = BinOp::kAdd;       // kBinary
+  ExprPtr lhs, rhs;             // kBinary, kRange (lhs:rhs)
+  std::vector<ExprPtr> args;    // kCall
+  std::size_t line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kAssign, kExpr, kFor, kIf, kWhile, kFuncDef, kReturn };
+  Kind kind = Kind::kExpr;
+
+  std::string target;           // kAssign / kFor loop variable /
+                                // kFuncDef function name
+  ExprPtr value;                // kAssign rhs, kExpr, kFor range, kIf/kWhile
+                                // condition, kReturn value
+  std::vector<StmtPtr> body;    // kFor / kIf / kWhile / kFuncDef
+  std::vector<StmtPtr> orelse;  // kIf else branch
+  std::vector<std::string> params;  // kFuncDef parameter names
+  std::size_t line = 0;
+};
+
+using Program = std::vector<StmtPtr>;
+
+}  // namespace prpb::interp

@@ -1,0 +1,117 @@
+#include "interp/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace prpb::interp {
+
+namespace {
+bool is_ident_start(char ch) {
+  return std::isalpha(static_cast<unsigned char>(ch)) != 0 || ch == '_';
+}
+bool is_ident_char(char ch) {
+  return is_ident_start(ch) ||
+         std::isdigit(static_cast<unsigned char>(ch)) != 0;
+}
+bool is_keyword(std::string_view word) {
+  return word == "for" || word == "end" || word == "if" || word == "else" ||
+         word == "while" || word == "function" || word == "return";
+}
+
+[[noreturn]] void lex_error(std::size_t line, const std::string& msg) {
+  throw util::Error("arraylang lex error (line " + std::to_string(line) +
+                    "): " + msg);
+}
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  auto push = [&](TokenKind kind, std::string text, double number = 0.0) {
+    tokens.push_back(Token{kind, std::move(text), number, line});
+  };
+
+  while (pos < source.size()) {
+    const char ch = source[pos];
+    if (ch == '%') {  // comment to end of line
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    if (ch == '\n' || ch == ';') {
+      // collapse runs of separators into one statement break
+      if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline) {
+        push(TokenKind::kNewline, "\\n");
+      }
+      if (ch == '\n') ++line;
+      ++pos;
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      ++pos;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && pos + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[pos + 1])) != 0)) {
+      const char* first = source.data() + pos;
+      const char* last = source.data() + source.size();
+      double number = 0.0;
+      const auto [ptr, ec] = std::from_chars(first, last, number);
+      if (ec != std::errc{}) lex_error(line, "bad numeric literal");
+      push(TokenKind::kNumber, std::string(first, ptr), number);
+      pos += static_cast<std::size_t>(ptr - first);
+      continue;
+    }
+    if (is_ident_start(ch)) {
+      std::size_t start = pos;
+      while (pos < source.size() && is_ident_char(source[pos])) ++pos;
+      std::string word(source.substr(start, pos - start));
+      const TokenKind kind =
+          is_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      push(kind, std::move(word));
+      continue;
+    }
+    if (ch == '\'') {
+      std::size_t start = ++pos;
+      while (pos < source.size() && source[pos] != '\'') {
+        if (source[pos] == '\n') lex_error(line, "unterminated string");
+        ++pos;
+      }
+      if (pos >= source.size()) lex_error(line, "unterminated string");
+      push(TokenKind::kString, std::string(source.substr(start, pos - start)));
+      ++pos;  // closing quote
+      continue;
+    }
+    // operators; two-character first
+    const std::string_view rest = source.substr(pos);
+    static constexpr std::string_view kTwoChar[] = {"==", "~=", "<=", ">=",
+                                                    ".*", "./"};
+    bool matched = false;
+    for (const auto op : kTwoChar) {
+      if (rest.substr(0, 2) == op) {
+        // .* and ./ are Matlab elementwise spellings; arraylang treats them
+        // the same as * and /.
+        push(TokenKind::kOperator,
+             op == ".*" ? "*" : (op == "./" ? "/" : std::string(op)));
+        pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "+-*/<>=:,()[]";
+    if (kOneChar.find(ch) != std::string_view::npos) {
+      push(TokenKind::kOperator, std::string(1, ch));
+      ++pos;
+      continue;
+    }
+    lex_error(line, std::string("unexpected character '") + ch + "'");
+  }
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace prpb::interp

@@ -1,0 +1,36 @@
+// Tokenizer for arraylang. Matlab-flavoured surface syntax:
+//   numbers, identifiers, 'single-quoted strings', operators
+//   + - * / == ~= < <= > >= = ( ) [ ] , ; : newline
+//   keywords: for, end, if, else, while, function? (subset: for/end/if/else)
+//   comments: % to end of line
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prpb::interp {
+
+enum class TokenKind {
+  kNumber,
+  kIdentifier,
+  kString,
+  kOperator,   // one of + - * / == ~= < <= > >= = : , ( ) [ ]
+  kKeyword,    // for end if else while function return
+  kNewline,    // statement separator (newline or ';')
+  kEnd,        // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // lexeme (identifier name, operator spelling, ...)
+  double number = 0.0;   // valid when kind == kNumber
+  std::size_t line = 0;  // 1-based source line for diagnostics
+};
+
+/// Tokenizes a full program. Throws util::Error with a line number on
+/// unrecognized characters or unterminated strings.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace prpb::interp

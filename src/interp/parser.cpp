@@ -1,0 +1,312 @@
+#include "interp/parser.hpp"
+
+#include "interp/lexer.hpp"
+#include "util/error.hpp"
+
+namespace prpb::interp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    skip_newlines();
+    while (!at(TokenKind::kEnd)) {
+      program.push_back(parse_statement());
+      expect_statement_break();
+    }
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  [[nodiscard]] bool at_operator(std::string_view op) const {
+    return peek().kind == TokenKind::kOperator && peek().text == op;
+  }
+  [[nodiscard]] bool at_keyword(std::string_view word) const {
+    return peek().kind == TokenKind::kKeyword && peek().text == word;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw util::Error("arraylang parse error (line " +
+                      std::to_string(peek().line) + "): " + msg +
+                      " near '" + peek().text + "'");
+  }
+
+  void expect_operator(std::string_view op) {
+    if (!at_operator(op)) fail("expected '" + std::string(op) + "'");
+    advance();
+  }
+
+  void expect_keyword(std::string_view word) {
+    if (!at_keyword(word)) fail("expected '" + std::string(word) + "'");
+    advance();
+  }
+
+  void skip_newlines() {
+    while (at(TokenKind::kNewline)) advance();
+  }
+
+  void expect_statement_break() {
+    if (at(TokenKind::kEnd)) return;
+    if (!at(TokenKind::kNewline)) fail("expected end of statement");
+    skip_newlines();
+  }
+
+  std::vector<StmtPtr> parse_block(bool allow_else, bool* saw_else) {
+    std::vector<StmtPtr> body;
+    skip_newlines();
+    for (;;) {
+      if (at_keyword("end")) {
+        advance();
+        if (saw_else != nullptr) *saw_else = false;
+        return body;
+      }
+      if (allow_else && at_keyword("else")) {
+        advance();
+        *saw_else = true;
+        return body;
+      }
+      if (at(TokenKind::kEnd)) fail("unterminated block (missing 'end')");
+      body.push_back(parse_statement());
+      expect_statement_break();
+    }
+  }
+
+  StmtPtr parse_statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+
+    if (at_keyword("for")) {
+      advance();
+      stmt->kind = Stmt::Kind::kFor;
+      if (!at(TokenKind::kIdentifier)) fail("expected loop variable");
+      stmt->target = advance().text;
+      expect_operator("=");
+      stmt->value = parse_expression();
+      expect_statement_break();
+      stmt->body = parse_block(false, nullptr);
+      return stmt;
+    }
+    if (at_keyword("while")) {
+      advance();
+      stmt->kind = Stmt::Kind::kWhile;
+      stmt->value = parse_expression();
+      expect_statement_break();
+      stmt->body = parse_block(false, nullptr);
+      return stmt;
+    }
+    if (at_keyword("function")) {
+      advance();
+      stmt->kind = Stmt::Kind::kFuncDef;
+      if (!at(TokenKind::kIdentifier)) fail("expected function name");
+      stmt->target = advance().text;
+      expect_operator("(");
+      if (!at_operator(")")) {
+        for (;;) {
+          if (!at(TokenKind::kIdentifier)) fail("expected parameter name");
+          stmt->params.push_back(advance().text);
+          if (!at_operator(",")) break;
+          advance();
+        }
+      }
+      expect_operator(")");
+      expect_statement_break();
+      stmt->body = parse_block(false, nullptr);
+      return stmt;
+    }
+    if (at_keyword("return")) {
+      advance();
+      stmt->kind = Stmt::Kind::kReturn;
+      stmt->value = parse_expression();
+      return stmt;
+    }
+    if (at_keyword("if")) {
+      advance();
+      stmt->kind = Stmt::Kind::kIf;
+      stmt->value = parse_expression();
+      expect_statement_break();
+      bool saw_else = false;
+      stmt->body = parse_block(true, &saw_else);
+      if (saw_else) {
+        skip_newlines();
+        stmt->orelse = parse_block(false, nullptr);
+      }
+      return stmt;
+    }
+
+    // assignment or bare expression: lookahead for IDENT '='
+    if (at(TokenKind::kIdentifier) &&
+        tokens_[pos_ + 1].kind == TokenKind::kOperator &&
+        tokens_[pos_ + 1].text == "=") {
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->target = advance().text;
+      advance();  // '='
+      stmt->value = parse_expression();
+      return stmt;
+    }
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->value = parse_expression();
+    return stmt;
+  }
+
+  // precedence (loosest first): range ':' < comparison < additive < mult
+  ExprPtr parse_expression() { return parse_range(); }
+
+  ExprPtr parse_range() {
+    ExprPtr lhs = parse_comparison();
+    if (at_operator(":")) {
+      const std::size_t line = peek().line;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kRange;
+      node->line = line;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_comparison();
+      return node;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    for (;;) {
+      BinOp op;
+      if (at_operator("==")) op = BinOp::kEq;
+      else if (at_operator("~=")) op = BinOp::kNe;
+      else if (at_operator("<")) op = BinOp::kLt;
+      else if (at_operator("<=")) op = BinOp::kLe;
+      else if (at_operator(">")) op = BinOp::kGt;
+      else if (at_operator(">=")) op = BinOp::kGe;
+      else return lhs;
+      const std::size_t line = peek().line;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = line;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_additive();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    for (;;) {
+      BinOp op;
+      if (at_operator("+")) op = BinOp::kAdd;
+      else if (at_operator("-")) op = BinOp::kSub;
+      else return lhs;
+      const std::size_t line = peek().line;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = line;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_multiplicative();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      BinOp op;
+      if (at_operator("*")) op = BinOp::kMul;
+      else if (at_operator("/")) op = BinOp::kDiv;
+      else return lhs;
+      const std::size_t line = peek().line;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = line;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (at_operator("-")) {
+      const std::size_t line = peek().line;
+      advance();
+      // desugar to (0 - x)
+      auto zero = std::make_unique<Expr>();
+      zero->kind = Expr::Kind::kNumber;
+      zero->number = 0.0;
+      zero->line = line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = BinOp::kSub;
+      node->line = line;
+      node->lhs = std::move(zero);
+      node->rhs = parse_unary();
+      return node;
+    }
+    if (at_operator("+")) {
+      advance();
+      return parse_unary();
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = peek().line;
+    if (at(TokenKind::kNumber)) {
+      node->kind = Expr::Kind::kNumber;
+      node->number = advance().number;
+      return node;
+    }
+    if (at(TokenKind::kString)) {
+      node->kind = Expr::Kind::kString;
+      node->text = advance().text;
+      return node;
+    }
+    if (at_operator("(")) {
+      advance();
+      ExprPtr inner = parse_expression();
+      expect_operator(")");
+      return inner;
+    }
+    if (at(TokenKind::kIdentifier)) {
+      node->text = advance().text;
+      if (at_operator("(")) {
+        advance();
+        node->kind = Expr::Kind::kCall;
+        if (!at_operator(")")) {
+          node->args.push_back(parse_expression());
+          while (at_operator(",")) {
+            advance();
+            node->args.push_back(parse_expression());
+          }
+        }
+        expect_operator(")");
+        return node;
+      }
+      node->kind = Expr::Kind::kVariable;
+      return node;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_program();
+}
+
+}  // namespace prpb::interp

@@ -1,0 +1,13 @@
+// Recursive-descent parser for arraylang.
+#pragma once
+
+#include <string_view>
+
+#include "interp/ast.hpp"
+
+namespace prpb::interp {
+
+/// Parses a full program. Throws util::Error with line info on syntax errors.
+Program parse(std::string_view source);
+
+}  // namespace prpb::interp

@@ -1,0 +1,67 @@
+#include "interp/value.hpp"
+
+#include "util/error.hpp"
+
+namespace prpb::interp {
+
+namespace {
+[[noreturn]] void type_error(const char* wanted, const char* got) {
+  throw util::Error(std::string("arraylang type error: expected ") + wanted +
+                    ", got " + got);
+}
+}  // namespace
+
+double Value::scalar() const {
+  if (!is_scalar()) type_error("scalar", type_name());
+  return std::get<double>(data_);
+}
+
+const Array& Value::array() const {
+  if (!is_array()) type_error("array", type_name());
+  return *std::get<std::shared_ptr<Array>>(data_);
+}
+
+const sparse::CsrMatrix& Value::matrix() const {
+  if (!is_matrix()) type_error("matrix", type_name());
+  return *std::get<std::shared_ptr<sparse::CsrMatrix>>(data_);
+}
+
+const std::string& Value::str() const {
+  if (!is_string()) type_error("string", type_name());
+  return *std::get<std::shared_ptr<std::string>>(data_);
+}
+
+Array& Value::mutable_array() {
+  if (!is_array()) type_error("array", type_name());
+  auto& ptr = std::get<std::shared_ptr<Array>>(data_);
+  if (ptr.use_count() > 1) ptr = std::make_shared<Array>(*ptr);
+  return *ptr;
+}
+
+sparse::CsrMatrix& Value::mutable_matrix() {
+  if (!is_matrix()) type_error("matrix", type_name());
+  auto& ptr = std::get<std::shared_ptr<sparse::CsrMatrix>>(data_);
+  if (ptr.use_count() > 1) ptr = std::make_shared<sparse::CsrMatrix>(*ptr);
+  return *ptr;
+}
+
+bool Value::truthy() const {
+  if (is_scalar()) return scalar() != 0.0;
+  if (is_array()) {
+    for (const double x : array()) {
+      if (x == 0.0) return false;
+    }
+    return !array().empty();
+  }
+  if (is_string()) return !str().empty();
+  return matrix().nnz() > 0;
+}
+
+const char* Value::type_name() const {
+  if (is_scalar()) return "scalar";
+  if (is_array()) return "array";
+  if (is_matrix()) return "matrix";
+  return "string";
+}
+
+}  // namespace prpb::interp

@@ -1,0 +1,73 @@
+// Dynamic value model of the PRPB array language ("arraylang").
+//
+// arraylang is a small Matlab/Octave-flavoured vectorized language: scalars,
+// dense 1-D arrays, sparse matrices, and strings, with dynamic dispatch on
+// every operation. The pipeline's arraylang backend executes the paper's
+// Matlab reference statements through this interpreter, reproducing the
+// cost profile of an interpreted stack (vectorized primitives are near
+// native speed; everything else pays boxing and dispatch).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::interp {
+
+using Array = std::vector<double>;
+
+/// Boxed dynamic value. Arrays, matrices, and strings are heap-allocated and
+/// reference counted — deliberately interpreter-shaped.
+class Value {
+ public:
+  Value() : data_(0.0) {}
+  /*implicit*/ Value(double scalar) : data_(scalar) {}
+  /*implicit*/ Value(Array array)
+      : data_(std::make_shared<Array>(std::move(array))) {}
+  /*implicit*/ Value(sparse::CsrMatrix matrix)
+      : data_(std::make_shared<sparse::CsrMatrix>(std::move(matrix))) {}
+  /*implicit*/ Value(std::string text)
+      : data_(std::make_shared<std::string>(std::move(text))) {}
+
+  [[nodiscard]] bool is_scalar() const {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<Array>>(data_);
+  }
+  [[nodiscard]] bool is_matrix() const {
+    return std::holds_alternative<std::shared_ptr<sparse::CsrMatrix>>(data_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::shared_ptr<std::string>>(data_);
+  }
+
+  /// Accessors throw util::Error with a type message on mismatch.
+  [[nodiscard]] double scalar() const;
+  [[nodiscard]] const Array& array() const;
+  [[nodiscard]] const sparse::CsrMatrix& matrix() const;
+  [[nodiscard]] const std::string& str() const;
+
+  /// Mutable access with copy-on-write (unshares the payload first).
+  Array& mutable_array();
+  sparse::CsrMatrix& mutable_matrix();
+
+  /// Scalar truthiness; arrays are truthy when all entries are nonzero
+  /// (Matlab semantics for `if`).
+  [[nodiscard]] bool truthy() const;
+
+  /// Type name for diagnostics: "scalar" | "array" | "matrix" | "string".
+  [[nodiscard]] const char* type_name() const;
+
+ private:
+  std::variant<double, std::shared_ptr<Array>,
+               std::shared_ptr<sparse::CsrMatrix>,
+               std::shared_ptr<std::string>>
+      data_;
+};
+
+}  // namespace prpb::interp

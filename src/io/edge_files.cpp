@@ -1,0 +1,155 @@
+#include "io/edge_files.hpp"
+
+#include <cinttypes>
+
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+
+namespace fs = std::filesystem;
+
+fs::path shard_path(const fs::path& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "edges_%05zu.tsv", index);
+  return dir / name;
+}
+
+std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
+                                            std::size_t shards) {
+  util::require(shards >= 1, "shard_boundaries: shards must be >= 1");
+  std::vector<std::uint64_t> bounds(shards + 1);
+  for (std::size_t i = 0; i <= shards; ++i) {
+    bounds[i] = total * i / shards;
+  }
+  return bounds;
+}
+
+namespace {
+constexpr std::size_t kBatchEdges = 1 << 16;
+
+std::uint64_t write_edges_impl(
+    const fs::path& dir, std::size_t shards, Codec codec,
+    std::uint64_t total,
+    const std::function<void(std::uint64_t, std::uint64_t, gen::EdgeList&)>&
+        producer) {
+  util::ensure_dir(dir);
+  util::clear_dir(dir);
+  const auto bounds = shard_boundaries(total, shards);
+  std::uint64_t bytes = 0;
+  gen::EdgeList batch;
+  for (std::size_t s = 0; s < shards; ++s) {
+    FileWriter writer(shard_path(dir, s));
+    for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1];
+         lo += kBatchEdges) {
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(bounds[s + 1], lo + kBatchEdges);
+      batch.clear();
+      producer(lo, hi, batch);
+      for (const auto& edge : batch) {
+        append_edge(writer.buffer(), edge, codec);
+      }
+      writer.maybe_flush();
+    }
+    writer.close();
+    bytes += writer.bytes_written();
+  }
+  return bytes;
+}
+}  // namespace
+
+std::uint64_t write_generated_edges(const gen::EdgeGenerator& generator,
+                                    const fs::path& dir, std::size_t shards,
+                                    Codec codec) {
+  return write_edges_impl(
+      dir, shards, codec, generator.num_edges(),
+      [&generator](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
+        generator.generate_range(lo, hi, out);
+      });
+}
+
+std::uint64_t write_edge_list(const gen::EdgeList& edges, const fs::path& dir,
+                              std::size_t shards, Codec codec) {
+  return write_edges_impl(
+      dir, shards, codec, edges.size(),
+      [&edges](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
+        out.insert(out.end(), edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                   edges.begin() + static_cast<std::ptrdiff_t>(hi));
+      });
+}
+
+gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
+  gen::EdgeList edges;
+  FileReader reader(path);
+  std::string carry;
+  for (;;) {
+    const auto chunk = reader.read_chunk();
+    if (chunk.empty()) break;
+    if (carry.empty()) {
+      const std::size_t consumed = parse_edges(chunk, edges, codec);
+      carry.assign(chunk.substr(consumed));
+    } else {
+      carry.append(chunk);
+      const std::size_t consumed = parse_edges(carry, edges, codec);
+      carry.erase(0, consumed);
+    }
+  }
+  util::io_require(carry.empty(),
+                   "edge file does not end with a newline-terminated record: " +
+                       path.string());
+  return edges;
+}
+
+gen::EdgeList read_all_edges(const fs::path& dir, Codec codec) {
+  gen::EdgeList edges;
+  for (const auto& file : util::list_files_sorted(dir)) {
+    auto part = read_edge_file(file, codec);
+    edges.insert(edges.end(), part.begin(), part.end());
+  }
+  return edges;
+}
+
+void stream_all_edges(const fs::path& dir, Codec codec,
+                      const std::function<void(const gen::EdgeList&)>& sink) {
+  gen::EdgeList batch;
+  for (const auto& file : util::list_files_sorted(dir)) {
+    FileReader reader(file);
+    std::string carry;
+    for (;;) {
+      const auto chunk = reader.read_chunk();
+      if (chunk.empty()) break;
+      batch.clear();
+      if (carry.empty()) {
+        const std::size_t consumed = parse_edges(chunk, batch, codec);
+        carry.assign(chunk.substr(consumed));
+      } else {
+        carry.append(chunk);
+        const std::size_t consumed = parse_edges(carry, batch, codec);
+        carry.erase(0, consumed);
+      }
+      if (!batch.empty()) sink(batch);
+    }
+    util::io_require(carry.empty(),
+                     "edge file does not end with a newline-terminated "
+                     "record: " +
+                         file.string());
+  }
+}
+
+std::uint64_t count_edges(const fs::path& dir) {
+  std::uint64_t total = 0;
+  for (const auto& file : util::list_files_sorted(dir)) {
+    FileReader reader(file);
+    for (;;) {
+      const auto chunk = reader.read_chunk();
+      if (chunk.empty()) break;
+      for (const char ch : chunk) {
+        if (ch == '\n') ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace prpb::io

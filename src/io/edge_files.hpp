@@ -1,0 +1,51 @@
+// Sharded edge-file stages. Each pipeline kernel reads a directory of TSV
+// shard files and writes another; "the number of files is a free parameter"
+// (paper §IV.A), so the shard count is part of the stage layout.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+#include "gen/edge.hpp"
+#include "gen/generator.hpp"
+#include "io/tsv.hpp"
+
+namespace prpb::io {
+
+/// Naming scheme for shard i of a stage directory.
+std::filesystem::path shard_path(const std::filesystem::path& dir,
+                                 std::size_t index);
+
+/// Splits `total` items into `shards` near-equal contiguous ranges.
+/// Returns shard boundaries of size shards+1 (first 0, last total).
+std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
+                                            std::size_t shards);
+
+/// Writes all edges of `generator` into `shards` TSV files under `dir`
+/// (created if needed, cleared of stale shards first). Returns bytes written.
+std::uint64_t write_generated_edges(const gen::EdgeGenerator& generator,
+                                    const std::filesystem::path& dir,
+                                    std::size_t shards, Codec codec);
+
+/// Writes an in-memory edge list into `shards` TSV files under `dir`.
+std::uint64_t write_edge_list(const gen::EdgeList& edges,
+                              const std::filesystem::path& dir,
+                              std::size_t shards, Codec codec);
+
+/// Reads one TSV shard fully.
+gen::EdgeList read_edge_file(const std::filesystem::path& path, Codec codec);
+
+/// Reads every shard in `dir` (lexicographic file order) into one list.
+gen::EdgeList read_all_edges(const std::filesystem::path& dir, Codec codec);
+
+/// Streams edges from every shard in `dir` in file order, invoking `sink`
+/// with batches. Bounded memory regardless of stage size.
+void stream_all_edges(const std::filesystem::path& dir, Codec codec,
+                      const std::function<void(const gen::EdgeList&)>& sink);
+
+/// Number of edges in the stage (counts newline-delimited records).
+std::uint64_t count_edges(const std::filesystem::path& dir);
+
+}  // namespace prpb::io

@@ -1,0 +1,37 @@
+// Matrix Market (.mtx) import/export for sparse matrices and edge lists —
+// the standard interchange format of the sparse-linear-algebra world, so
+// PRPB pipelines can consume external graphs and external tools can consume
+// kernel-2 matrices.
+//
+// Supported flavour: "%%MatrixMarket matrix coordinate real|integer|pattern
+// general". Indices are 1-based in the file per the spec.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "gen/edge.hpp"
+#include "sparse/csr.hpp"
+
+namespace prpb::io {
+
+/// Writes A in coordinate/real/general format.
+void write_matrix_market(const sparse::CsrMatrix& a,
+                         const std::filesystem::path& path);
+
+/// Reads a coordinate-format file (real, integer, or pattern; general
+/// symmetry only). Duplicate entries accumulate. Throws IoError on
+/// malformed input.
+sparse::CsrMatrix read_matrix_market(const std::filesystem::path& path);
+
+/// Writes an edge list as a pattern matrix over n x n.
+void write_matrix_market_edges(const gen::EdgeList& edges, std::uint64_t n,
+                               const std::filesystem::path& path);
+
+/// Reads any supported .mtx into an edge list (entry -> edge, values
+/// dropped; duplicates preserved as written).
+gen::EdgeList read_matrix_market_edges(const std::filesystem::path& path,
+                                       std::uint64_t* rows = nullptr,
+                                       std::uint64_t* cols = nullptr);
+
+}  // namespace prpb::io

@@ -1,0 +1,62 @@
+#include "io/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+
+MmapFile::MmapFile(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  util::io_require(fd >= 0, "mmap: cannot open " + path.string());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw util::IoError("mmap: fstat failed for " + path.string());
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // Zero-length mappings are invalid; represent the empty file directly.
+    ::close(fd);
+    data_ = nullptr;
+    return;
+  }
+  data_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (data_ == MAP_FAILED) {
+    data_ = nullptr;
+    throw util::IoError("mmap: mapping failed for " + path.string());
+  }
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+gen::EdgeList read_edge_file_mmap(const std::filesystem::path& path,
+                                  Codec codec) {
+  const MmapFile file(path);
+  gen::EdgeList edges;
+  const std::size_t consumed = parse_edges(file.view(), edges, codec);
+  util::io_require(consumed == file.size(),
+                   "mmap edge file does not end with a newline-terminated "
+                   "record: " +
+                       path.string());
+  return edges;
+}
+
+gen::EdgeList read_all_edges_mmap(const std::filesystem::path& dir,
+                                  Codec codec) {
+  gen::EdgeList edges;
+  for (const auto& file : util::list_files_sorted(dir)) {
+    auto part = read_edge_file_mmap(file, codec);
+    edges.insert(edges.end(), part.begin(), part.end());
+  }
+  return edges;
+}
+
+}  // namespace prpb::io

@@ -1,0 +1,44 @@
+// Memory-mapped read path — the alternative to buffered fread for kernel
+// 1/2 input. On a warm page cache mapping avoids one copy per byte; the
+// bench_ablation_io binary quantifies the difference, informing the "big
+// data systems stress the parts of a system that intensively store and move
+// data" discussion of the paper.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string_view>
+
+#include "gen/edge.hpp"
+#include "io/tsv.hpp"
+
+namespace prpb::io {
+
+/// RAII read-only memory mapping of a whole file.
+class MmapFile {
+ public:
+  explicit MmapFile(const std::filesystem::path& path);
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  /// Entire file contents. Valid for the lifetime of this object.
+  [[nodiscard]] std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Reads one TSV shard through a memory mapping.
+gen::EdgeList read_edge_file_mmap(const std::filesystem::path& path,
+                                  Codec codec = Codec::kFast);
+
+/// Reads every shard in a stage directory through memory mappings.
+gen::EdgeList read_all_edges_mmap(const std::filesystem::path& dir,
+                                  Codec codec = Codec::kFast);
+
+}  // namespace prpb::io

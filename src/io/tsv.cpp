@@ -1,0 +1,99 @@
+#include "io/tsv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace prpb::io {
+
+void append_edge_fast(std::string& out, const gen::Edge& edge) {
+  util::append_u64(out, edge.u);
+  out.push_back('\t');
+  util::append_u64(out, edge.v);
+  out.push_back('\n');
+}
+
+void append_edge_generic(std::string& out, const gen::Edge& edge) {
+  // Deliberate generic path: ostringstream + locale-aware formatting.
+  std::ostringstream os;
+  os << edge.u << '\t' << edge.v << '\n';
+  out += os.str();
+}
+
+void append_edge(std::string& out, const gen::Edge& edge, Codec codec) {
+  if (codec == Codec::kFast) {
+    append_edge_fast(out, edge);
+  } else {
+    append_edge_generic(out, edge);
+  }
+}
+
+namespace {
+[[noreturn]] void bad_line(std::string_view line) {
+  std::string snippet(line.substr(0, 64));
+  throw util::IoError("malformed edge line: '" + snippet + "'");
+}
+}  // namespace
+
+std::size_t parse_edges_fast(std::string_view text, gen::EdgeList& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) break;  // partial line: stop
+    std::string_view line = util::strip_cr(text.substr(pos, eol - pos));
+    if (!line.empty()) {
+      std::size_t cursor = 0;
+      const auto u = util::parse_u64(line, cursor);
+      if (!u || cursor >= line.size() || line[cursor] != '\t') bad_line(line);
+      ++cursor;
+      const auto v = util::parse_u64(line, cursor);
+      if (!v || cursor != line.size()) bad_line(line);
+      out.push_back(gen::Edge{*u, *v});
+    }
+    pos = eol + 1;
+  }
+  return pos;
+}
+
+std::size_t parse_edges_generic(std::string_view text, gen::EdgeList& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) break;
+    std::string_view line = util::strip_cr(text.substr(pos, eol - pos));
+    if (!line.empty()) {
+      // Generic path: split on the tab, materialize field strings, and run
+      // stream extraction on each.
+      const auto fields = util::split_tab(line);
+      if (!fields) bad_line(line);
+      unsigned long long u = 0;
+      unsigned long long v = 0;
+      std::string rest;
+      std::istringstream us{std::string(fields->first)};
+      if (!(us >> u) || (us >> rest)) bad_line(line);
+      std::istringstream vs{std::string(fields->second)};
+      if (!(vs >> v) || (vs >> rest)) bad_line(line);
+      out.push_back(gen::Edge{u, v});
+    }
+    pos = eol + 1;
+  }
+  return pos;
+}
+
+std::size_t parse_edges(std::string_view text, gen::EdgeList& out,
+                        Codec codec) {
+  return codec == Codec::kFast ? parse_edges_fast(text, out)
+                               : parse_edges_generic(text, out);
+}
+
+gen::Edge parse_edge_line(std::string_view line, Codec codec) {
+  gen::EdgeList one;
+  std::string with_newline(line);
+  with_newline.push_back('\n');
+  const std::size_t consumed = parse_edges(with_newline, one, codec);
+  if (one.size() != 1 || consumed != with_newline.size()) bad_line(line);
+  return one.front();
+}
+
+}  // namespace prpb::io

@@ -1,0 +1,46 @@
+// TSV edge codecs. Kernel 0/1 files are "pairs of tab separated numeric
+// strings with a newline between each edge" (paper §IV.A).
+//
+// Two codecs are provided:
+//  * fast    — hand-rolled digit parsing/formatting; what a tuned C++
+//              implementation uses (the `native` backend).
+//  * generic — iostream/locale-based conversion; deliberately the kind of
+//              string path an interpreted stack pays for, used by the
+//              `arraylang` and `dataframe` backends to keep their I/O cost
+//              profile honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gen/edge.hpp"
+
+namespace prpb::io {
+
+enum class Codec { kFast, kGeneric };
+
+/// Appends "u\tv\n" using the fast digit formatter.
+void append_edge_fast(std::string& out, const gen::Edge& edge);
+
+/// Appends "u\tv\n" using generic stream formatting.
+void append_edge_generic(std::string& out, const gen::Edge& edge);
+
+void append_edge(std::string& out, const gen::Edge& edge, Codec codec);
+
+/// Parses every complete "u\tv\n" line in `text` and appends to `out`.
+/// Returns the number of bytes consumed (always ends at a line boundary;
+/// a trailing partial line is left unconsumed for the caller to carry over).
+/// Throws IoError on malformed lines.
+std::size_t parse_edges_fast(std::string_view text, gen::EdgeList& out);
+
+/// Same contract as parse_edges_fast but via generic string conversion.
+std::size_t parse_edges_generic(std::string_view text, gen::EdgeList& out);
+
+std::size_t parse_edges(std::string_view text, gen::EdgeList& out,
+                        Codec codec);
+
+/// Parses one full line "u\tv" (no newline). Throws IoError when malformed.
+gen::Edge parse_edge_line(std::string_view line, Codec codec);
+
+}  // namespace prpb::io

@@ -1,0 +1,38 @@
+// Crossover analysis: the scale thresholds the hardware model predicts —
+// where kernel 1 must go out-of-core, where a kernel flips from
+// software-bound to I/O-bound, and what problem size fits the paper's
+// "~25% of available RAM" target-scale rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/hardware.hpp"
+#include "model/predict.hpp"
+
+namespace prpb::model {
+
+/// Largest scale whose in-memory kernel-1 sort (2 copies of 16-byte edges)
+/// fits within `ram_bytes`. Returns 0 when even scale 1 does not fit.
+int max_in_memory_sort_scale(std::uint64_t ram_bytes, int edge_factor = 16);
+
+/// The paper's target-scale rule: the largest S whose edge data
+/// (16 bytes/edge) consumes at most `fraction` of `ram_bytes`.
+int target_scale_for_ram(std::uint64_t ram_bytes, double fraction = 0.25,
+                         int edge_factor = 16);
+
+/// Dominant predicted cost term of a kernel at one scale.
+enum class CostTerm { kIo, kCompute, kSoftware };
+CostTerm dominant_term(const KernelPrediction& prediction);
+const char* cost_term_name(CostTerm term);
+
+/// First scale in [min_scale, max_scale] at which `kernel`'s dominant term
+/// becomes I/O for the given stack, or -1 if it never does. The paper:
+/// "it is possible to construct scenarios in which different steps of
+/// kernel 2 could be dominant".
+int io_bound_crossover_scale(const HardwareModel& hw,
+                             const BackendTraits& traits, int kernel,
+                             int min_scale, int max_scale,
+                             int edge_factor = 16);
+
+}  // namespace prpb::model

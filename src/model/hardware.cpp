@@ -1,0 +1,133 @@
+#include "model/hardware.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "gen/kronecker.hpp"
+#include "io/edge_files.hpp"
+#include "io/file_stream.hpp"
+#include "io/tsv.hpp"
+#include "util/fs.hpp"
+#include "util/timer.hpp"
+
+namespace prpb::model {
+
+namespace {
+
+double probe_memory_bandwidth(std::uint64_t bytes) {
+  std::vector<char> src(bytes, 'x');
+  std::vector<char> dst(bytes);
+  // Warm both buffers, then time a round of copies.
+  std::memcpy(dst.data(), src.data(), bytes);
+  util::Stopwatch watch;
+  constexpr int kRounds = 4;
+  for (int i = 0; i < kRounds; ++i) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    src[0] = static_cast<char>(i);  // defeat dead-copy elimination
+  }
+  const double seconds = watch.seconds();
+  return seconds > 0 ? static_cast<double>(2 * bytes * kRounds) / seconds
+                     : 0.0;
+}
+
+gen::EdgeList probe_edges(std::uint64_t count) {
+  gen::KroneckerParams params;
+  params.scale = 16;
+  params.edge_factor = 16;
+  gen::KroneckerGenerator generator(params);
+  gen::EdgeList edges;
+  generator.generate_range(0, std::min(count, generator.num_edges()), edges);
+  return edges;
+}
+
+void probe_codec(const gen::EdgeList& edges, io::Codec codec,
+                 double& format_s, double& parse_s) {
+  std::string text;
+  {
+    util::Stopwatch watch;
+    for (const auto& edge : edges) io::append_edge(text, edge, codec);
+    format_s = watch.seconds() / static_cast<double>(edges.size());
+  }
+  {
+    gen::EdgeList parsed;
+    parsed.reserve(edges.size());
+    util::Stopwatch watch;
+    io::parse_edges(text, parsed, codec);
+    parse_s = watch.seconds() / static_cast<double>(edges.size());
+  }
+}
+
+void probe_io(std::uint64_t bytes, double& write_bps, double& read_bps) {
+  util::TempDir dir("prpb-model");
+  const auto path = dir.sub("probe.bin");
+  std::string block(1 << 20, 'y');
+  {
+    util::Stopwatch watch;
+    io::FileWriter writer(path);
+    for (std::uint64_t written = 0; written < bytes;
+         written += block.size()) {
+      writer.write(block);
+    }
+    writer.close();
+    const double seconds = watch.seconds();
+    write_bps = seconds > 0 ? static_cast<double>(bytes) / seconds : 0.0;
+  }
+  {
+    util::Stopwatch watch;
+    io::FileReader reader(path);
+    std::uint64_t total = 0;
+    for (;;) {
+      const auto chunk = reader.read_chunk();
+      if (chunk.empty()) break;
+      total += chunk.size();
+    }
+    const double seconds = watch.seconds();
+    read_bps = seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
+  }
+}
+
+double probe_flops(std::uint64_t count) {
+  volatile double sink = 0.0;
+  double a = 1.000000001;
+  double acc = 0.5;
+  util::Stopwatch watch;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    acc = acc * a + 1e-9;  // one multiply-add per iteration
+  }
+  sink = acc;
+  (void)sink;
+  const double seconds = watch.seconds();
+  return seconds > 0 ? static_cast<double>(2 * count) / seconds : 0.0;
+}
+
+}  // namespace
+
+HardwareModel calibrate(const CalibrationOptions& options) {
+  HardwareModel model;
+  model.memory_bandwidth_bps = probe_memory_bandwidth(options.memory_bytes);
+  probe_io(options.io_bytes, model.io_write_bps, model.io_read_bps);
+  const gen::EdgeList edges = probe_edges(options.codec_edges);
+  probe_codec(edges, io::Codec::kFast, model.fast_format_s,
+              model.fast_parse_s);
+  probe_codec(edges, io::Codec::kGeneric, model.generic_format_s,
+              model.generic_parse_s);
+  model.flops = probe_flops(options.flop_count);
+  return model;
+}
+
+HardwareModel paper_platform_model() {
+  HardwareModel model;
+  // Xeon E5-2650 (Sandy Bridge, 2 GHz): one core of a 4-channel DDR3 node,
+  // Lustre over InfiniBand. Order-of-magnitude figures only.
+  model.memory_bandwidth_bps = 8e9;
+  model.io_write_bps = 500e6;
+  model.io_read_bps = 800e6;
+  model.flops = 4e9;
+  model.fast_format_s = 20e-9;
+  model.fast_parse_s = 25e-9;
+  model.generic_format_s = 400e-9;
+  model.generic_parse_s = 600e-9;
+  return model;
+}
+
+}  // namespace prpb::model

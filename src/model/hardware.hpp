@@ -1,0 +1,39 @@
+// Simple hardware model (paper §V: "The computations are also simple enough
+// that performance predictions can be made based on simple hardware
+// models.").
+//
+// The model reduces a machine to a handful of measured rates; kernel
+// predictions (predict.hpp) are bytes-moved / rate sums over each kernel's
+// data movement, plus per-edge software costs that differ by backend stack.
+#pragma once
+
+#include <cstdint>
+
+namespace prpb::model {
+
+struct HardwareModel {
+  double memory_bandwidth_bps = 0;   ///< streaming copy bytes/second
+  double io_write_bps = 0;           ///< file write bytes/second
+  double io_read_bps = 0;            ///< file read bytes/second
+  double flops = 0;                  ///< double-precision multiply-add /s
+  double fast_format_s = 0;          ///< seconds per edge, fast TSV format
+  double fast_parse_s = 0;           ///< seconds per edge, fast TSV parse
+  double generic_format_s = 0;       ///< seconds per edge, generic format
+  double generic_parse_s = 0;        ///< seconds per edge, generic parse
+};
+
+struct CalibrationOptions {
+  std::uint64_t memory_bytes = 64ULL << 20;  ///< buffer for bandwidth probe
+  std::uint64_t io_bytes = 16ULL << 20;      ///< file size for I/O probes
+  std::uint64_t codec_edges = 1 << 18;       ///< edges for codec probes
+  std::uint64_t flop_count = 1ULL << 26;     ///< fused multiply-adds to time
+};
+
+/// Measures the local machine with short micro-probes (sub-second each).
+HardwareModel calibrate(const CalibrationOptions& options = {});
+
+/// A representative model of the paper's platform (Xeon E5-2650, Lustre),
+/// for making predictions without running probes.
+HardwareModel paper_platform_model();
+
+}  // namespace prpb::model

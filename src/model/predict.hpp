@@ -1,0 +1,63 @@
+// Kernel runtime predictions from the hardware model.
+//
+// Each kernel is modelled as a sum of data-movement terms (bytes / measured
+// rate) and per-edge software terms (codec + dispatch costs that depend on
+// the backend stack). The point — per the paper — is not precision but that
+// a handful of measured rates predicts the ordering and rough magnitude of
+// every kernel across stacks.
+#pragma once
+
+#include <string>
+
+#include "model/hardware.hpp"
+
+namespace prpb::model {
+
+/// Per-stack software costs layered over the hardware model.
+struct BackendTraits {
+  std::string name;
+  double format_s = 0;          ///< seconds per edge formatted (K0, K1 write)
+  double parse_s = 0;           ///< seconds per edge parsed (K1-K2 read)
+  double dispatch_s = 0;        ///< extra per-edge interpreter/dataframe tax
+  double sort_byte_passes = 8;  ///< effective data passes during the sort
+};
+
+/// Traits for a named pipeline backend, derived from the hardware model's
+/// codec probes. Throws ConfigError for unknown names.
+BackendTraits backend_traits(const std::string& backend,
+                             const HardwareModel& hw);
+
+struct KernelPrediction {
+  double seconds = 0;
+  double edges_per_second = 0;
+  double io_fraction = 0;       ///< share of time in file I/O terms
+  double compute_fraction = 0;  ///< share in memory/flop terms
+  double software_fraction = 0; ///< share in codec/dispatch terms
+};
+
+struct PipelinePrediction {
+  KernelPrediction k0, k1, k2, k3;
+};
+
+/// Average bytes of one TSV edge record at the given scale (digits of the
+/// vertex labels + tab + newline).
+double tsv_edge_bytes(int scale);
+
+KernelPrediction predict_kernel0(const HardwareModel& hw,
+                                 const BackendTraits& traits, int scale,
+                                 int edge_factor);
+KernelPrediction predict_kernel1(const HardwareModel& hw,
+                                 const BackendTraits& traits, int scale,
+                                 int edge_factor);
+KernelPrediction predict_kernel2(const HardwareModel& hw,
+                                 const BackendTraits& traits, int scale,
+                                 int edge_factor);
+KernelPrediction predict_kernel3(const HardwareModel& hw,
+                                 const BackendTraits& traits, int scale,
+                                 int edge_factor, int iterations = 20);
+
+PipelinePrediction predict_pipeline(const HardwareModel& hw,
+                                    const BackendTraits& traits, int scale,
+                                    int edge_factor, int iterations = 20);
+
+}  // namespace prpb::model

@@ -1,0 +1,36 @@
+#include "rand/rng.hpp"
+
+#include <bit>
+
+namespace prpb::rnd {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() { return CounterRng::to_unit_double(next()); }
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  // Rejection sampling: discard draws below the bias threshold so the
+  // final modulo is exactly uniform.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t x = next();
+    if (x >= threshold) return x % bound;
+  }
+}
+
+}  // namespace prpb::rnd

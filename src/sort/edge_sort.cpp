@@ -1,0 +1,171 @@
+#include "sort/edge_sort.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prpb::sort {
+
+namespace {
+
+bool less_start(const gen::Edge& a, const gen::Edge& b) { return a.u < b.u; }
+bool less_start_end(const gen::Edge& a, const gen::Edge& b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+using Less = bool (*)(const gen::Edge&, const gen::Edge&);
+
+Less comparator(SortKey key) {
+  return key == SortKey::kStart ? less_start : less_start_end;
+}
+
+/// One stable LSD counting pass over byte `shift/8` of the field selected by
+/// `use_v`. src -> dst.
+void counting_pass(const gen::EdgeList& src, gen::EdgeList& dst, int shift,
+                   bool use_v) {
+  std::size_t counts[256] = {};
+  for (const auto& edge : src) {
+    const std::uint64_t field = use_v ? edge.v : edge.u;
+    ++counts[(field >> shift) & 0xff];
+  }
+  std::size_t offsets[256];
+  std::size_t acc = 0;
+  for (int b = 0; b < 256; ++b) {
+    offsets[b] = acc;
+    acc += counts[b];
+  }
+  for (const auto& edge : src) {
+    const std::uint64_t field = use_v ? edge.v : edge.u;
+    dst[offsets[(field >> shift) & 0xff]++] = edge;
+  }
+}
+
+/// Returns a bitmask of byte positions (0..7) that vary across the field.
+unsigned varying_bytes(const gen::EdgeList& edges, bool use_v) {
+  if (edges.empty()) return 0;
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~0ULL;
+  for (const auto& edge : edges) {
+    const std::uint64_t field = use_v ? edge.v : edge.u;
+    all_or |= field;
+    all_and &= field;
+  }
+  const std::uint64_t varying = all_or ^ all_and;
+  unsigned mask = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    if ((varying >> (8 * byte)) & 0xff) mask |= 1u << byte;
+  }
+  return mask;
+}
+
+void radix_field(gen::EdgeList& edges, gen::EdgeList& scratch, bool use_v) {
+  const unsigned mask = varying_bytes(edges, use_v);
+  gen::EdgeList* src = &edges;
+  gen::EdgeList* dst = &scratch;
+  for (int byte = 0; byte < 8; ++byte) {
+    if (!(mask & (1u << byte))) continue;  // constant byte: skip the pass
+    counting_pass(*src, *dst, 8 * byte, use_v);
+    std::swap(src, dst);
+  }
+  if (src != &edges) edges = *src;
+}
+
+}  // namespace
+
+void radix_sort(gen::EdgeList& edges, SortKey key) {
+  if (edges.size() < 2) return;
+  gen::EdgeList scratch(edges.size());
+  // LSD over the composite key: minor field (v) first when requested, then
+  // the major field (u); stability makes the composite ordering correct.
+  if (key == SortKey::kStartEnd) radix_field(edges, scratch, /*use_v=*/true);
+  radix_field(edges, scratch, /*use_v=*/false);
+}
+
+void parallel_merge_sort(gen::EdgeList& edges, util::ThreadPool& pool,
+                         SortKey key) {
+  if (edges.size() < 2) return;
+  const Less less = comparator(key);
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(edges.size() / 4096 + 1,
+                                        pool.size() * 2));
+  // Chunk boundaries.
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t i = 0; i <= chunks; ++i)
+    bounds[i] = edges.size() * i / chunks;
+
+  // Phase 1: stable-sort each chunk in parallel.
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t i = 0; i < chunks; ++i) {
+      futures.push_back(pool.submit([&edges, &bounds, less, i] {
+        std::stable_sort(
+            edges.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+            edges.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]), less);
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  // Phase 2: pairwise merges until a single run remains.
+  gen::EdgeList scratch(edges.size());
+  std::vector<std::size_t> runs = bounds;
+  gen::EdgeList* src = &edges;
+  gen::EdgeList* dst = &scratch;
+  while (runs.size() > 2) {
+    std::vector<std::size_t> next_runs;
+    next_runs.push_back(0);
+    std::vector<std::future<void>> futures;
+    for (std::size_t i = 0; i + 2 < runs.size(); i += 2) {
+      const std::size_t lo = runs[i];
+      const std::size_t mid = runs[i + 1];
+      const std::size_t hi = runs[i + 2];
+      futures.push_back(pool.submit([src, dst, lo, mid, hi, less] {
+        std::merge(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                   src->begin() + static_cast<std::ptrdiff_t>(mid),
+                   src->begin() + static_cast<std::ptrdiff_t>(mid),
+                   src->begin() + static_cast<std::ptrdiff_t>(hi),
+                   dst->begin() + static_cast<std::ptrdiff_t>(lo), less);
+      }));
+      next_runs.push_back(hi);
+    }
+    // Odd trailing run: copy through.
+    if ((runs.size() - 1) % 2 == 1) {
+      const std::size_t lo = runs[runs.size() - 2];
+      const std::size_t hi = runs[runs.size() - 1];
+      futures.push_back(pool.submit([src, dst, lo, hi] {
+        std::copy(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                  src->begin() + static_cast<std::ptrdiff_t>(hi),
+                  dst->begin() + static_cast<std::ptrdiff_t>(lo));
+      }));
+      if (next_runs.back() != hi) next_runs.push_back(hi);
+    }
+    for (auto& future : futures) future.get();
+    runs = std::move(next_runs);
+    std::swap(src, dst);
+  }
+  if (src != &edges) edges = *src;
+}
+
+void sort_edges(gen::EdgeList& edges, InMemoryAlgo algo, SortKey key) {
+  switch (algo) {
+    case InMemoryAlgo::kStd:
+      std::stable_sort(edges.begin(), edges.end(), comparator(key));
+      return;
+    case InMemoryAlgo::kRadix:
+      radix_sort(edges, key);
+      return;
+    case InMemoryAlgo::kParallelMerge: {
+      util::ThreadPool pool;
+      parallel_merge_sort(edges, pool, key);
+      return;
+    }
+  }
+  throw util::ConfigError("sort_edges: unknown algorithm");
+}
+
+bool is_sorted_edges(const gen::EdgeList& edges, SortKey key) {
+  return std::is_sorted(edges.begin(), edges.end(), comparator(key));
+}
+
+}  // namespace prpb::sort

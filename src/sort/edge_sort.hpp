@@ -1,0 +1,47 @@
+// Kernel 1's sorting engines.
+//
+// The paper: "The type of sorting algorithm may depend upon the scale
+// parameter... in the case where u and v fit into the RAM of the system, an
+// in-memory algorithm could be used. Likewise, if u and v are too large to
+// fit in memory, then an out-of-core algorithm would be required."
+//
+// In-memory engines: std::sort (comparison), LSD radix (byte-skipping), and
+// a thread-pool parallel merge sort. The external engine lives in
+// sort/external_sort.hpp. All engines produce identical output for the same
+// key, which the tests enforce.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/edge.hpp"
+#include "util/threadpool.hpp"
+
+namespace prpb::sort {
+
+/// Sort key. The benchmark requires ordering by start vertex; ordering ties
+/// by end vertex as well makes output canonical across engines (and answers
+/// the paper's open question "Should the end vertices also be sorted?" with
+/// a switch).
+enum class SortKey {
+  kStart,     ///< order by u only; ties keep input order (stable engines)
+  kStartEnd,  ///< order by (u, v); canonical, engine-independent output
+};
+
+enum class InMemoryAlgo { kStd, kRadix, kParallelMerge };
+
+/// Sorts `edges` in place with the requested engine and key.
+void sort_edges(gen::EdgeList& edges, InMemoryAlgo algo,
+                SortKey key = SortKey::kStartEnd);
+
+/// LSD radix sort. Stable. Skips byte positions that are constant across
+/// the input (for scale-S graphs only ceil(S/8) byte passes per column run).
+void radix_sort(gen::EdgeList& edges, SortKey key = SortKey::kStartEnd);
+
+/// Parallel merge sort over `pool`. Stable.
+void parallel_merge_sort(gen::EdgeList& edges, util::ThreadPool& pool,
+                         SortKey key = SortKey::kStartEnd);
+
+/// True when edges are non-decreasing under `key` (u-only checks u order).
+bool is_sorted_edges(const gen::EdgeList& edges, SortKey key);
+
+}  // namespace prpb::sort

@@ -1,0 +1,41 @@
+// Out-of-core external merge sort for kernel 1 at scales where the edge list
+// exceeds RAM. Classic two-phase design:
+//   run formation — stream the input stage in memory-budget-sized slices,
+//                   sort each slice in memory (radix), spill as binary runs;
+//   k-way merge   — merge runs with a loser-tree, cascading when the run
+//                   count exceeds the fan-in, and write the sorted TSV stage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "io/tsv.hpp"
+#include "sort/edge_sort.hpp"
+
+namespace prpb::sort {
+
+struct ExternalSortConfig {
+  std::uint64_t memory_budget_bytes = 256ULL << 20;  ///< per-run slice budget
+  std::size_t fan_in = 64;          ///< max runs merged per cascade pass
+  std::size_t output_shards = 1;    ///< shard count of the sorted stage
+  io::Codec codec = io::Codec::kFast;
+  SortKey key = SortKey::kStartEnd;
+
+  void validate() const;
+};
+
+struct ExternalSortStats {
+  std::uint64_t edges = 0;
+  std::size_t initial_runs = 0;
+  std::size_t merge_passes = 0;
+  std::uint64_t spill_bytes = 0;
+};
+
+/// Sorts the TSV stage in `in_dir` into TSV shards under `out_dir`, spilling
+/// intermediate binary runs under `temp_dir`. Returns run statistics.
+ExternalSortStats external_sort_stage(const std::filesystem::path& in_dir,
+                                      const std::filesystem::path& out_dir,
+                                      const std::filesystem::path& temp_dir,
+                                      const ExternalSortConfig& config);
+
+}  // namespace prpb::sort

@@ -1,0 +1,17 @@
+#include "sort/policy.hpp"
+
+#include "gen/edge.hpp"
+
+namespace prpb::sort {
+
+PolicyDecision choose_sort_policy(std::uint64_t edge_count,
+                                  std::uint64_t available_bytes) {
+  PolicyDecision decision;
+  decision.required_bytes = 2 * edge_count * sizeof(gen::Edge);
+  decision.strategy = decision.required_bytes <= available_bytes
+                          ? SortStrategy::kInMemory
+                          : SortStrategy::kExternal;
+  return decision;
+}
+
+}  // namespace prpb::sort

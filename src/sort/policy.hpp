@@ -1,0 +1,26 @@
+// Sort-policy selection: picks in-memory vs out-of-core per the paper's
+// guidance ("the type of sorting algorithm may depend upon the scale
+// parameter").
+#pragma once
+
+#include <cstdint>
+
+#include "sort/edge_sort.hpp"
+
+namespace prpb::sort {
+
+enum class SortStrategy { kInMemory, kExternal };
+
+struct PolicyDecision {
+  SortStrategy strategy = SortStrategy::kInMemory;
+  InMemoryAlgo in_memory_algo = InMemoryAlgo::kRadix;
+  /// Bytes the in-memory path would need (edges + radix scratch).
+  std::uint64_t required_bytes = 0;
+};
+
+/// Chooses a strategy for `edge_count` edges given `available_bytes` of RAM.
+/// The in-memory radix path needs 2x the edge array (input + scratch).
+PolicyDecision choose_sort_policy(std::uint64_t edge_count,
+                                  std::uint64_t available_bytes);
+
+}  // namespace prpb::sort

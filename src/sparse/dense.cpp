@@ -1,0 +1,88 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+
+#include "rand/rng.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/error.hpp"
+
+namespace prpb::sparse {
+
+DenseMatrix::DenseMatrix(std::uint64_t rows, std::uint64_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix m(a.rows(), a.cols());
+  for (std::uint64_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      m(r, a.col_idx()[k]) = a.values()[k];
+    }
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::uint64_t r = 0; r < rows_; ++r)
+    for (std::uint64_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void DenseMatrix::mat_vec(const std::vector<double>& x,
+                          std::vector<double>& y) const {
+  util::require(x.size() == cols_, "mat_vec: x size must equal column count");
+  y.assign(rows_, 0.0);
+  for (std::uint64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::uint64_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+DenseMatrix pagerank_validation_matrix(const CsrMatrix& a, double damping) {
+  util::require(a.rows() == a.cols(),
+                "validation matrix: adjacency must be square");
+  const std::uint64_t n = a.rows();
+  const double teleport = (1.0 - damping) / static_cast<double>(n);
+  DenseMatrix g(n, n, teleport);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    for (std::uint64_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      // G = c*A' + teleport: entry (col, row) receives c*A(row, col).
+      g(a.col_idx()[k], r) += damping * a.values()[k];
+    }
+  }
+  return g;
+}
+
+PowerIterationResult power_iteration(const DenseMatrix& m, int max_iterations,
+                                     double tol, std::uint64_t seed) {
+  util::require(m.rows() == m.cols(), "power_iteration: matrix must be square");
+  util::require(m.rows() >= 1, "power_iteration: empty matrix");
+  PowerIterationResult result;
+  rnd::Xoshiro256 rng(seed);
+  std::vector<double> x(m.rows());
+  for (auto& v : x) v = 0.5 + rng.next_double();  // positive start
+  x = normalized1(std::move(x));
+
+  std::vector<double> y;
+  for (int it = 0; it < max_iterations; ++it) {
+    m.mat_vec(x, y);
+    const double norm = norm1(y);
+    util::ensure(norm > 0.0, "power_iteration: iterate collapsed to zero");
+    for (auto& v : y) v /= norm;
+    double delta = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) delta += std::abs(y[i] - x[i]);
+    x.swap(y);
+    result.iterations = it + 1;
+    result.eigenvalue = norm;
+    if (delta < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+}  // namespace prpb::sparse

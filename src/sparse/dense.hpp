@@ -1,0 +1,63 @@
+// Small dense matrices for validating kernel 3.
+//
+// The paper checks r against the leading eigenvector of
+//     G = c .* A' + (1 - c) / N
+// ("For small enough problems where the above dense matrix fits into
+// memory"). We reproduce that with our own power-iteration eigensolver —
+// no external LAPACK dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::sparse {
+
+/// Row-major dense matrix, intended for N up to a few thousand.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::uint64_t rows, std::uint64_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const { return cols_; }
+
+  [[nodiscard]] double operator()(std::uint64_t r, std::uint64_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::uint64_t r, std::uint64_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  /// Densifies a sparse matrix.
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// y = M x (column-vector product).
+  void mat_vec(const std::vector<double>& x, std::vector<double>& y) const;
+
+ private:
+  std::uint64_t rows_ = 0;
+  std::uint64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Builds the paper's validation matrix G = c*Aᵀ + (1-c)/N (every entry gets
+/// the additive teleport constant).
+DenseMatrix pagerank_validation_matrix(const CsrMatrix& a, double damping);
+
+struct PowerIterationResult {
+  std::vector<double> eigenvector;  ///< L1-normalized, non-negative phase
+  double eigenvalue = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Leading eigenvector by power iteration with L1 normalization.
+/// Converges when successive normalized iterates differ by < tol in L1.
+PowerIterationResult power_iteration(const DenseMatrix& m, int max_iterations,
+                                     double tol, std::uint64_t seed = 7);
+
+}  // namespace prpb::sparse

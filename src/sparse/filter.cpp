@@ -1,0 +1,88 @@
+#include "sparse/filter.hpp"
+
+#include <algorithm>
+
+namespace prpb::sparse {
+
+namespace {
+/// Inserts a unit self-loop on every row with no stored entries.
+CsrMatrix with_diagonal_on_empty_rows(const CsrMatrix& a) {
+  std::vector<std::uint64_t> rows;
+  std::vector<std::uint64_t> cols;
+  std::vector<double> vals;
+  rows.reserve(a.nnz());
+  cols.reserve(a.nnz());
+  vals.reserve(a.nnz());
+  for (std::uint64_t r = 0; r < a.rows(); ++r) {
+    const bool empty = a.row_ptr()[r] == a.row_ptr()[r + 1];
+    if (empty) {
+      rows.push_back(r);
+      cols.push_back(r);
+      vals.push_back(1.0);
+      continue;
+    }
+    for (std::uint64_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      rows.push_back(r);
+      cols.push_back(a.col_idx()[k]);
+      vals.push_back(a.values()[k]);
+    }
+  }
+  return CsrMatrix::from_triplets(rows, cols, vals, a.rows(), a.cols());
+}
+}  // namespace
+
+void apply_filter(CsrMatrix& a, FilterReport* report,
+                  const FilterOptions& options) {
+  const std::vector<double> din = a.col_sums();
+  const double max_din =
+      din.empty() ? 0.0 : *std::max_element(din.begin(), din.end());
+
+  std::vector<bool> mask(a.cols(), false);
+  std::uint64_t supernodes = 0;
+  std::uint64_t leaves = 0;
+  for (std::size_t c = 0; c < din.size(); ++c) {
+    // Matlab: A(:, din == max(din)) = 0; A(:, din == 1) = 0.
+    // Counts are integral, so exact comparison mirrors the reference.
+    if (max_din > 0.0 && din[c] == max_din) {
+      mask[c] = true;
+      ++supernodes;
+    } else if (din[c] == 1.0) {
+      mask[c] = true;
+      ++leaves;
+    }
+  }
+
+  const std::uint64_t nnz_before = a.nnz();
+  a.zero_columns(mask);
+  const std::uint64_t nnz_after = a.nnz();
+
+  if (options.diagonal_for_empty_rows) {
+    a = with_diagonal_on_empty_rows(a);
+  }
+
+  const std::vector<double> dout = a.row_sums();
+  a.scale_rows_inverse(dout);
+
+  if (report != nullptr) {
+    report->nnz_before = nnz_before;
+    report->nnz_after = nnz_after;
+    report->max_in_degree = max_din;
+    report->supernode_columns = supernodes;
+    report->leaf_columns = leaves;
+    report->dangling_rows = static_cast<std::uint64_t>(
+        std::count(dout.begin(), dout.end(), 0.0));
+  }
+}
+
+CsrMatrix filter_edges(const gen::EdgeList& edges, std::uint64_t n,
+                       FilterReport* report, const FilterOptions& options) {
+  CsrMatrix a = CsrMatrix::from_edges(edges, n, n);
+  if (report != nullptr) {
+    *report = FilterReport{};
+    report->input_edges = edges.size();
+  }
+  apply_filter(a, report, options);
+  return a;
+}
+
+}  // namespace prpb::sparse

@@ -1,0 +1,59 @@
+// Kernel 3: fixed-iteration PageRank over the normalized adjacency matrix.
+//
+// The paper's update (row-vector form, c = 0.85, 20 iterations):
+//     r = ((c .* r) * A) + ((1-c) .* sum(r, 2))
+// Dangling-node mass is intentionally NOT redistributed — the paper omits the
+// dangling correction term, so sum(r) decays when dangling rows exist. Tests
+// pin this behaviour; enable `redistribute_dangling` for the textbook
+// stochastic variant (listed by the paper as a possible future adjustment).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::sparse {
+
+struct PageRankConfig {
+  int iterations = 20;
+  double damping = 0.85;  ///< c
+  std::uint64_t seed = 20160205;
+  bool redistribute_dangling = false;  ///< extension beyond the paper
+
+  void validate() const;
+};
+
+/// The paper's initial vector: uniform random entries normalized to sum 1.
+std::vector<double> pagerank_initial_vector(std::uint64_t n,
+                                            std::uint64_t seed);
+
+/// Runs `config.iterations` updates starting from `r` (modified in place).
+void pagerank_iterate(const CsrMatrix& a, std::vector<double>& r,
+                      const PageRankConfig& config);
+
+/// Convenience: initial vector + iterations.
+std::vector<double> pagerank(const CsrMatrix& a, const PageRankConfig& config);
+
+/// Convergence-mode PageRank — the "real application" variant the paper
+/// describes before fixing the iteration count: iterate until the L1 norm
+/// of successive differences drops below `tolerance` (or `max_iterations`).
+struct ConvergenceResult {
+  std::vector<double> ranks;
+  int iterations = 0;       ///< iterations actually executed
+  double residual = 0.0;    ///< final ||r_k - r_{k-1}||_1
+  bool converged = false;
+};
+
+ConvergenceResult pagerank_until_converged(const CsrMatrix& a,
+                                           const PageRankConfig& config,
+                                           double tolerance,
+                                           int max_iterations = 1000);
+
+/// L1 norm.
+double norm1(const std::vector<double>& v);
+
+/// v / norm1(v); returns v unchanged when the norm is zero.
+std::vector<double> normalized1(std::vector<double> v);
+
+}  // namespace prpb::sparse

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace prpb::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& doc,
+                           const std::string& default_value) {
+  require(!options_.contains(name), "ArgParser: duplicate option --" + name);
+  options_[name] = Option{doc, default_value, /*is_flag=*/false, false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& doc) {
+  require(!options_.contains(name), "ArgParser: duplicate flag --" + name);
+  options_[name] = Option{doc, "", /*is_flag=*/true, false};
+  order_.push_back(name);
+}
+
+ArgParser::Option& ArgParser::find(const std::string& name) {
+  const auto it = options_.find(name);
+  require(it != options_.end(), "ArgParser: unknown option --" + name);
+  return it->second;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  require(it != options_.end(), "ArgParser: unknown option --" + name);
+  return it->second;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto& opt = find(name);
+    if (opt.is_flag) {
+      require(!inline_value, "flag --" + name + " does not take a value");
+      opt.seen = true;
+      continue;
+    }
+    if (inline_value) {
+      opt.value = *inline_value;
+    } else {
+      require(i + 1 < argc, "option --" + name + " requires a value");
+      opt.value = argv[++i];
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto& opt = find(name);
+  require(!opt.is_flag, "--" + name + " is a flag; use get_flag");
+  return opt.value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const auto v = parse_i64_full(get(name));
+  require(v.has_value(), "--" + name + " expects an integer");
+  return *v;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const auto v = parse_f64_full(get(name));
+  require(v.has_value(), "--" + name + " expects a number");
+  return *v;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto& opt = find(name);
+  require(opt.is_flag, "--" + name + " takes a value; use get");
+  return opt.seen;
+}
+
+std::string ArgParser::help() const {
+  std::string out = program_ + " — " + description_ + "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    out += "  --" + name;
+    if (!opt.is_flag) out += " <value>";
+    out += "\n      " + opt.doc;
+    if (!opt.is_flag && !opt.value.empty())
+      out += " (default: " + opt.value + ")";
+    out += "\n";
+  }
+  out += "  --help\n      Show this message.\n";
+  return out;
+}
+
+}  // namespace prpb::util

@@ -1,0 +1,57 @@
+// Tiny declarative command-line parser used by examples and bench binaries.
+// Supports --flag, --key value, --key=value, typed accessors with defaults,
+// and auto-generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prpb::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares an option taking a value. `doc` appears in --help.
+  void add_option(const std::string& name, const std::string& doc,
+                  const std::string& default_value);
+  /// Declares a boolean flag (present/absent).
+  void add_flag(const std::string& name, const std::string& doc);
+
+  /// Parses argv. Throws ConfigError on unknown options or missing values.
+  /// Returns false if --help was requested (help text already printed).
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string doc;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  Option& find(const std::string& name);
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order for help text
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace prpb::util

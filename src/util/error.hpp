@@ -1,0 +1,49 @@
+// Error types and invariant-checking helpers used across all PRPB modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace prpb::util {
+
+/// Base class for all errors thrown by PRPB libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when user-supplied configuration is invalid (bad scale, bad flag...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on filesystem / file-format failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a kernel's mathematical pre/post-condition is violated.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ConfigError with `msg` when `cond` is false.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) throw ConfigError(std::string(msg));
+}
+
+/// Throws InvariantError with `msg` when `cond` is false.
+inline void ensure(bool cond, std::string_view msg) {
+  if (!cond) throw InvariantError(std::string(msg));
+}
+
+/// Throws IoError with `msg` when `cond` is false.
+inline void io_require(bool cond, std::string_view msg) {
+  if (!cond) throw IoError(std::string(msg));
+}
+
+}  // namespace prpb::util

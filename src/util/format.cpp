@@ -1,0 +1,109 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace prpb::util {
+
+namespace {
+std::string printf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+    return buf;
+  }
+  char buf[32];
+  if (v < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string human_count(std::uint64_t count) {
+  static const char* kUnits[] = {"", "K", "M", "G", "T"};
+  double v = static_cast<double>(count);
+  std::size_t unit = 0;
+  while (v >= 1000.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+  } else if (v < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string sci(double value) { return printf_str("%.2e", value); }
+
+std::string fixed(double value, int digits) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", digits);
+  return printf_str(fmt, value);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "TextTable: row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    // trim trailing padding
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(width[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace prpb::util

@@ -1,0 +1,40 @@
+// Human-readable formatting (byte sizes, counts, rates) plus a fixed-width
+// text table printer used by the benchmark harnesses to emit the paper's
+// tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prpb::util {
+
+/// "1.6 GB", "25 MB", "999 B" — powers of 1024, one decimal when < 10.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "67M", "1.0M", "65K", "123" — powers of 1000 with K/M/G/T suffixes.
+std::string human_count(std::uint64_t count);
+
+/// "3.21e+06" style scientific rate string used in figure series output.
+std::string sci(double value);
+
+/// Fixed precision decimal string.
+std::string fixed(double value, int digits);
+
+/// Monospaced table with a header row; column widths auto-fit the content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table (header, rule, rows) as a string ending in newline.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prpb::util

@@ -1,0 +1,95 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <system_error>
+
+#include "util/error.hpp"
+
+namespace prpb::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  const std::uint64_t n = counter.fetch_add(1);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%08x-%llu", rd(),
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix, const fs::path& base) {
+  const fs::path root = base.empty() ? fs::temp_directory_path() : base;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    fs::path candidate = root / (prefix + "-" + unique_suffix());
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw IoError("TempDir: could not create a unique directory under " +
+                root.string());
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), owned_(other.owned_) {
+  other.owned_ = false;
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (owned_ && !path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    owned_ = other.owned_;
+    other.owned_ = false;
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (owned_ && !path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort; never throw from dtor
+  }
+}
+
+std::vector<fs::path> list_files_sorted(const fs::path& dir) {
+  io_require(fs::is_directory(dir),
+             "list_files_sorted: not a directory: " + dir.string());
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::uint64_t dir_bytes(const fs::path& dir) {
+  std::uint64_t total = 0;
+  for (const auto& file : list_files_sorted(dir))
+    total += static_cast<std::uint64_t>(fs::file_size(file));
+  return total;
+}
+
+void ensure_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  io_require(!ec && fs::is_directory(dir),
+             "ensure_dir: cannot create directory: " + dir.string());
+}
+
+void clear_dir(const fs::path& dir) {
+  if (!fs::exists(dir)) return;
+  for (const auto& file : list_files_sorted(dir)) fs::remove(file);
+}
+
+}  // namespace prpb::util

@@ -1,0 +1,52 @@
+// Filesystem helpers: unique temp directories with RAII cleanup, sorted
+// directory listings, and file-size queries. Pipeline kernels stage their
+// input/output through directories created with these helpers.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace prpb::util {
+
+/// Creates a fresh uniquely-named directory under the system temp dir (or
+/// under `base` when given) and removes it — recursively — on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "prpb",
+                   const std::filesystem::path& base = {});
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  ~TempDir();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  /// Convenience: path / name.
+  [[nodiscard]] std::filesystem::path sub(const std::string& name) const {
+    return path_ / name;
+  }
+  /// Releases ownership: the directory is kept on destruction.
+  void keep() { owned_ = false; }
+
+ private:
+  std::filesystem::path path_;
+  bool owned_ = true;
+};
+
+/// Lists regular files in `dir` in lexicographic order. Throws IoError if
+/// `dir` does not exist or is not a directory.
+std::vector<std::filesystem::path> list_files_sorted(
+    const std::filesystem::path& dir);
+
+/// Total size in bytes of all regular files directly inside `dir`.
+std::uint64_t dir_bytes(const std::filesystem::path& dir);
+
+/// Creates `dir` (and parents); throws IoError when a non-directory exists.
+void ensure_dir(const std::filesystem::path& dir);
+
+/// Removes all regular files directly inside `dir` (used to reset a stage).
+void clear_dir(const std::filesystem::path& dir);
+
+}  // namespace prpb::util

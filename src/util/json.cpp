@@ -1,0 +1,167 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace prpb::util {
+
+JsonWriter::JsonWriter() {
+  stack_.push_back(Frame::kRoot);
+  has_items_.push_back(false);
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  ensure(stack_.back() == Frame::kObject,
+         "JsonWriter: keyed item outside an object");
+  comma();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\":";
+}
+
+void JsonWriter::raw_value(const std::string& text) { out_ += text; }
+
+void JsonWriter::begin_object() {
+  ensure(stack_.back() != Frame::kObject,
+         "JsonWriter: unkeyed object inside an object");
+  comma();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  ensure(stack_.back() == Frame::kObject, "JsonWriter: mismatched }");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  ensure(stack_.back() != Frame::kObject,
+         "JsonWriter: unkeyed array inside an object");
+  comma();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  ensure(stack_.back() == Frame::kArray, "JsonWriter: mismatched ]");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+namespace {
+std::string number_text(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+}  // namespace
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  raw_value('"' + escape(value) + '"');
+}
+
+void JsonWriter::field(std::string_view key, const char* value) {
+  field(key, std::string_view(value));
+}
+
+void JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  raw_value(number_text(value));
+}
+
+void JsonWriter::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  raw_value(std::to_string(value));
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  raw_value(std::to_string(value));
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  raw_value(value ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view text) {
+  ensure(stack_.back() == Frame::kArray,
+         "JsonWriter: bare value outside an array");
+  comma();
+  raw_value('"' + escape(text) + '"');
+}
+
+void JsonWriter::value(double number) {
+  ensure(stack_.back() == Frame::kArray,
+         "JsonWriter: bare value outside an array");
+  comma();
+  raw_value(number_text(number));
+}
+
+void JsonWriter::value(std::int64_t number) {
+  ensure(stack_.back() == Frame::kArray,
+         "JsonWriter: bare value outside an array");
+  comma();
+  raw_value(std::to_string(number));
+}
+
+std::string JsonWriter::str() const {
+  ensure(stack_.size() == 1, "JsonWriter: unclosed containers");
+  return out_;
+}
+
+}  // namespace prpb::util

@@ -1,0 +1,58 @@
+// Minimal JSON writer (no parsing) for machine-readable run reports.
+// Produces deterministic, correctly escaped output with no external
+// dependencies; nesting is validated at runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prpb::util {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  // Containers. Keyed variants are for use inside objects, unkeyed inside
+  // arrays or at the root.
+  void begin_object();
+  void begin_object(std::string_view key);
+  void end_object();
+  void begin_array();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  // Values inside objects.
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value);
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, bool value);
+
+  // Values inside arrays.
+  void value(std::string_view text);
+  void value(double number);
+  void value(std::int64_t number);
+
+  /// Finishes and returns the document. Throws InvariantError when
+  /// containers are still open.
+  [[nodiscard]] std::string str() const;
+
+  /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+  static std::string escape(std::string_view text);
+
+ private:
+  enum class Frame { kRoot, kObject, kArray };
+
+  void comma();
+  void key_prefix(std::string_view key);
+  void raw_value(const std::string& text);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+};
+
+}  // namespace prpb::util

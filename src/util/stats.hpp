@@ -1,0 +1,41 @@
+// Summary statistics and trend fitting for benchmark measurements.
+// Figure benches report the median of repeated trials; EXPERIMENTS.md's
+// scaling claims use the log-log slope fit (edges/sec vs M).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prpb::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  ///< population standard deviation
+  double min = 0;
+  double max = 0;
+};
+
+/// Summary of a sample; throws ConfigError when empty.
+Summary summarize(std::vector<double> values);
+
+/// Median alone (throws on empty).
+double median(std::vector<double> values);
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope*x + intercept. Requires >= 2 points.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fit of log(y) vs log(x) — the slope is the power-law exponent.
+/// All values must be positive.
+LinearFit log_log_fit(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+}  // namespace prpb::util

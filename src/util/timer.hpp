@@ -1,0 +1,68 @@
+// Wall-clock timing utilities: Stopwatch for kernel timing, ScopeTimer for
+// RAII measurement, and a TimingRecord aggregate used by the pipeline driver.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace prpb::util {
+
+/// Monotonic wall-clock stopwatch. Kernel timings in the benchmark are wall
+/// time, matching the paper's edges-per-second reporting.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed time before the reset.
+  double restart() {
+    const auto now = Clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return seconds_between(start_, Clock::now());
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  static double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+  Clock::time_point start_;
+};
+
+/// RAII timer: on destruction stores elapsed seconds into the bound target.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(double& out) : out_(&out) {}
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+  ~ScopeTimer() { *out_ = watch_.seconds(); }
+
+ private:
+  double* out_;
+  Stopwatch watch_;
+};
+
+/// One timed measurement: a label, elapsed seconds, and an item count whose
+/// rate (items/second) is the reported benchmark figure.
+struct TimingRecord {
+  std::string label;
+  double seconds = 0.0;
+  std::uint64_t items = 0;
+
+  /// Items per second; 0 when no time elapsed (avoids inf in reports).
+  [[nodiscard]] double rate() const {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+};
+
+}  // namespace prpb::util

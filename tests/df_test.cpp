@@ -1,0 +1,314 @@
+// Tests for the dataframe engine (src/df): typed columns, relational
+// operations, and delimited I/O.
+#include <gtest/gtest.h>
+
+#include "df/column.hpp"
+#include "df/csv.hpp"
+#include "df/dataframe.hpp"
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::df {
+namespace {
+
+DataFrame sample_frame() {
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{3, 1, 3, 2, 1}));
+  frame.add_column("v", Column(std::vector<std::int64_t>{9, 5, 2, 7, 5}));
+  frame.add_column("w", Column(std::vector<double>{.1, .2, .3, .4, .5}));
+  return frame;
+}
+
+// ---- columns ----------------------------------------------------------------
+
+TEST(ColumnTest, DtypeAndSize) {
+  EXPECT_EQ(Column(std::vector<std::int64_t>{1}).dtype(), DType::kInt64);
+  EXPECT_EQ(Column(std::vector<double>{1.0}).dtype(), DType::kFloat64);
+  EXPECT_EQ(Column(std::vector<std::string>{"a"}).dtype(), DType::kString);
+  EXPECT_EQ(Column(std::vector<double>{1, 2, 3}).size(), 3u);
+}
+
+TEST(ColumnTest, TypedAccessorsThrowOnMismatch) {
+  const Column c(std::vector<std::int64_t>{1});
+  EXPECT_NO_THROW((void)c.i64());
+  EXPECT_THROW((void)c.f64(), util::Error);
+  EXPECT_THROW((void)c.str(), util::Error);
+}
+
+TEST(ColumnTest, TakeGathersRows) {
+  const Column c(std::vector<std::int64_t>{10, 20, 30});
+  const Column t = c.take({2, 0, 2});
+  EXPECT_EQ(t.i64(), (std::vector<std::int64_t>{30, 10, 30}));
+}
+
+TEST(ColumnTest, AsDoubleAcrossTypes) {
+  EXPECT_DOUBLE_EQ(Column(std::vector<std::int64_t>{7}).as_double(0), 7.0);
+  EXPECT_DOUBLE_EQ(Column(std::vector<double>{2.5}).as_double(0), 2.5);
+  EXPECT_DOUBLE_EQ(Column(std::vector<std::string>{"4.5"}).as_double(0), 4.5);
+  EXPECT_THROW((void)Column(std::vector<std::string>{"xyz"}).as_double(0),
+               util::Error);
+}
+
+TEST(ColumnTest, CellStrRendersEveryType) {
+  EXPECT_EQ(Column(std::vector<std::int64_t>{42}).cell_str(0), "42");
+  EXPECT_EQ(Column(std::vector<std::string>{"hi"}).cell_str(0), "hi");
+}
+
+TEST(ColumnTest, CompareOrdersCells) {
+  const Column c(std::vector<std::int64_t>{5, 3, 5});
+  EXPECT_GT(c.compare(0, 1), 0);
+  EXPECT_LT(c.compare(1, 0), 0);
+  EXPECT_EQ(c.compare(0, 2), 0);
+  const Column s(std::vector<std::string>{"a", "b"});
+  EXPECT_LT(s.compare(0, 1), 0);
+}
+
+// ---- dataframe ----------------------------------------------------------------
+
+TEST(DataFrameTest, AddColumnEnforcesLengthAndUniqueness) {
+  DataFrame frame;
+  frame.add_column("a", Column(std::vector<std::int64_t>{1, 2}));
+  EXPECT_THROW(
+      frame.add_column("b", Column(std::vector<std::int64_t>{1})),
+      util::ConfigError);
+  EXPECT_THROW(
+      frame.add_column("a", Column(std::vector<std::int64_t>{3, 4})),
+      util::ConfigError);
+  EXPECT_EQ(frame.num_rows(), 2u);
+  EXPECT_EQ(frame.num_columns(), 1u);
+}
+
+TEST(DataFrameTest, ColLookup) {
+  const DataFrame frame = sample_frame();
+  EXPECT_TRUE(frame.has_column("u"));
+  EXPECT_FALSE(frame.has_column("x"));
+  EXPECT_THROW((void)frame.col("x"), util::ConfigError);
+  EXPECT_EQ(frame.col("v").i64()[0], 9);
+}
+
+TEST(DataFrameTest, SortValuesSingleKeyStable) {
+  const DataFrame sorted = sample_frame().sort_values({"u"});
+  EXPECT_EQ(sorted.col("u").i64(),
+            (std::vector<std::int64_t>{1, 1, 2, 3, 3}));
+  // stability: the two u==1 rows keep input order (v 5 then 5; w .2 then .5)
+  EXPECT_DOUBLE_EQ(sorted.col("w").f64()[0], 0.2);
+  EXPECT_DOUBLE_EQ(sorted.col("w").f64()[1], 0.5);
+  // the two u==3 rows keep input order (v 9 then 2)
+  EXPECT_EQ(sorted.col("v").i64()[3], 9);
+  EXPECT_EQ(sorted.col("v").i64()[4], 2);
+}
+
+TEST(DataFrameTest, SortValuesMultiKey) {
+  const DataFrame sorted = sample_frame().sort_values({"u", "v"});
+  EXPECT_EQ(sorted.col("v").i64(),
+            (std::vector<std::int64_t>{5, 5, 7, 2, 9}));
+}
+
+TEST(DataFrameTest, SortValuesNeedsKey) {
+  EXPECT_THROW(sample_frame().sort_values({}), util::ConfigError);
+}
+
+TEST(DataFrameTest, FilterByMask) {
+  const DataFrame f =
+      sample_frame().filter({true, false, false, true, false});
+  EXPECT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.col("u").i64(), (std::vector<std::int64_t>{3, 2}));
+  EXPECT_THROW(sample_frame().filter({true}), util::ConfigError);
+}
+
+TEST(DataFrameTest, HeadTruncates) {
+  EXPECT_EQ(sample_frame().head(2).num_rows(), 2u);
+  EXPECT_EQ(sample_frame().head(100).num_rows(), 5u);
+}
+
+TEST(DataFrameTest, GroupbyCountSingleKey) {
+  const DataFrame counts = sample_frame().groupby_count({"u"}, "n");
+  EXPECT_EQ(counts.num_rows(), 3u);
+  EXPECT_EQ(counts.col("u").i64(), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(counts.col("n").i64(), (std::vector<std::int64_t>{2, 1, 2}));
+}
+
+TEST(DataFrameTest, GroupbyCountCompositeKey) {
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{1, 1, 1, 2}));
+  frame.add_column("v", Column(std::vector<std::int64_t>{5, 5, 6, 5}));
+  const DataFrame counts = frame.groupby_count({"u", "v"}, "n");
+  EXPECT_EQ(counts.num_rows(), 3u);
+  EXPECT_EQ(counts.col("n").i64(), (std::vector<std::int64_t>{2, 1, 1}));
+}
+
+TEST(DataFrameTest, GroupbySum) {
+  const DataFrame sums = sample_frame().groupby_sum({"u"}, "w", "total");
+  EXPECT_EQ(sums.num_rows(), 3u);
+  const auto& totals = sums.col("total").f64();
+  EXPECT_NEAR(totals[0], 0.7, 1e-12);  // u=1: .2 + .5
+  EXPECT_NEAR(totals[1], 0.4, 1e-12);  // u=2
+  EXPECT_NEAR(totals[2], 0.4, 1e-12);  // u=3: .1 + .3
+}
+
+TEST(DataFrameTest, GroupbyOnEmptyFrame) {
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{}));
+  const DataFrame counts = frame.groupby_count({"u"}, "n");
+  EXPECT_EQ(counts.num_rows(), 0u);
+}
+
+// ---- merge (inner join) -----------------------------------------------------------
+
+TEST(MergeTest, InnerJoinMatchesKeys) {
+  DataFrame users;
+  users.add_column("id", Column(std::vector<std::int64_t>{1, 2, 3}));
+  users.add_column("followers",
+                   Column(std::vector<std::int64_t>{10, 20, 30}));
+  DataFrame scores;
+  scores.add_column("id", Column(std::vector<std::int64_t>{3, 1}));
+  scores.add_column("rank", Column(std::vector<double>{0.3, 0.1}));
+
+  const DataFrame joined = users.merge(scores, "id");
+  ASSERT_EQ(joined.num_rows(), 2u);
+  EXPECT_EQ(joined.col("id").i64(), (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(joined.col("followers").i64(),
+            (std::vector<std::int64_t>{10, 30}));
+  EXPECT_DOUBLE_EQ(joined.col("rank").f64()[0], 0.1);
+  EXPECT_DOUBLE_EQ(joined.col("rank").f64()[1], 0.3);
+}
+
+TEST(MergeTest, DuplicateRightKeysFanOut) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{7}));
+  DataFrame right;
+  right.add_column("k", Column(std::vector<std::int64_t>{7, 7}));
+  right.add_column("v", Column(std::vector<std::int64_t>{1, 2}));
+  const DataFrame joined = left.merge(right, "k");
+  EXPECT_EQ(joined.num_rows(), 2u);
+  EXPECT_EQ(joined.col("v").i64(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(MergeTest, NoMatchesGivesEmptyFrame) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{1}));
+  DataFrame right;
+  right.add_column("k", Column(std::vector<std::int64_t>{2}));
+  right.add_column("v", Column(std::vector<std::int64_t>{9}));
+  EXPECT_EQ(left.merge(right, "k").num_rows(), 0u);
+}
+
+TEST(MergeTest, ColumnCollisionThrows) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{1}));
+  left.add_column("v", Column(std::vector<std::int64_t>{5}));
+  DataFrame right;
+  right.add_column("k", Column(std::vector<std::int64_t>{1}));
+  right.add_column("v", Column(std::vector<std::int64_t>{6}));
+  EXPECT_THROW(left.merge(right, "k"), util::ConfigError);  // v collides
+}
+
+TEST(MergeTest, MissingKeyThrows) {
+  DataFrame left;
+  left.add_column("k", Column(std::vector<std::int64_t>{1}));
+  DataFrame right;
+  right.add_column("other", Column(std::vector<std::int64_t>{1}));
+  EXPECT_THROW(left.merge(right, "k"), util::ConfigError);
+}
+
+// ---- csv ------------------------------------------------------------------------
+
+CsvSchema edge_schema() {
+  return CsvSchema{{"u", "v"}, {DType::kInt64, DType::kInt64}};
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  util::TempDir dir("prpb-df");
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{1, 2, 3}));
+  frame.add_column("v", Column(std::vector<std::int64_t>{4, 5, 6}));
+  write_csv(frame, dir.sub("edges.tsv"));
+  const DataFrame back = read_csv(dir.sub("edges.tsv"), edge_schema());
+  EXPECT_EQ(back.col("u").i64(), frame.col("u").i64());
+  EXPECT_EQ(back.col("v").i64(), frame.col("v").i64());
+}
+
+TEST(CsvTest, DirShardingRoundTrip) {
+  util::TempDir dir("prpb-df");
+  DataFrame frame;
+  std::vector<std::int64_t> u(100), v(100);
+  for (int i = 0; i < 100; ++i) {
+    u[i] = i;
+    v[i] = 2 * i;
+  }
+  frame.add_column("u", Column(std::move(u)));
+  frame.add_column("v", Column(std::move(v)));
+  const auto bytes = write_csv_dir(frame, dir.path(), 7);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(util::list_files_sorted(dir.path()).size(), 7u);
+  const DataFrame back = read_csv_dir(dir.path(), edge_schema());
+  EXPECT_EQ(back.num_rows(), 100u);
+  EXPECT_EQ(back.col("u").i64()[99], 99);
+  EXPECT_EQ(back.col("v").i64()[99], 198);
+}
+
+TEST(CsvTest, MixedDtypes) {
+  util::TempDir dir("prpb-df");
+  DataFrame frame;
+  frame.add_column("id", Column(std::vector<std::int64_t>{1, 2}));
+  frame.add_column("score", Column(std::vector<double>{0.5, 1.5}));
+  frame.add_column("name", Column(std::vector<std::string>{"a", "b"}));
+  write_csv(frame, dir.sub("mixed.tsv"));
+  const CsvSchema schema{{"id", "score", "name"},
+                         {DType::kInt64, DType::kFloat64, DType::kString}};
+  const DataFrame back = read_csv(dir.sub("mixed.tsv"), schema);
+  EXPECT_EQ(back.col("id").i64()[1], 2);
+  EXPECT_DOUBLE_EQ(back.col("score").f64()[0], 0.5);
+  EXPECT_EQ(back.col("name").str()[1], "b");
+}
+
+TEST(CsvTest, HeaderWrittenAndSkipped) {
+  util::TempDir dir("prpb-df");
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{7}));
+  CsvOptions options;
+  options.header = true;
+  write_csv(frame, dir.sub("h.tsv"), options);
+  const CsvSchema schema{{"u"}, {DType::kInt64}};
+  const DataFrame back = read_csv(dir.sub("h.tsv"), schema, options);
+  EXPECT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.col("u").i64()[0], 7);
+}
+
+TEST(CsvTest, CustomSeparator) {
+  util::TempDir dir("prpb-df");
+  DataFrame frame;
+  frame.add_column("u", Column(std::vector<std::int64_t>{1}));
+  frame.add_column("v", Column(std::vector<std::int64_t>{2}));
+  CsvOptions options;
+  options.separator = ',';
+  write_csv(frame, dir.sub("c.csv"), options);
+  const DataFrame back = read_csv(dir.sub("c.csv"), edge_schema(), options);
+  EXPECT_EQ(back.col("v").i64()[0], 2);
+}
+
+TEST(CsvTest, MalformedFieldThrows) {
+  util::TempDir dir("prpb-df");
+  io::write_file(dir.sub("bad.tsv"), "1\tnotanumber\n");
+  EXPECT_THROW(read_csv(dir.sub("bad.tsv"), edge_schema()), util::IoError);
+}
+
+TEST(CsvTest, FieldCountMismatchThrows) {
+  util::TempDir dir("prpb-df");
+  io::write_file(dir.sub("short.tsv"), "1\n");
+  EXPECT_THROW(read_csv(dir.sub("short.tsv"), edge_schema()),
+               util::IoError);
+  io::write_file(dir.sub("long.tsv"), "1\t2\t3\n");
+  EXPECT_THROW(read_csv(dir.sub("long.tsv"), edge_schema()), util::IoError);
+}
+
+TEST(CsvTest, BadSchemaThrows) {
+  const CsvSchema bad{{"a"}, {DType::kInt64, DType::kInt64}};
+  util::TempDir dir("prpb-df");
+  io::write_file(dir.sub("f.tsv"), "1\n");
+  EXPECT_THROW(read_csv(dir.sub("f.tsv"), bad), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace prpb::df

@@ -1,0 +1,127 @@
+// Failure injection: corrupted stages, missing inputs, and malformed data
+// must surface as typed errors at the kernel boundary — never as silent
+// wrong answers or crashes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "io/edge_files.hpp"
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+PipelineConfig config_in(const util::TempDir& work) {
+  PipelineConfig config;
+  config.scale = 8;
+  config.num_files = 2;
+  config.work_dir = work.path();
+  return config;
+}
+
+class FailureTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FailureTest, MissingStage0FailsKernel1) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend(GetParam());
+  RunOptions options;
+  options.run_kernel0 = false;  // stage0 never materialized
+  EXPECT_THROW(run_pipeline(config, *backend, options), util::Error);
+}
+
+TEST_P(FailureTest, CorruptedStage0FailsLoudly) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend(GetParam());
+  backend->kernel0(config, config.stage0_dir());
+  // inject garbage into the first shard
+  io::write_file(io::shard_path(config.stage0_dir(), 0),
+                 "12\tnot-a-number\n");
+  EXPECT_THROW(
+      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      util::Error);
+}
+
+TEST_P(FailureTest, TruncatedRecordDetected) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend(GetParam());
+  backend->kernel0(config, config.stage0_dir());
+  // chop the final newline off the last shard
+  const auto shards = util::list_files_sorted(config.stage0_dir());
+  const std::string content = io::read_file(shards.back());
+  io::write_file(shards.back(), content.substr(0, content.size() - 1));
+  EXPECT_THROW(
+      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      util::Error);
+}
+
+TEST_P(FailureTest, OutOfRangeVertexFailsKernel2) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend(GetParam());
+  util::ensure_dir(config.stage1_dir());
+  // vertex 99999 >= N = 256
+  io::write_file(io::shard_path(config.stage1_dir(), 0),
+                 "1\t2\n99999\t3\n");
+  EXPECT_THROW(backend->kernel2(config, config.stage1_dir()), util::Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FailureTest,
+                         ::testing::Values("native", "parallel", "graphblas",
+                                           "arraylang", "dataframe"),
+                         [](const auto& info) { return info.param; });
+
+TEST(FailureRecoveryTest, PipelineRecoversAfterFailedRun) {
+  // A failed run must not poison the work dir for the next attempt.
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  backend->kernel0(config, config.stage0_dir());
+  io::write_file(io::shard_path(config.stage0_dir(), 0), "garbage\n");
+  EXPECT_THROW(
+      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      util::Error);
+  // Full fresh run in the same work dir succeeds.
+  const auto result = run_pipeline(config, *backend);
+  EXPECT_EQ(result.ranks.size(), config.num_vertices());
+}
+
+TEST(FailureRecoveryTest, KernelMismatchedMatrixRejected) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  const sparse::CsrMatrix wrong_size(8, 8);  // N should be 256
+  EXPECT_THROW(backend->kernel3(config, wrong_size), util::Error);
+}
+
+TEST(FailureRecoveryTest, NonDirectoryStagePathFails) {
+  util::TempDir work("prpb-fail");
+  PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  // stage0 path exists as a *file*
+  io::write_file(config.stage0_dir(), "i am a file");
+  EXPECT_THROW(backend->kernel0(config, config.stage0_dir()), util::Error);
+}
+
+TEST(FailureRecoveryTest, EmptyStageYieldsEmptyMatrixNotCrash) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  util::ensure_dir(config.stage1_dir());
+  io::FileWriter empty(io::shard_path(config.stage1_dir(), 0));
+  empty.close();
+  const auto matrix = backend->kernel2(config, config.stage1_dir());
+  EXPECT_EQ(matrix.nnz(), 0u);
+  EXPECT_EQ(matrix.rows(), config.num_vertices());
+}
+
+}  // namespace
+}  // namespace prpb::core

@@ -1,0 +1,291 @@
+// Tests for the GraphBLAS algorithm suite (src/grb/algorithms.*): BFS,
+// SSSP, triangle counting, connected components, masked operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/kronecker.hpp"
+#include "grb/algorithms.hpp"
+#include "grb/ops.hpp"
+#include "util/error.hpp"
+
+namespace prpb::grb {
+namespace {
+
+/// 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 2 (weight 5).
+Matrix weighted_dag() {
+  return Matrix::build({0, 1, 2, 0}, {1, 2, 3, 2}, {1.0, 1.0, 1.0, 5.0},
+                       4, 4);
+}
+
+/// Two disjoint undirected components: {0,1,2} triangle and {3,4} edge.
+Matrix two_components() {
+  return Matrix::build({0, 1, 2, 3}, {1, 2, 0, 4}, {1, 1, 1, 1}, 5, 5);
+}
+
+// ---- masked ops ----------------------------------------------------------------
+
+TEST(MaskedOpsTest, VxmMaskedKeepsOnlyMaskedWhenNotComplemented) {
+  const Matrix a = Matrix::build({0, 0}, {1, 2}, {1.0, 1.0}, 3, 3);
+  Vector u(3, 0.0);
+  u[0] = 1.0;
+  Vector mask(3, 0.0);
+  mask[1] = 1.0;  // only position 1 is computed
+  const Vector w = vxm_masked<OrAnd>(u, a, mask, /*complement=*/false);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);  // suppressed by mask
+}
+
+TEST(MaskedOpsTest, ComplementMaskSuppressesVisited) {
+  const Matrix a = Matrix::build({0, 0}, {1, 2}, {1.0, 1.0}, 3, 3);
+  Vector u(3, 0.0);
+  u[0] = 1.0;
+  Vector visited(3, 0.0);
+  visited[1] = 1.0;  // already seen: complement mask hides it
+  const Vector w = vxm_masked<OrAnd>(u, a, visited, /*complement=*/true);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+}
+
+TEST(MaskedOpsTest, AssignMasked) {
+  Vector w(std::vector<double>{1.0, 2.0, 3.0});
+  Vector mask(std::vector<double>{0.0, 1.0, 1.0});
+  assign_masked(w, mask, 9.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 9.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+  EXPECT_THROW(assign_masked(w, Vector(2), 0.0), util::ConfigError);
+}
+
+TEST(MaskedOpsTest, Extract) {
+  const Vector u(std::vector<double>{10, 20, 30});
+  const Vector w = extract(u, {2, 0});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 30.0);
+  EXPECT_DOUBLE_EQ(w[1], 10.0);
+  EXPECT_THROW(extract(u, {3}), util::ConfigError);
+}
+
+// ---- BFS -----------------------------------------------------------------------
+
+TEST(BfsTest, LevelsOnPathGraph) {
+  const Matrix a =
+      Matrix::build({0, 1, 2}, {1, 2, 3}, {1, 1, 1}, 4, 4);
+  const auto levels = bfs_levels(a, 0);
+  EXPECT_EQ(levels, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsTest, UnreachableVerticesMinusOne) {
+  const Matrix a = Matrix::build({0}, {1}, {1.0}, 4, 4);
+  const auto levels = bfs_levels(a, 0);
+  EXPECT_EQ(levels[2], -1);
+  EXPECT_EQ(levels[3], -1);
+}
+
+TEST(BfsTest, ShortcutTakesShorterLevel) {
+  const auto levels = bfs_levels(weighted_dag(), 0);
+  EXPECT_EQ(levels[2], 1);  // direct hop wins over the 2-hop path
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(BfsTest, DirectedEdgesNotTraversedBackward) {
+  const Matrix a = Matrix::build({0}, {1}, {1.0}, 2, 2);
+  const auto levels = bfs_levels(a, 1);
+  EXPECT_EQ(levels[0], -1);
+  EXPECT_EQ(levels[1], 0);
+}
+
+TEST(BfsTest, SourceOutOfRangeThrows) {
+  EXPECT_THROW(bfs_levels(Matrix(2, 2), 2), util::ConfigError);
+  EXPECT_THROW(bfs_levels(Matrix(2, 3), 0), util::ConfigError);
+}
+
+TEST(BfsTest, FrontierSizesSumToReachableCount) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  std::vector<std::uint64_t> rows, cols;
+  for (const auto& e : edges) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+  }
+  const Matrix a = Matrix::build(rows, cols,
+                                 std::vector<double>(rows.size(), 1.0),
+                                 256, 256);
+  const auto levels = bfs_levels(a, edges.front().u);
+  const auto sizes = frontier_sizes(a, edges.front().u);
+  std::uint64_t reachable = 0;
+  for (const auto l : levels) reachable += l >= 0 ? 1 : 0;
+  std::uint64_t total = 0;
+  for (const auto s : sizes) total += s;
+  EXPECT_EQ(total, reachable);
+  EXPECT_EQ(sizes[0], 1u);  // the source alone at level 0
+}
+
+// ---- SSSP ----------------------------------------------------------------------
+
+TEST(SsspTest, PicksCheaperPathNotFewerHops) {
+  const auto dist = sssp(weighted_dag(), 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // 0->1->2 (cost 2) beats 0->2 (cost 5)
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(SsspTest, UnreachableIsInfinity) {
+  const Matrix a = Matrix::build({0}, {1}, {1.0}, 3, 3);
+  const auto dist = sssp(a, 0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+}
+
+TEST(SsspTest, AgreesWithBfsOnUnitWeights) {
+  gen::KroneckerParams params;
+  params.scale = 7;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  std::vector<std::uint64_t> rows, cols;
+  for (const auto& e : edges) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+  }
+  // structure-only build: values 1.0 after dedup collapse
+  Matrix a = Matrix::build(rows, cols,
+                           std::vector<double>(rows.size(), 1.0), 128, 128);
+  a = apply_values(a, [](double) { return 1.0; });
+  const auto levels = bfs_levels(a, 0);
+  const auto dist = sssp(a, 0);
+  for (std::size_t v = 0; v < 128; ++v) {
+    if (levels[v] >= 0) {
+      EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(levels[v])) << v;
+    } else {
+      EXPECT_TRUE(std::isinf(dist[v])) << v;
+    }
+  }
+}
+
+TEST(SsspTest, NegativeEdgeWithoutCycleIsFine) {
+  const Matrix a =
+      Matrix::build({0, 1}, {1, 2}, {5.0, -2.0}, 3, 3);
+  const auto dist = sssp(a, 0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+}
+
+// ---- triangles -------------------------------------------------------------------
+
+TEST(TriangleTest, SingleTriangle) {
+  const Matrix a =
+      Matrix::build({0, 1, 2}, {1, 2, 0}, {1, 1, 1}, 3, 3);
+  EXPECT_EQ(triangle_count(a), 1u);
+}
+
+TEST(TriangleTest, SquareHasNoTriangles) {
+  const Matrix a =
+      Matrix::build({0, 1, 2, 3}, {1, 2, 3, 0}, {1, 1, 1, 1}, 4, 4);
+  EXPECT_EQ(triangle_count(a), 0u);
+}
+
+TEST(TriangleTest, CompleteGraphK4HasFour) {
+  std::vector<std::uint64_t> rows, cols;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        rows.push_back(i);
+        cols.push_back(j);
+      }
+    }
+  }
+  const Matrix a = Matrix::build(
+      rows, cols, std::vector<double>(rows.size(), 1.0), 4, 4);
+  EXPECT_EQ(triangle_count(a), 4u);  // C(4,3)
+}
+
+TEST(TriangleTest, SelfLoopsAndDuplicatesIgnored) {
+  const Matrix a = Matrix::build({0, 1, 2, 0, 0}, {1, 2, 0, 0, 1},
+                                 {1, 1, 1, 1, 1}, 3, 3);
+  EXPECT_EQ(triangle_count(a), 1u);
+}
+
+TEST(TriangleTest, MatchesBruteForceOnKronecker) {
+  gen::KroneckerParams params;
+  params.scale = 6;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  const std::uint64_t n = 64;
+  // adjacency set, symmetrized, no loops
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const auto& e : edges) {
+    if (e.u != e.v) {
+      adj[e.u][e.v] = true;
+      adj[e.v][e.u] = true;
+    }
+  }
+  std::uint64_t brute = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = i + 1; j < n; ++j)
+      for (std::uint64_t k = j + 1; k < n; ++k)
+        if (adj[i][j] && adj[j][k] && adj[i][k]) ++brute;
+
+  std::vector<std::uint64_t> rows, cols;
+  for (const auto& e : edges) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+  }
+  const Matrix a = Matrix::build(
+      rows, cols, std::vector<double>(rows.size(), 1.0), n, n);
+  EXPECT_EQ(triangle_count(a), brute);
+}
+
+// ---- connected components ----------------------------------------------------------
+
+TEST(ComponentsTest, TwoComponentsLabelled) {
+  const auto labels = connected_components(two_components());
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+}
+
+TEST(ComponentsTest, IsolatedVertexIsItsOwnComponent) {
+  const Matrix a = Matrix::build({0}, {1}, {1.0}, 3, 3);
+  const auto labels = connected_components(a);
+  EXPECT_EQ(labels[2], 2u);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  // 1 -> 0 only; weak connectivity still joins them.
+  const Matrix a = Matrix::build({1}, {0}, {1.0}, 2, 2);
+  const auto labels = connected_components(a);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+TEST(ComponentsTest, LabelIsSmallestVertexInComponent) {
+  const Matrix a = Matrix::build({4, 3}, {3, 2}, {1.0, 1.0}, 5, 5);
+  const auto labels = connected_components(a);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[3], 2u);
+  EXPECT_EQ(labels[4], 2u);
+}
+
+TEST(ComponentsTest, ComponentCountOnKronecker) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  std::vector<std::uint64_t> rows, cols;
+  for (const auto& e : edges) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+  }
+  const Matrix a = Matrix::build(
+      rows, cols, std::vector<double>(rows.size(), 1.0), 256, 256);
+  const auto labels = connected_components(a);
+  std::set<std::uint64_t> distinct(labels.begin(), labels.end());
+  EXPECT_GE(distinct.size(), 1u);
+  // every label must be the minimum of its component (self-consistency)
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    EXPECT_EQ(labels[labels[v]], labels[v]);
+    EXPECT_LE(labels[v], v);
+  }
+}
+
+}  // namespace
+}  // namespace prpb::grb

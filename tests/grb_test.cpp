@@ -1,0 +1,329 @@
+// Tests for the mini-GraphBLAS layer (src/grb): containers, semiring
+// algebra, and the operations used by the graphblas pipeline backend,
+// plus classic GraphBLAS idioms (BFS via OrAnd, shortest paths via MinPlus).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grb/matrix.hpp"
+#include "grb/ops.hpp"
+#include "grb/semiring.hpp"
+#include "util/error.hpp"
+
+namespace prpb::grb {
+namespace {
+
+Matrix path_graph() {
+  // 0 -> 1 -> 2 -> 3 (unit weights)
+  return Matrix::build({0, 1, 2}, {1, 2, 3}, {1.0, 1.0, 1.0}, 4, 4);
+}
+
+// ---- containers ---------------------------------------------------------------
+
+TEST(VectorTest, ConstructionAndNvals) {
+  Vector v(5, 0.0);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 0u);
+  v[2] = 3.0;
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, NvalsWithCustomZero) {
+  Vector v(std::vector<double>{1.0, 1.0, 2.0});
+  EXPECT_EQ(v.nvals(1.0), 1u);
+}
+
+TEST(MatrixTest, BuildAccumulatesDuplicatesWithPlus) {
+  const Matrix m =
+      Matrix::build({0, 0}, {1, 1}, {2.0, 3.0}, 2, 2);
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+}
+
+TEST(MatrixTest, ShapeAccessors) {
+  const Matrix m(3, 5);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 5u);
+  EXPECT_EQ(m.nvals(), 0u);
+}
+
+// ---- semiring structs -----------------------------------------------------------
+
+TEST(SemiringTest, MonoidIdentities) {
+  EXPECT_DOUBLE_EQ(Plus::identity, 0.0);
+  EXPECT_DOUBLE_EQ(Times::identity, 1.0);
+  EXPECT_TRUE(std::isinf(Min::identity));
+  EXPECT_TRUE(std::isinf(Max::identity));
+  EXPECT_DOUBLE_EQ(Plus::apply(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(Min::apply(2, 3), 2.0);
+  EXPECT_DOUBLE_EQ(Max::apply(2, 3), 3.0);
+  EXPECT_DOUBLE_EQ(LogicalOr::apply(0.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(LogicalAnd::apply(1.0, 0.0), 0.0);
+}
+
+// ---- vxm / mxv ------------------------------------------------------------------
+
+TEST(OpsTest, VxmPlusTimes) {
+  const Matrix a = Matrix::build({0, 1}, {1, 0}, {2.0, 3.0}, 2, 2);
+  const Vector u(std::vector<double>{1.0, 10.0});
+  const Vector w = vxm(u, a);
+  EXPECT_DOUBLE_EQ(w[0], 30.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(OpsTest, MxvPlusTimes) {
+  const Matrix a = Matrix::build({0, 1}, {1, 0}, {2.0, 3.0}, 2, 2);
+  const Vector u(std::vector<double>{1.0, 10.0});
+  const Vector w = mxv(a, u);
+  EXPECT_DOUBLE_EQ(w[0], 20.0);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+}
+
+TEST(OpsTest, VxmDimensionMismatchThrows) {
+  const Matrix a(2, 2);
+  EXPECT_THROW(vxm(Vector(3), a), util::ConfigError);
+  EXPECT_THROW(mxv(a, Vector(3)), util::ConfigError);
+}
+
+TEST(OpsTest, VxmTransposeDuality) {
+  // u ·ₛ A == Aᵀ ·ₛ u for plus-times.
+  const Matrix a =
+      Matrix::build({0, 0, 1, 2}, {1, 2, 0, 2}, {1, 2, 3, 4}, 3, 3);
+  const Vector u(std::vector<double>{1.0, 2.0, 3.0});
+  const Vector lhs = vxm(u, a);
+  const Vector rhs = mxv(transpose(a), u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(lhs[i], rhs[i]);
+  }
+}
+
+TEST(OpsTest, MinPlusShortestPathRelaxation) {
+  // dist' = dist minplus.vxm A relaxes one hop along the path graph.
+  const Matrix a = path_graph();
+  Vector dist(4, Min::identity);
+  dist[0] = 0.0;
+  dist = vxm<MinPlus>(dist, a);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+  // note: vxm overwrites; combine with ewise to keep old distances
+}
+
+TEST(OpsTest, OrAndBfsFrontierExpansion) {
+  const Matrix a = path_graph();
+  Vector frontier(4, 0.0);
+  frontier[0] = 1.0;
+  Vector visited = frontier;
+  for (int hop = 0; hop < 3; ++hop) {
+    frontier = vxm<OrAnd>(frontier, a);
+    visited = ewise_add(visited, frontier);
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_GT(visited[i], 0.0);
+}
+
+// ---- mxm ------------------------------------------------------------------------
+
+TEST(OpsTest, MxmSmallExample) {
+  // [[1, 2], [0, 3]] * [[4, 0], [5, 6]] = [[14, 12], [15, 18]]
+  const Matrix a =
+      Matrix::build({0, 0, 1}, {0, 1, 1}, {1.0, 2.0, 3.0}, 2, 2);
+  const Matrix b =
+      Matrix::build({0, 1, 1}, {0, 0, 1}, {4.0, 5.0, 6.0}, 2, 2);
+  const Matrix c = mxm(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 18.0);
+}
+
+TEST(OpsTest, MxmIdentityIsNeutral) {
+  const Matrix a =
+      Matrix::build({0, 1, 2}, {2, 0, 1}, {1.5, 2.5, 3.5}, 3, 3);
+  const Matrix eye = diag(Vector(std::vector<double>{1.0, 1.0, 1.0}));
+  const Matrix left = mxm(eye, a);
+  const Matrix right = mxm(a, eye);
+  EXPECT_TRUE(left.csr().approx_equal(a.csr(), 1e-15));
+  EXPECT_TRUE(right.csr().approx_equal(a.csr(), 1e-15));
+}
+
+TEST(OpsTest, MxmInnerDimensionMismatchThrows) {
+  EXPECT_THROW(mxm(Matrix(2, 3), Matrix(2, 3)), util::ConfigError);
+}
+
+TEST(OpsTest, MxmMinPlusComputesTwoHopDistances) {
+  const Matrix a = path_graph();
+  const Matrix two_hop = mxm<MinPlus>(a, a);
+  EXPECT_DOUBLE_EQ(two_hop.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(two_hop.at(1, 3), 2.0);
+}
+
+TEST(OpsTest, MxmDiagScalesRows) {
+  // The kernel-2 normalization pattern: diag(1/dout) * A.
+  const Matrix a =
+      Matrix::build({0, 0, 1}, {0, 1, 1}, {2.0, 2.0, 5.0}, 2, 2);
+  const Vector dout = reduce_rows(a);
+  const Vector inv = apply(dout, [](double d) { return d > 0 ? 1 / d : 0; });
+  const Matrix normalized = mxm(diag(inv), a);
+  EXPECT_DOUBLE_EQ(normalized.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(normalized.at(1, 1), 1.0);
+}
+
+// ---- reductions -------------------------------------------------------------------
+
+TEST(OpsTest, ReduceColumnsMatchesMatlabSum1) {
+  const Matrix a =
+      Matrix::build({0, 0, 1, 2}, {0, 1, 1, 1}, {1, 2, 3, 4}, 3, 3);
+  const Vector din = reduce_columns(a);
+  EXPECT_DOUBLE_EQ(din[0], 1.0);
+  EXPECT_DOUBLE_EQ(din[1], 9.0);
+  EXPECT_DOUBLE_EQ(din[2], 0.0);
+}
+
+TEST(OpsTest, ReduceRowsMatchesMatlabSum2) {
+  const Matrix a =
+      Matrix::build({0, 0, 2}, {0, 1, 1}, {1, 2, 4}, 3, 3);
+  const Vector dout = reduce_rows(a);
+  EXPECT_DOUBLE_EQ(dout[0], 3.0);
+  EXPECT_DOUBLE_EQ(dout[1], 0.0);
+  EXPECT_DOUBLE_EQ(dout[2], 4.0);
+}
+
+TEST(OpsTest, ReduceVectorWithDifferentMonoids) {
+  const Vector v(std::vector<double>{3.0, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(reduce<Plus>(v), 4.0);
+  EXPECT_DOUBLE_EQ(reduce<Max>(v), 3.0);
+  EXPECT_DOUBLE_EQ(reduce<Min>(v), -1.0);
+}
+
+TEST(OpsTest, ReduceColumnsMaxMonoid) {
+  const Matrix a =
+      Matrix::build({0, 1}, {0, 0}, {3.0, 7.0}, 2, 2);
+  const Vector m = reduce_columns<Max>(a);
+  EXPECT_DOUBLE_EQ(m[0], 7.0);
+  EXPECT_TRUE(std::isinf(m[1]));  // empty column keeps Max identity
+}
+
+// ---- apply / select / ewise --------------------------------------------------------
+
+TEST(OpsTest, ApplyVector) {
+  const Vector v(std::vector<double>{1.0, 4.0});
+  const Vector w = apply(v, [](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 16.0);
+}
+
+TEST(OpsTest, ApplyValuesOnlyTouchesStoredEntries) {
+  const Matrix a = Matrix::build({0}, {1}, {3.0}, 2, 2);
+  const Matrix b = apply_values(a, [](double x) { return x + 1; });
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 0.0);  // structural zero untouched
+  EXPECT_EQ(b.nvals(), 1u);
+}
+
+TEST(OpsTest, SelectByPredicate) {
+  const Matrix a = Matrix::build({0, 0, 1}, {0, 1, 1},
+                                 {1.0, 5.0, 2.0}, 2, 2);
+  const Matrix big = select(
+      a, [](std::uint64_t, std::uint64_t, double v) { return v > 1.5; });
+  EXPECT_EQ(big.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(big.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(big.at(0, 1), 5.0);
+}
+
+TEST(OpsTest, SelectByColumnMatchesZeroColumns) {
+  // The kernel-2 idiom: select on column predicate == A(:, mask) = 0.
+  const Matrix a = Matrix::build({0, 1, 1}, {0, 0, 1},
+                                 {1.0, 1.0, 1.0}, 2, 2);
+  const Matrix kept = select(
+      a, [](std::uint64_t, std::uint64_t col, double) { return col != 0; });
+  EXPECT_EQ(kept.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(kept.at(1, 1), 1.0);
+}
+
+TEST(OpsTest, EwiseAddAndMult) {
+  const Vector u(std::vector<double>{1.0, 2.0});
+  const Vector v(std::vector<double>{3.0, 4.0});
+  const Vector sum = ewise_add(u, v);
+  const Vector prod = ewise_mult(u, v);
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 6.0);
+  EXPECT_DOUBLE_EQ(prod[0], 3.0);
+  EXPECT_DOUBLE_EQ(prod[1], 8.0);
+  EXPECT_THROW(ewise_add(u, Vector(3)), util::ConfigError);
+  EXPECT_THROW(ewise_mult(u, Vector(3)), util::ConfigError);
+}
+
+TEST(OpsTest, DiagSkipsZeros) {
+  const Matrix d = diag(Vector(std::vector<double>{2.0, 0.0, 3.0}));
+  EXPECT_EQ(d.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 2), 3.0);
+}
+
+TEST(OpsTest, TransposeMatchesCsrTranspose) {
+  const Matrix a = Matrix::build({0, 1}, {1, 0}, {5.0, 6.0}, 2, 3);
+  const Matrix t = transpose(a);
+  EXPECT_EQ(t.nrows(), 3u);
+  EXPECT_EQ(t.ncols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 6.0);
+}
+
+// ---- matrix ewise ------------------------------------------------------------------
+
+TEST(MatrixEwiseTest, AddIsStructuralUnion) {
+  const Matrix a = Matrix::build({0, 1}, {0, 1}, {1.0, 2.0}, 2, 2);
+  const Matrix b = Matrix::build({0, 1}, {1, 1}, {5.0, 3.0}, 2, 2);
+  const Matrix c = ewise_add(a, b);
+  EXPECT_EQ(c.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);  // only in a
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 5.0);  // only in b
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 5.0);  // 2 + 3
+}
+
+TEST(MatrixEwiseTest, MultIsStructuralIntersection) {
+  const Matrix a = Matrix::build({0, 1}, {0, 1}, {2.0, 4.0}, 2, 2);
+  const Matrix b = Matrix::build({1, 1}, {0, 1}, {7.0, 3.0}, 2, 2);
+  const Matrix c = ewise_mult(a, b);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 12.0);
+}
+
+TEST(MatrixEwiseTest, CustomCombiner) {
+  const Matrix a = Matrix::build({0}, {0}, {2.0}, 1, 1);
+  const Matrix b = Matrix::build({0}, {0}, {5.0}, 1, 1);
+  const Matrix c =
+      ewise_add(a, b, [](double x, double y) { return std::max(x, y); });
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 5.0);
+}
+
+TEST(MatrixEwiseTest, ShapeMismatchThrows) {
+  EXPECT_THROW(ewise_add(Matrix(2, 2), Matrix(2, 3)), util::ConfigError);
+  EXPECT_THROW(ewise_mult(Matrix(2, 2), Matrix(3, 2)), util::ConfigError);
+}
+
+TEST(MatrixEwiseTest, AddWithEmptyIsIdentityOfUnion) {
+  const Matrix a = Matrix::build({0, 1}, {1, 0}, {1.5, 2.5}, 2, 2);
+  const Matrix empty(2, 2);
+  const Matrix c = ewise_add(a, empty);
+  EXPECT_TRUE(c.csr().approx_equal(a.csr(), 0.0));
+  EXPECT_EQ(ewise_mult(a, empty).nvals(), 0u);
+}
+
+// ---- the kernel-3 idiom ------------------------------------------------------------
+
+TEST(OpsTest, PageRankStepViaGrbMatchesHandComputation) {
+  const Matrix a = Matrix::build({0, 1}, {1, 0}, {1.0, 1.0}, 2, 2);
+  Vector r(std::vector<double>{0.25, 0.75});
+  const double c = 0.85;
+  const double r_sum = reduce(r);
+  const Vector y = vxm(r, a);
+  const double add = (1 - c) * r_sum / 2.0;
+  r = apply(y, [c, add](double x) { return c * x + add; });
+  EXPECT_NEAR(r[0], 0.7125, 1e-12);
+  EXPECT_NEAR(r[1], 0.2875, 1e-12);
+}
+
+}  // namespace
+}  // namespace prpb::grb

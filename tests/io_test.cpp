@@ -1,0 +1,351 @@
+// Tests for src/io: TSV codecs, buffered streams, sharded edge stages,
+// binary spill runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gen/kronecker.hpp"
+#include "io/binary_run.hpp"
+#include "io/edge_files.hpp"
+#include "io/file_stream.hpp"
+#include "io/mmap_file.hpp"
+#include "io/tsv.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+namespace {
+
+namespace fs = std::filesystem;
+using gen::Edge;
+using gen::EdgeList;
+
+// ---- tsv codecs -------------------------------------------------------------
+
+class CodecTest : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(CodecTest, RoundTripsEdges) {
+  const EdgeList edges = {{0, 0}, {1, 2}, {12345, 67890},
+                          {~0ULL >> 1, 42}};
+  std::string text;
+  for (const auto& edge : edges) append_edge(text, edge, GetParam());
+  EdgeList parsed;
+  const std::size_t consumed = parse_edges(text, parsed, GetParam());
+  EXPECT_EQ(consumed, text.size());
+  EXPECT_EQ(parsed, edges);
+}
+
+TEST_P(CodecTest, LeavesPartialLineUnconsumed) {
+  std::string text = "1\t2\n34\t5";  // second record unterminated
+  EdgeList parsed;
+  const std::size_t consumed = parse_edges(text, parsed, GetParam());
+  EXPECT_EQ(consumed, 4u);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], (Edge{1, 2}));
+}
+
+TEST_P(CodecTest, SkipsEmptyLines) {
+  EdgeList parsed;
+  parse_edges("1\t2\n\n3\t4\n", parsed, GetParam());
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST_P(CodecTest, HandlesCrLf) {
+  EdgeList parsed;
+  parse_edges("1\t2\r\n3\t4\r\n", parsed, GetParam());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1], (Edge{3, 4}));
+}
+
+TEST_P(CodecTest, MalformedLineThrows) {
+  EdgeList parsed;
+  EXPECT_THROW(parse_edges("1 2\n", parsed, GetParam()), util::IoError);
+  EXPECT_THROW(parse_edges("a\tb\n", parsed, GetParam()), util::IoError);
+}
+
+TEST_P(CodecTest, ParseEdgeLineSingle) {
+  EXPECT_EQ(parse_edge_line("7\t9", GetParam()), (Edge{7, 9}));
+  EXPECT_THROW(parse_edge_line("7", GetParam()), util::IoError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCodecs, CodecTest,
+                         ::testing::Values(Codec::kFast, Codec::kGeneric),
+                         [](const auto& info) {
+                           return info.param == Codec::kFast ? "Fast"
+                                                             : "Generic";
+                         });
+
+TEST(CodecTest, FastRejectsTrailingGarbage) {
+  EdgeList parsed;
+  EXPECT_THROW(parse_edges_fast("1\t2x\n", parsed), util::IoError);
+  EXPECT_THROW(parse_edges_fast("1\t2\t3\n", parsed), util::IoError);
+}
+
+TEST(CodecTest, CodecsProduceIdenticalText) {
+  const EdgeList edges = {{3, 14}, {159, 2653}};
+  std::string fast;
+  std::string generic;
+  for (const auto& edge : edges) {
+    append_edge_fast(fast, edge);
+    append_edge_generic(generic, edge);
+  }
+  EXPECT_EQ(fast, generic);
+}
+
+// ---- file streams -----------------------------------------------------------
+
+TEST(FileStreamTest, WriteThenReadBack) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("f.txt");
+  {
+    FileWriter writer(path);
+    writer.write("hello ");
+    writer.write("world");
+    writer.close();
+    EXPECT_EQ(writer.bytes_written(), 11u);
+  }
+  EXPECT_EQ(read_file(path), "hello world");
+}
+
+TEST(FileStreamTest, ReadChunksCoverFile) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("big.txt");
+  std::string data(100000, 'a');
+  write_file(path, data);
+  FileReader reader(path, /*buffer_bytes=*/4096);
+  std::string got;
+  for (;;) {
+    const auto chunk = reader.read_chunk();
+    if (chunk.empty()) break;
+    got.append(chunk);
+  }
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(reader.bytes_read(), data.size());
+  EXPECT_TRUE(reader.eof());
+}
+
+TEST(FileStreamTest, MissingFileThrows) {
+  EXPECT_THROW(FileReader("/nonexistent/prpb-file"), util::IoError);
+  EXPECT_THROW(FileWriter("/nonexistent-dir/prpb-file"), util::IoError);
+}
+
+TEST(FileStreamTest, EmptyFile) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("empty");
+  write_file(path, "");
+  FileReader reader(path);
+  EXPECT_TRUE(reader.read_chunk().empty());
+}
+
+TEST(FileStreamTest, BufferedWritesFlushAtLimit) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("buffered");
+  FileWriter writer(path, /*buffer_bytes=*/64);
+  for (int i = 0; i < 100; ++i) writer.write("0123456789");
+  writer.close();
+  EXPECT_EQ(fs::file_size(path), 1000u);
+}
+
+// ---- sharded edge stages ----------------------------------------------------
+
+TEST(ShardTest, BoundariesPartitionExactly) {
+  const auto bounds = shard_boundaries(100, 7);
+  ASSERT_EQ(bounds.size(), 8u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 100u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ShardTest, MoreShardsThanItems) {
+  const auto bounds = shard_boundaries(3, 8);
+  EXPECT_EQ(bounds.back(), 3u);  // trailing shards are empty, never lost
+}
+
+TEST(ShardTest, ShardPathsAreSortedLexicographically) {
+  EXPECT_LT(shard_path("/d", 2).string(), shard_path("/d", 10).string());
+}
+
+class StageTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StageTest, GeneratedStageRoundTrips) {
+  const std::size_t shards = GetParam();
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-io");
+
+  const std::uint64_t bytes =
+      write_generated_edges(generator, dir.path(), shards, Codec::kFast);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(util::list_files_sorted(dir.path()).size(), shards);
+  EXPECT_EQ(count_edges(dir.path()), generator.num_edges());
+
+  const EdgeList read_back = read_all_edges(dir.path(), Codec::kFast);
+  EXPECT_EQ(read_back, generator.generate_all());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, StageTest,
+                         ::testing::Values(1, 2, 7, 16));
+
+TEST(StageTest, EdgeListRoundTrip) {
+  const EdgeList edges = {{5, 6}, {1, 2}, {3, 3}};
+  util::TempDir dir("prpb-io");
+  write_edge_list(edges, dir.path(), 2, Codec::kFast);
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast), edges);
+}
+
+TEST(StageTest, RewriteClearsStaleShards) {
+  const EdgeList many = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const EdgeList few = {{9, 9}};
+  util::TempDir dir("prpb-io");
+  write_edge_list(many, dir.path(), 4, Codec::kFast);
+  write_edge_list(few, dir.path(), 1, Codec::kFast);
+  EXPECT_EQ(util::list_files_sorted(dir.path()).size(), 1u);
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast), few);
+}
+
+TEST(StageTest, StreamAllEdgesSeesEverything) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-io");
+  write_generated_edges(generator, dir.path(), 3, Codec::kFast);
+
+  EdgeList streamed;
+  stream_all_edges(dir.path(), Codec::kFast,
+                   [&streamed](const EdgeList& batch) {
+                     streamed.insert(streamed.end(), batch.begin(),
+                                     batch.end());
+                   });
+  EXPECT_EQ(streamed, generator.generate_all());
+}
+
+TEST(StageTest, TruncatedFileDetected) {
+  util::TempDir dir("prpb-io");
+  write_file(shard_path(dir.path(), 0), "1\t2\n3\t4");  // no trailing \n
+  EXPECT_THROW(read_all_edges(dir.path(), Codec::kFast), util::IoError);
+}
+
+TEST(StageTest, CrossCodecCompatibility) {
+  // A stage written by the generic codec parses with the fast codec and
+  // vice versa — the file format is codec-independent.
+  const EdgeList edges = {{10, 20}, {30, 40}};
+  util::TempDir dir("prpb-io");
+  write_edge_list(edges, dir.path(), 1, Codec::kGeneric);
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast), edges);
+}
+
+// ---- mmap path ---------------------------------------------------------------
+
+TEST(MmapTest, ViewMatchesFileContents) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("m.txt");
+  write_file(path, "hello mmap");
+  const MmapFile file(path);
+  EXPECT_EQ(file.view(), "hello mmap");
+  EXPECT_EQ(file.size(), 10u);
+}
+
+TEST(MmapTest, EmptyFile) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("empty");
+  write_file(path, "");
+  const MmapFile file(path);
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_TRUE(file.view().empty());
+}
+
+TEST(MmapTest, MissingFileThrows) {
+  EXPECT_THROW(MmapFile("/nonexistent/prpb-mmap"), util::IoError);
+}
+
+TEST(MmapTest, EdgeStageMatchesBufferedReader) {
+  gen::KroneckerParams params;
+  params.scale = 9;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-io");
+  write_generated_edges(generator, dir.path(), 3, Codec::kFast);
+  EXPECT_EQ(read_all_edges_mmap(dir.path(), Codec::kFast),
+            read_all_edges(dir.path(), Codec::kFast));
+}
+
+TEST(MmapTest, TruncatedRecordDetected) {
+  util::TempDir dir("prpb-io");
+  write_file(shard_path(dir.path(), 0), "1\t2\n3\t4");
+  EXPECT_THROW(read_all_edges_mmap(dir.path(), Codec::kFast),
+               util::IoError);
+}
+
+// ---- binary runs ------------------------------------------------------------
+
+TEST(BinaryRunTest, RoundTrip) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("run.bin");
+  const EdgeList edges = {{1, 2}, {3, 4}, {~0ULL, 0}};
+  {
+    BinaryRunWriter writer(path);
+    writer.write_all(edges);
+    writer.close();
+    EXPECT_EQ(writer.records_written(), 3u);
+  }
+  BinaryRunReader reader(path);
+  EdgeList got;
+  while (auto edge = reader.next()) got.push_back(*edge);
+  EXPECT_EQ(got, edges);
+}
+
+TEST(BinaryRunTest, NextBatchLimitsCount) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("run.bin");
+  {
+    BinaryRunWriter writer(path);
+    for (std::uint64_t i = 0; i < 100; ++i) writer.write({i, i + 1});
+    writer.close();
+  }
+  BinaryRunReader reader(path);
+  EdgeList batch;
+  EXPECT_EQ(reader.next_batch(batch, 30), 30u);
+  EXPECT_EQ(reader.next_batch(batch, 1000), 70u);
+  EXPECT_EQ(reader.next_batch(batch, 10), 0u);
+  EXPECT_EQ(batch.size(), 100u);
+}
+
+TEST(BinaryRunTest, EmptyRun) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("empty.bin");
+  BinaryRunWriter writer(path);
+  writer.close();
+  BinaryRunReader reader(path);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(BinaryRunTest, CorruptTrailingBytesDetected) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("corrupt.bin");
+  write_file(path, std::string(20, 'x'));  // 16 + 4 stray bytes
+  BinaryRunReader reader(path);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_THROW(reader.next(), util::IoError);
+}
+
+TEST(BinaryRunTest, LargeRunSurvivesChunkBoundaries) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("large.bin");
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 100000; ++i) edges.push_back({i, i * 2});
+  {
+    BinaryRunWriter writer(path);
+    writer.write_all(edges);
+    writer.close();
+  }
+  BinaryRunReader reader(path);
+  EdgeList got;
+  got.reserve(edges.size());
+  while (auto edge = reader.next()) got.push_back(*edge);
+  EXPECT_EQ(got, edges);
+}
+
+}  // namespace
+}  // namespace prpb::io

@@ -1,0 +1,145 @@
+// Tests for Matrix Market import/export (src/io/matrix_market.*).
+#include <gtest/gtest.h>
+
+#include "gen/kronecker.hpp"
+#include "io/file_stream.hpp"
+#include "io/matrix_market.hpp"
+#include "sparse/filter.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+namespace {
+
+TEST(MatrixMarketTest, MatrixRoundTrip) {
+  const auto a = sparse::CsrMatrix::from_triplets(
+      {0, 1, 2}, {2, 0, 1}, {1.5, -2.0, 3.25}, 3, 4);
+  util::TempDir dir("prpb-mtx");
+  const auto path = dir.sub("m.mtx");
+  write_matrix_market(a, path);
+  const auto b = read_matrix_market(path);
+  EXPECT_TRUE(a.approx_equal(b, 0.0));
+  EXPECT_EQ(b.cols(), 4u);
+}
+
+TEST(MatrixMarketTest, Kernel2MatrixRoundTripsExactly) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  const auto a = sparse::filter_edges(edges, 256);
+  util::TempDir dir("prpb-mtx");
+  write_matrix_market(a, dir.sub("k2.mtx"));
+  const auto b = read_matrix_market(dir.sub("k2.mtx"));
+  EXPECT_TRUE(a.approx_equal(b, 0.0));  // %.17g round-trips doubles
+}
+
+TEST(MatrixMarketTest, EdgeListPatternRoundTrip) {
+  const gen::EdgeList edges = {{0, 1}, {2, 3}, {0, 1}};  // duplicate kept
+  util::TempDir dir("prpb-mtx");
+  write_matrix_market_edges(edges, 4, dir.sub("e.mtx"));
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  const auto back = read_matrix_market_edges(dir.sub("e.mtx"), &rows, &cols);
+  EXPECT_EQ(back, edges);
+  EXPECT_EQ(rows, 4u);
+  EXPECT_EQ(cols, 4u);
+}
+
+TEST(MatrixMarketTest, ReadsIntegerField) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("i.mtx"),
+             "%%MatrixMarket matrix coordinate integer general\n"
+             "2 2 2\n"
+             "1 1 7\n"
+             "2 2 -3\n");
+  const auto a = read_matrix_market(dir.sub("i.mtx"));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -3.0);
+}
+
+TEST(MatrixMarketTest, ReadsPatternAsOnes) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("p.mtx"),
+             "%%MatrixMarket matrix coordinate pattern general\n"
+             "% comment line\n"
+             "3 3 1\n"
+             "3 1\n");
+  const auto a = read_matrix_market(dir.sub("p.mtx"));
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 1.0);
+}
+
+TEST(MatrixMarketTest, DuplicateEntriesAccumulate) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("d.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 2\n"
+             "1 2 1.5\n"
+             "1 2 2.5\n");
+  const auto a = read_matrix_market(dir.sub("d.mtx"));
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+}
+
+TEST(MatrixMarketTest, RejectsBadBanner) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("bad.mtx"), "%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW(read_matrix_market(dir.sub("bad.mtx")), util::IoError);
+  write_file(dir.sub("bad2.mtx"), "hello\n");
+  EXPECT_THROW(read_matrix_market(dir.sub("bad2.mtx")), util::IoError);
+}
+
+TEST(MatrixMarketTest, RejectsSymmetric) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("s.mtx"),
+             "%%MatrixMarket matrix coordinate real symmetric\n"
+             "2 2 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(dir.sub("s.mtx")), util::IoError);
+}
+
+TEST(MatrixMarketTest, RejectsOutOfBoundsEntry) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("o.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(dir.sub("o.mtx")), util::IoError);
+  write_file(dir.sub("z.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "0 1 1.0\n");  // 1-based: 0 is invalid
+  EXPECT_THROW(read_matrix_market(dir.sub("z.mtx")), util::IoError);
+}
+
+TEST(MatrixMarketTest, RejectsEntryCountMismatch) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("c.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 2\n"
+             "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(dir.sub("c.mtx")), util::IoError);
+}
+
+TEST(MatrixMarketTest, HandlesMissingTrailingNewline) {
+  util::TempDir dir("prpb-mtx");
+  write_file(dir.sub("n.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "1 1 1\n"
+             "1 1 2.0");  // no trailing newline
+  const auto a = read_matrix_market(dir.sub("n.mtx"));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+}
+
+TEST(MatrixMarketTest, PipelineInteropImportedGraphRuns) {
+  // Export a generated graph as .mtx, re-import as edges, and check the
+  // multiset is intact.
+  gen::KroneckerParams params;
+  params.scale = 7;
+  const auto edges = gen::KroneckerGenerator(params).generate_all();
+  util::TempDir dir("prpb-mtx");
+  write_matrix_market_edges(edges, 128, dir.sub("g.mtx"));
+  const auto back = read_matrix_market_edges(dir.sub("g.mtx"));
+  EXPECT_EQ(back, edges);
+}
+
+}  // namespace
+}  // namespace prpb::io

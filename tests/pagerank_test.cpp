@@ -1,0 +1,272 @@
+// Tests for kernel 3 (src/sparse/pagerank.*): the paper's update rule, the
+// eigenvector equivalence, dangling-mass decay, and the extension options.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/generator.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/filter.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/error.hpp"
+
+namespace prpb::sparse {
+namespace {
+
+CsrMatrix two_cycle() {
+  // 0 <-> 1, row-normalized by construction.
+  return CsrMatrix::from_triplets({0, 1}, {1, 0}, {1.0, 1.0}, 2, 2);
+}
+
+// ---- initial vector -----------------------------------------------------------
+
+TEST(PageRankInitTest, NormalizedToOne) {
+  const auto r = pagerank_initial_vector(1000, 42);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(PageRankInitTest, DeterministicPerSeed) {
+  EXPECT_EQ(pagerank_initial_vector(100, 1), pagerank_initial_vector(100, 1));
+  EXPECT_NE(pagerank_initial_vector(100, 1), pagerank_initial_vector(100, 2));
+}
+
+TEST(PageRankInitTest, AllEntriesPositive) {
+  for (const double x : pagerank_initial_vector(1000, 3)) EXPECT_GT(x, 0.0);
+}
+
+TEST(PageRankInitTest, SizeZeroThrows) {
+  EXPECT_THROW(pagerank_initial_vector(0, 1), util::ConfigError);
+}
+
+// ---- update rule ----------------------------------------------------------------
+
+TEST(PageRankTest, OneIterationMatchesHandComputation) {
+  // r = [0.25, 0.75], A = two-cycle, c = 0.85:
+  // r*A = [0.75, 0.25]; add = 0.15*1.0/2 = 0.075
+  // r'  = [0.85*0.75 + 0.075, 0.85*0.25 + 0.075] = [0.7125, 0.2875]
+  const CsrMatrix a = two_cycle();
+  std::vector<double> r = {0.25, 0.75};
+  PageRankConfig config;
+  config.iterations = 1;
+  pagerank_iterate(a, r, config);
+  EXPECT_NEAR(r[0], 0.7125, 1e-12);
+  EXPECT_NEAR(r[1], 0.2875, 1e-12);
+}
+
+TEST(PageRankTest, ZeroIterationsLeavesInputUnchanged) {
+  const CsrMatrix a = two_cycle();
+  std::vector<double> r = {0.3, 0.7};
+  PageRankConfig config;
+  config.iterations = 0;
+  pagerank_iterate(a, r, config);
+  EXPECT_DOUBLE_EQ(r[0], 0.3);
+  EXPECT_DOUBLE_EQ(r[1], 0.7);
+}
+
+TEST(PageRankTest, MassConservedWithoutDanglingNodes) {
+  // Fully stochastic matrix (no dangling rows): sum(r) stays 1.
+  const CsrMatrix a = two_cycle();
+  PageRankConfig config;
+  config.iterations = 20;
+  const auto r = pagerank(a, config);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(PageRankTest, MassDecaysWithDanglingNodes) {
+  // Paper deliberately omits the dangling correction: with a dangling row
+  // the total mass decreases each iteration.
+  const CsrMatrix a =
+      CsrMatrix::from_triplets({0}, {1}, {1.0}, 2, 2);  // row 1 dangling
+  PageRankConfig config;
+  config.iterations = 1;
+  std::vector<double> r = {0.5, 0.5};
+  pagerank_iterate(a, r, config);
+  const double sum = r[0] + r[1];
+  EXPECT_LT(sum, 1.0);
+  // exact: c*0.5 (mass through the edge) + 2*(1-c)*1/2 = 0.425 + 0.15
+  EXPECT_NEAR(sum, 0.575, 1e-12);
+}
+
+TEST(PageRankTest, RedistributeDanglingConservesMass) {
+  const CsrMatrix a = CsrMatrix::from_triplets({0}, {1}, {1.0}, 2, 2);
+  PageRankConfig config;
+  config.iterations = 10;
+  config.redistribute_dangling = true;
+  const auto r = pagerank(a, config);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DampingZeroGivesUniformTeleport) {
+  // c = 0: r' = sum(r)/N everywhere.
+  const CsrMatrix a = two_cycle();
+  std::vector<double> r = {0.9, 0.1};
+  PageRankConfig config;
+  config.iterations = 1;
+  config.damping = 0.0;
+  pagerank_iterate(a, r, config);
+  EXPECT_NEAR(r[0], 0.5, 1e-12);
+  EXPECT_NEAR(r[1], 0.5, 1e-12);
+}
+
+TEST(PageRankTest, DampingOnePureWalk) {
+  // c = 1: r' = r*A exactly.
+  const CsrMatrix a = two_cycle();
+  std::vector<double> r = {0.9, 0.1};
+  PageRankConfig config;
+  config.iterations = 1;
+  config.damping = 1.0;
+  pagerank_iterate(a, r, config);
+  EXPECT_NEAR(r[0], 0.1, 1e-12);
+  EXPECT_NEAR(r[1], 0.9, 1e-12);
+}
+
+TEST(PageRankTest, InvalidConfigThrows) {
+  PageRankConfig config;
+  config.iterations = -1;
+  EXPECT_THROW(config.validate(), util::ConfigError);
+  config = PageRankConfig{};
+  config.damping = 1.5;
+  EXPECT_THROW(config.validate(), util::ConfigError);
+}
+
+TEST(PageRankTest, NonSquareMatrixThrows) {
+  const CsrMatrix a(2, 3);
+  std::vector<double> r = {1.0, 0.0};
+  EXPECT_THROW(pagerank_iterate(a, r, PageRankConfig{}),
+               util::ConfigError);
+}
+
+TEST(PageRankTest, WrongVectorSizeThrows) {
+  const CsrMatrix a = two_cycle();
+  std::vector<double> r = {1.0};
+  EXPECT_THROW(pagerank_iterate(a, r, PageRankConfig{}),
+               util::ConfigError);
+}
+
+// ---- eigenvector equivalence (the paper's validation) --------------------------
+
+class EigenCheckTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EigenCheckTest, TwentyIterationsApproachLeadingEigenvector) {
+  const auto generator = gen::make_generator(GetParam(), 8, 16, 99);
+  const CsrMatrix a =
+      filter_edges(generator->generate_all(), generator->num_vertices());
+
+  PageRankConfig config;
+  config.iterations = 60;  // extra iterations to tighten the comparison
+  const auto r = pagerank(a, config);
+
+  const DenseMatrix g = pagerank_validation_matrix(a, config.damping);
+  const auto eig = power_iteration(g, 3000, 1e-13);
+  ASSERT_TRUE(eig.converged);
+
+  const auto rn = normalized1(r);
+  const auto en = normalized1(eig.eigenvector);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < rn.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(rn[i] - en[i]));
+  EXPECT_LT(max_diff, 1e-8) << "generator " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, EigenCheckTest,
+                         ::testing::Values("kronecker", "bter", "ppl"));
+
+TEST(PageRankTest, RankingStableAcrossExtraIterations) {
+  // Past convergence, extra iterations must not change the ordering.
+  const auto generator = gen::make_generator("kronecker", 8, 16, 7);
+  const CsrMatrix a =
+      filter_edges(generator->generate_all(), generator->num_vertices());
+  PageRankConfig c20;
+  c20.iterations = 20;
+  PageRankConfig c40;
+  c40.iterations = 40;
+  const auto r20 = normalized1(pagerank(a, c20));
+  const auto r40 = normalized1(pagerank(a, c40));
+  // compare argmax and overall closeness
+  const auto max20 = std::max_element(r20.begin(), r20.end()) - r20.begin();
+  const auto max40 = std::max_element(r40.begin(), r40.end()) - r40.begin();
+  EXPECT_EQ(max20, max40);
+  for (std::size_t i = 0; i < r20.size(); ++i) {
+    EXPECT_NEAR(r20[i], r40[i], 1e-6);
+  }
+}
+
+TEST(PageRankTest, UniformGraphGivesUniformRank) {
+  // Complete graph with self loops (normalized): stationary = uniform.
+  std::vector<std::uint64_t> rows, cols;
+  std::vector<double> vals;
+  const std::uint64_t n = 8;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      rows.push_back(i);
+      cols.push_back(j);
+      vals.push_back(1.0 / static_cast<double>(n));
+    }
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(rows, cols, vals, n, n);
+  PageRankConfig config;
+  config.iterations = 30;
+  const auto r = normalized1(pagerank(a, config));
+  for (const double x : r) EXPECT_NEAR(x, 1.0 / n, 1e-10);
+}
+
+// ---- convergence mode (paper: the "real application" variant) -------------------
+
+TEST(ConvergenceTest, ConvergesOnSmallGraph) {
+  const auto generator = gen::make_generator("kronecker", 8, 16, 3);
+  const CsrMatrix a =
+      filter_edges(generator->generate_all(), generator->num_vertices());
+  PageRankConfig config;
+  const auto result = pagerank_until_converged(a, config, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual, 1e-10);
+  EXPECT_GT(result.iterations, 1);
+  EXPECT_LT(result.iterations, 1000);
+}
+
+TEST(ConvergenceTest, ConvergedVectorMatchesManyFixedIterations) {
+  const auto generator = gen::make_generator("kronecker", 8, 16, 3);
+  const CsrMatrix a =
+      filter_edges(generator->generate_all(), generator->num_vertices());
+  PageRankConfig config;
+  const auto converged = pagerank_until_converged(a, config, 1e-13);
+  config.iterations = 200;
+  const auto fixed_run = normalized1(pagerank(a, config));
+  const auto conv_norm = normalized1(converged.ranks);
+  for (std::size_t i = 0; i < fixed_run.size(); ++i) {
+    EXPECT_NEAR(conv_norm[i], fixed_run[i], 1e-9);
+  }
+}
+
+TEST(ConvergenceTest, TighterToleranceNeedsMoreIterations) {
+  const auto generator = gen::make_generator("kronecker", 8, 16, 3);
+  const CsrMatrix a =
+      filter_edges(generator->generate_all(), generator->num_vertices());
+  PageRankConfig config;
+  const auto loose = pagerank_until_converged(a, config, 1e-4);
+  const auto tight = pagerank_until_converged(a, config, 1e-12);
+  EXPECT_LT(loose.iterations, tight.iterations);
+}
+
+TEST(ConvergenceTest, MaxIterationsCapRespected) {
+  const CsrMatrix a = two_cycle();
+  PageRankConfig config;
+  // The pure 2-cycle oscillates slowly toward uniform; a huge tolerance
+  // converges instantly, an impossible one stops at the cap.
+  const auto capped =
+      pagerank_until_converged(a, config, 1e-300, /*max_iterations=*/5);
+  EXPECT_FALSE(capped.converged);
+  EXPECT_EQ(capped.iterations, 5);
+}
+
+TEST(ConvergenceTest, InvalidArgumentsThrow) {
+  const CsrMatrix a = two_cycle();
+  EXPECT_THROW(pagerank_until_converged(a, PageRankConfig{}, 0.0),
+               util::ConfigError);
+  EXPECT_THROW(pagerank_until_converged(a, PageRankConfig{}, 1e-6, 0),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace prpb::sparse

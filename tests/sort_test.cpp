@@ -1,0 +1,296 @@
+// Tests for src/sort: in-memory engines agree with each other and with
+// std::sort, stability properties, the external sort, and policy selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/kronecker.hpp"
+#include "io/edge_files.hpp"
+#include "rand/rng.hpp"
+#include "sort/edge_sort.hpp"
+#include "sort/external_sort.hpp"
+#include "sort/policy.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::sort {
+namespace {
+
+using gen::Edge;
+using gen::EdgeList;
+
+EdgeList random_edges(std::size_t count, std::uint64_t max_vertex,
+                      std::uint64_t seed = 7) {
+  rnd::Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back({rng.next_below(max_vertex), rng.next_below(max_vertex)});
+  }
+  return edges;
+}
+
+// ---- parameterized agreement across engines, keys, and sizes -----------------
+
+struct SortCase {
+  InMemoryAlgo algo;
+  SortKey key;
+  std::size_t count;
+};
+
+class EngineTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(EngineTest, MatchesStableSortReference) {
+  const auto& param = GetParam();
+  EdgeList edges = random_edges(param.count, 1 << 12);
+  EdgeList reference = edges;
+
+  sort_edges(edges, param.algo, param.key);
+
+  const auto less = [key = param.key](const Edge& a, const Edge& b) {
+    if (key == SortKey::kStart) return a.u < b.u;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  std::stable_sort(reference.begin(), reference.end(), less);
+  EXPECT_EQ(edges, reference);
+}
+
+std::string sort_case_name(
+    const ::testing::TestParamInfo<SortCase>& info) {
+  std::string name;
+  switch (info.param.algo) {
+    case InMemoryAlgo::kStd: name = "Std"; break;
+    case InMemoryAlgo::kRadix: name = "Radix"; break;
+    case InMemoryAlgo::kParallelMerge: name = "ParMerge"; break;
+  }
+  name += info.param.key == SortKey::kStart ? "Start" : "StartEnd";
+  name += "N" + std::to_string(info.param.count);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineTest,
+    ::testing::Values(
+        SortCase{InMemoryAlgo::kStd, SortKey::kStartEnd, 1000},
+        SortCase{InMemoryAlgo::kStd, SortKey::kStart, 1000},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStartEnd, 0},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStartEnd, 1},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStartEnd, 2},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStartEnd, 1000},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStartEnd, 65536},
+        SortCase{InMemoryAlgo::kRadix, SortKey::kStart, 1000},
+        SortCase{InMemoryAlgo::kParallelMerge, SortKey::kStartEnd, 1000},
+        SortCase{InMemoryAlgo::kParallelMerge, SortKey::kStartEnd, 100000},
+        SortCase{InMemoryAlgo::kParallelMerge, SortKey::kStart, 1000}),
+    sort_case_name);
+
+// ---- radix specifics ---------------------------------------------------------
+
+TEST(RadixTest, StableOnStartKey) {
+  // With kStart, equal-u edges must keep their input order.
+  EdgeList edges = {{5, 9}, {5, 1}, {5, 4}, {2, 8}, {5, 0}};
+  radix_sort(edges, SortKey::kStart);
+  const EdgeList expected = {{2, 8}, {5, 9}, {5, 1}, {5, 4}, {5, 0}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(RadixTest, HandlesLargeValues) {
+  EdgeList edges = {{~0ULL, 1}, {0, 2}, {1ULL << 60, 3}, {255, 4}};
+  radix_sort(edges, SortKey::kStartEnd);
+  EXPECT_TRUE(is_sorted_edges(edges, SortKey::kStartEnd));
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[3].u, ~0ULL);
+}
+
+TEST(RadixTest, AllEqualKeysPreserved) {
+  EdgeList edges = {{7, 3}, {7, 1}, {7, 2}};
+  radix_sort(edges, SortKey::kStart);  // stable: untouched order by v
+  const EdgeList expected = {{7, 3}, {7, 1}, {7, 2}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(RadixTest, AlreadySorted) {
+  EdgeList edges = {{1, 1}, {2, 2}, {3, 3}};
+  radix_sort(edges);
+  EXPECT_TRUE(is_sorted_edges(edges, SortKey::kStartEnd));
+}
+
+TEST(RadixTest, KroneckerGraphSorts) {
+  gen::KroneckerParams params;
+  params.scale = 12;
+  EdgeList edges = gen::KroneckerGenerator(params).generate_all();
+  radix_sort(edges);
+  EXPECT_TRUE(is_sorted_edges(edges, SortKey::kStartEnd));
+  EXPECT_EQ(edges.size(), 16u << 12);
+}
+
+// ---- parallel merge specifics -------------------------------------------------
+
+TEST(ParallelMergeTest, ManyThreadsSmallInput) {
+  util::ThreadPool pool(8);
+  EdgeList edges = random_edges(10, 100);
+  EdgeList reference = edges;
+  parallel_merge_sort(edges, pool);
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.u != b.u ? a.u < b.u : a.v < b.v;
+                   });
+  EXPECT_EQ(edges, reference);
+}
+
+TEST(ParallelMergeTest, EmptyAndSingle) {
+  util::ThreadPool pool(2);
+  EdgeList empty;
+  parallel_merge_sort(empty, pool);
+  EXPECT_TRUE(empty.empty());
+  EdgeList one = {{3, 4}};
+  parallel_merge_sort(one, pool);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+// ---- is_sorted ----------------------------------------------------------------
+
+TEST(IsSortedTest, ChecksSelectedKey) {
+  const EdgeList by_u_only = {{1, 9}, {2, 3}, {2, 1}};
+  EXPECT_TRUE(is_sorted_edges(by_u_only, SortKey::kStart));
+  EXPECT_FALSE(is_sorted_edges(by_u_only, SortKey::kStartEnd));
+}
+
+// ---- policy -------------------------------------------------------------------
+
+TEST(PolicyTest, SmallInputStaysInMemory) {
+  const auto decision = choose_sort_policy(1000, 1 << 20);
+  EXPECT_EQ(decision.strategy, SortStrategy::kInMemory);
+  EXPECT_EQ(decision.required_bytes, 2 * 1000 * 16u);
+}
+
+TEST(PolicyTest, LargeInputGoesExternal) {
+  const auto decision = choose_sort_policy(1'000'000, 1 << 20);
+  EXPECT_EQ(decision.strategy, SortStrategy::kExternal);
+}
+
+TEST(PolicyTest, ExactBoundaryIsInMemory) {
+  const std::uint64_t edges = 1024;
+  const auto decision = choose_sort_policy(edges, 2 * edges * 16);
+  EXPECT_EQ(decision.strategy, SortStrategy::kInMemory);
+}
+
+// ---- external sort ------------------------------------------------------------
+
+class ExternalSortTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExternalSortTest, MatchesInMemorySort) {
+  gen::KroneckerParams params;
+  params.scale = 10;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  io::write_generated_edges(generator, in_dir, 3, io::Codec::kFast);
+
+  ExternalSortConfig config;
+  config.memory_budget_bytes = GetParam();
+  config.output_shards = 2;
+  const auto stats = external_sort_stage(in_dir, work.sub("out"),
+                                         work.sub("tmp"), config);
+  EXPECT_EQ(stats.edges, generator.num_edges());
+
+  EdgeList expected = generator.generate_all();
+  radix_sort(expected);
+  EXPECT_EQ(io::read_all_edges(work.sub("out"), io::Codec::kFast), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ExternalSortTest,
+    ::testing::Values(16 * 1024,        // many runs, cascaded merges
+                      64 * 1024,        // several runs
+                      64 * 1024 * 1024  // one run (degenerate case)
+                      ));
+
+TEST(ExternalSortTest, TinyFanInForcesCascades) {
+  gen::KroneckerParams params;
+  params.scale = 9;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  io::write_generated_edges(generator, in_dir, 1, io::Codec::kFast);
+
+  ExternalSortConfig config;
+  config.memory_budget_bytes = 32 * 1024;
+  config.fan_in = 2;
+  const auto stats = external_sort_stage(in_dir, work.sub("out"),
+                                         work.sub("tmp"), config);
+  EXPECT_GT(stats.initial_runs, 2u);
+  EXPECT_GT(stats.merge_passes, 1u);
+
+  EdgeList expected = generator.generate_all();
+  radix_sort(expected);
+  EXPECT_EQ(io::read_all_edges(work.sub("out"), io::Codec::kFast), expected);
+}
+
+TEST(ExternalSortTest, CleansUpSpillFiles) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  io::write_generated_edges(generator, in_dir, 1, io::Codec::kFast);
+
+  ExternalSortConfig config;
+  config.memory_budget_bytes = 32 * 1024;
+  external_sort_stage(in_dir, work.sub("out"), work.sub("tmp"), config);
+  EXPECT_TRUE(util::list_files_sorted(work.sub("tmp")).empty());
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  util::ensure_dir(in_dir);
+  ExternalSortConfig config;
+  const auto stats = external_sort_stage(in_dir, work.sub("out"),
+                                         work.sub("tmp"), config);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(io::count_edges(work.sub("out")), 0u);
+}
+
+TEST(ExternalSortTest, RequestedShardCountAlwaysProduced) {
+  gen::KroneckerParams params;
+  params.scale = 8;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  io::write_generated_edges(generator, in_dir, 1, io::Codec::kFast);
+
+  ExternalSortConfig config;
+  config.output_shards = 5;
+  external_sort_stage(in_dir, work.sub("out"), work.sub("tmp"), config);
+  EXPECT_EQ(util::list_files_sorted(work.sub("out")).size(), 5u);
+}
+
+TEST(ExternalSortTest, StartOnlyKeyKeepsRunOrderOnTies) {
+  // With SortKey::kStart the merge must still produce u-sorted output.
+  util::TempDir work("prpb-extsort");
+  const auto in_dir = work.sub("in");
+  io::write_edge_list(random_edges(5000, 16), in_dir, 2, io::Codec::kFast);
+  ExternalSortConfig config;
+  config.memory_budget_bytes = 16 * 1024;
+  config.key = SortKey::kStart;
+  external_sort_stage(in_dir, work.sub("out"), work.sub("tmp"), config);
+  const auto sorted = io::read_all_edges(work.sub("out"), io::Codec::kFast);
+  EXPECT_TRUE(is_sorted_edges(sorted, SortKey::kStart));
+  EXPECT_EQ(sorted.size(), 5000u);
+}
+
+TEST(ExternalSortTest, InvalidConfigThrows) {
+  ExternalSortConfig config;
+  config.fan_in = 1;
+  EXPECT_THROW(config.validate(), util::ConfigError);
+  config = ExternalSortConfig{};
+  config.memory_budget_bytes = 100;
+  EXPECT_THROW(config.validate(), util::ConfigError);
+  config = ExternalSortConfig{};
+  config.output_shards = 0;
+  EXPECT_THROW(config.validate(), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace prpb::sort

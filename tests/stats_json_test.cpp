@@ -1,0 +1,228 @@
+// Tests for util/stats (summaries, trend fits) and util/json + core/report
+// (machine-readable run reports).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/backend.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace prpb {
+namespace {
+
+// ---- stats -----------------------------------------------------------------------
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const auto s = util::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(util::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(util::median({1.0, 2.0, 3.0, 10.0}), 2.5);
+  EXPECT_DOUBLE_EQ(util::median({7.0}), 7.0);
+}
+
+TEST(StatsTest, EmptySampleThrows) {
+  EXPECT_THROW(util::summarize({}), util::ConfigError);
+  EXPECT_THROW(util::median({}), util::ConfigError);
+}
+
+TEST(StatsTest, LinearFitExactLine) {
+  const auto fit = util::linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, LinearFitNoisyLineLowerR2) {
+  const auto fit = util::linear_fit({1, 2, 3, 4}, {3, 9, 4, 11});
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.slope, 0.0);
+}
+
+TEST(StatsTest, LinearFitErrors) {
+  EXPECT_THROW(util::linear_fit({1.0}, {1.0}), util::ConfigError);
+  EXPECT_THROW(util::linear_fit({1, 2}, {1, 2, 3}), util::ConfigError);
+  EXPECT_THROW(util::linear_fit({2, 2}, {1, 2}), util::ConfigError);
+}
+
+TEST(StatsTest, LogLogFitRecoversPowerLawExponent) {
+  // y = 5 x^-1.5
+  std::vector<double> x, y;
+  for (double v = 1; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(v, -1.5));
+  }
+  const auto fit = util::log_log_fit(x, y);
+  EXPECT_NEAR(fit.slope, -1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-9);
+}
+
+TEST(StatsTest, LogLogFitRejectsNonPositive) {
+  EXPECT_THROW(util::log_log_fit({1, 0}, {1, 1}), util::ConfigError);
+  EXPECT_THROW(util::log_log_fit({1, 2}, {-1, 1}), util::ConfigError);
+}
+
+// ---- json writer -------------------------------------------------------------------
+
+TEST(JsonTest, FlatObject) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("name", "prpb");
+  json.field("scale", std::int64_t{16});
+  json.field("rate", 2.5);
+  json.field("ok", true);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"prpb","scale":16,"rate":2.5,"ok":true})");
+}
+
+TEST(JsonTest, NestedContainers) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.begin_array("values");
+  json.value(std::int64_t{1});
+  json.value(std::int64_t{2});
+  json.end_array();
+  json.begin_object("inner");
+  json.field("x", std::int64_t{3});
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"values":[1,2],"inner":{"x":3}})");
+}
+
+TEST(JsonTest, EscapingSpecialCharacters) {
+  EXPECT_EQ(util::JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(util::JsonWriter::escape(std::string_view("\x01", 1)),
+            "\\u0001");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  util::JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null]");
+}
+
+TEST(JsonTest, MisuseDetected) {
+  {
+    util::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), util::InvariantError);  // unclosed
+  }
+  {
+    util::JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.field("k", 1.0), util::InvariantError);
+  }
+  {
+    util::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), util::InvariantError);
+  }
+  {
+    util::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), util::InvariantError);
+  }
+}
+
+TEST(JsonTest, ArrayOfStrings) {
+  util::JsonWriter json;
+  json.begin_array();
+  json.value("a");
+  json.value("b\"c");
+  json.end_array();
+  EXPECT_EQ(json.str(), R"(["a","b\"c"])");
+}
+
+// ---- run report --------------------------------------------------------------------
+
+TEST(ReportTest, ContainsAllSections) {
+  util::TempDir work("prpb-report");
+  core::PipelineConfig config;
+  config.scale = 7;
+  config.work_dir = work.path();
+  const auto backend = core::make_backend("native");
+  const auto result = core::run_pipeline(config, *backend);
+
+  const std::string json = core::run_report_json(config, result);
+  for (const char* needle :
+       {"\"benchmark\":\"pagerank-pipeline\"", "\"backend\":\"native\"",
+        "\"k0_generate\"", "\"k1_sort\"", "\"k2_filter\"",
+        "\"k3_pagerank\"", "\"rank_digest\"", "\"matrix_fingerprint\"",
+        "\"num_edges\":2048"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(json.find("eigen_check"), std::string::npos);  // not requested
+}
+
+TEST(ReportTest, IncludesEigenCheckWhenGiven) {
+  util::TempDir work("prpb-report");
+  core::PipelineConfig config;
+  config.scale = 7;
+  config.work_dir = work.path();
+  const auto backend = core::make_backend("native");
+  const auto result = core::run_pipeline(config, *backend);
+  const auto check = core::validate_against_eigenvector(
+      result.matrix, result.ranks, config.damping, 1e-6);
+
+  const std::string json = core::run_report_json(config, result, check);
+  EXPECT_NE(json.find("\"eigen_check\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos);
+}
+
+TEST(ReportTest, ChecksumsCanBeDisabled) {
+  util::TempDir work("prpb-report");
+  core::PipelineConfig config;
+  config.scale = 7;
+  config.work_dir = work.path();
+  const auto backend = core::make_backend("native");
+  const auto result = core::run_pipeline(config, *backend);
+
+  core::ReportOptions options;
+  options.include_checksums = false;
+  const std::string json =
+      core::run_report_json(config, result, {}, options);
+  EXPECT_EQ(json.find("rank_digest"), std::string::npos);
+}
+
+TEST(ReportTest, SameRunSameReportDifferentBackendSameDigest) {
+  // Reports from two backends differ in timings but agree on digests.
+  auto digest_of = [](const std::string& json) {
+    const auto pos = json.find("\"rank_digest\":\"");
+    EXPECT_NE(pos, std::string::npos);
+    return json.substr(pos + 15, 16);
+  };
+  std::string first;
+  for (const char* name : {"native", "graphblas"}) {
+    util::TempDir work("prpb-report");
+    core::PipelineConfig config;
+    config.scale = 7;
+    config.work_dir = work.path();
+    const auto backend = core::make_backend(name);
+    const auto result = core::run_pipeline(config, *backend);
+    const std::string digest =
+        digest_of(core::run_report_json(config, result));
+    if (first.empty()) {
+      first = digest;
+    } else {
+      EXPECT_EQ(digest, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prpb
