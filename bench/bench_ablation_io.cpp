@@ -4,9 +4,12 @@
 // files is a free parameter" knob.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "gen/kronecker.hpp"
 #include "io/edge_files.hpp"
 #include "io/mmap_file.hpp"
+#include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 #include "util/fs.hpp"
 
@@ -105,6 +108,59 @@ BENCHMARK(BM_WriteStageSharded)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
 BENCHMARK(BM_ReadStageSharded)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReadStageMmap)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- storage ablation: dir vs mem stage stores ------------------------------
+// Arg 0 selects the store (0 = dir, 1 = mem), arg 1 the shard count — the
+// same write/read paths run_pipeline drives, so the gap is the filesystem
+// tax isolated from codec and sharding effects.
+
+std::unique_ptr<io::StageStore> make_store(int kind,
+                                           const util::TempDir& dir) {
+  if (kind == 1) return std::make_unique<io::MemStageStore>();
+  return std::make_unique<io::DirStageStore>(dir.path());
+}
+
+void BM_WriteStageStore(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-store");
+  const auto store = make_store(static_cast<int>(state.range(0)), dir);
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    io::write_generated_edges(*store, "k0_edges", generator, shards,
+                              io::Codec::kFast);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+  state.SetLabel(store->kind());
+}
+
+void BM_ReadStageStore(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = 14;
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-store");
+  const auto store = make_store(static_cast<int>(state.range(0)), dir);
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  io::write_generated_edges(*store, "k0_edges", generator, shards,
+                            io::Codec::kFast);
+  for (auto _ : state) {
+    const auto edges =
+        io::read_all_edges(*store, "k0_edges", io::Codec::kFast);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+  state.SetLabel(store->kind());
+}
+
+BENCHMARK(BM_WriteStageStore)
+    ->Args({0, 4})->Args({1, 4})->Args({0, 16})->Args({1, 16})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadStageStore)
+    ->Args({0, 4})->Args({1, 4})->Args({0, 16})->Args({1, 16})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -36,6 +36,7 @@ struct SweepOptions {
   int trials = 1;        ///< repeated timings per cell; median is reported
   std::string csv_path;  ///< when set, the series is also written as CSV
   std::string generator = "kronecker";
+  std::string storage = "dir";  ///< stage store kind: dir | mem
 };
 
 /// Standard CLI for figure benches. Returns false if --help was printed.
@@ -52,6 +53,8 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("trials", "timings per cell (median reported)", "1");
   args.add_option("csv", "also write the series to this CSV file", "");
   args.add_option("generator", "kronecker|bter|ppl", "kronecker");
+  args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
+                  "dir");
   if (!args.parse(argc, argv)) return false;
   options.min_scale = static_cast<int>(args.get_int("min-scale"));
   options.max_scale = static_cast<int>(args.get_int("max-scale"));
@@ -60,7 +63,10 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.trials = static_cast<int>(args.get_int("trials"));
   options.csv_path = args.get("csv");
   options.generator = args.get("generator");
+  options.storage = args.get("storage");
   util::require(options.trials >= 1, "--trials must be >= 1");
+  util::require(options.storage == "dir" || options.storage == "mem",
+                "--storage must be dir or mem");
   const std::string list = args.get("backends");
   if (!list.empty()) {
     options.backends.clear();
@@ -109,6 +115,7 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
   config.num_files = options.num_files;
   config.seed = options.seed;
   config.generator = options.generator;
+  config.storage = options.storage;
   config.work_dir = work.path();
   return config;
 }
@@ -124,12 +131,18 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
     // Shared untimed preparation per scale.
     util::TempDir work("prpb-fig");
     const core::PipelineConfig config = cell_config(work, options, scale);
+    const auto store = core::make_stage_store(config);
+    const auto context = [&](std::string in, std::string out) {
+      return core::KernelContext{config, *store, std::move(in),
+                                 std::move(out), core::stages::kTemp};
+    };
     core::NativeBackend prep;
-    if (kernel >= 1) prep.kernel0(config, config.stage0_dir());
-    if (kernel >= 2) prep.kernel1(config, config.stage0_dir(),
-                                  config.stage1_dir());
+    if (kernel >= 1) prep.kernel0(context("", core::stages::kStage0));
+    if (kernel >= 2)
+      prep.kernel1(context(core::stages::kStage0, core::stages::kStage1));
     sparse::CsrMatrix matrix;
-    if (kernel >= 3) matrix = prep.kernel2(config, config.stage1_dir());
+    if (kernel >= 3)
+      matrix = prep.kernel2(context(core::stages::kStage1, ""));
 
     for (const auto& name : options.backends) {
       const auto backend = core::make_backend(name);
@@ -137,26 +150,26 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
       std::vector<double> timings;
       timings.reserve(options.trials);
       for (int trial = 0; trial < options.trials; ++trial) {
-        util::TempDir scratch("prpb-fig-out");
         util::Stopwatch watch;
         switch (kernel) {
           case 0:
-            backend->kernel0(config, scratch.sub("k0"));
+            backend->kernel0(context("", "trial_k0"));
             break;
           case 1:
-            backend->kernel1(config, config.stage0_dir(),
-                             scratch.sub("k1"));
+            backend->kernel1(context(core::stages::kStage0, "trial_k1"));
             break;
           case 2:
-            (void)backend->kernel2(config, config.stage1_dir());
+            (void)backend->kernel2(context(core::stages::kStage1, ""));
             break;
           case 3:
-            (void)backend->kernel3(config, matrix);
+            (void)backend->kernel3(context("", ""), matrix);
             break;
           default:
             throw util::ConfigError("sweep_kernel: kernel must be 0-3");
         }
         timings.push_back(watch.seconds());
+        store->remove("trial_k0");
+        store->remove("trial_k1");
       }
       if (kernel == 3) {
         processed *= static_cast<std::uint64_t>(config.iterations);

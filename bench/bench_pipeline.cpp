@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   args.add_option("scale", "graph scale", "16");
   args.add_option("files", "shard files per stage", "4");
   args.add_option("backends", "comma-separated backends (default all)", "");
+  args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
+                  "dir");
   if (!args.parse(argc, argv)) return 0;
 
   std::vector<std::string> backends = core::backend_names();
@@ -37,27 +39,39 @@ int main(int argc, char** argv) {
   }
 
   const int scale = static_cast<int>(args.get_int("scale"));
-  std::printf("Full pipeline at scale %d (N = %s, M = %s)\n\n", scale,
-              util::human_count(1ULL << scale).c_str(),
-              util::human_count(16ULL << scale).c_str());
+  const std::string storage = args.get("storage");
+  std::printf("Full pipeline at scale %d (N = %s, M = %s, storage %s)\n\n",
+              scale, util::human_count(1ULL << scale).c_str(),
+              util::human_count(16ULL << scale).c_str(), storage.c_str());
 
   util::TextTable table({"backend", "K0 e/s", "K1 e/s", "K2 e/s",
-                         "K3 e/s", "total s"});
+                         "K3 e/s", "total s", "MB written", "MB read"});
   for (const auto& name : backends) {
     util::TempDir work("prpb-pipeline");
     core::PipelineConfig config;
     config.scale = scale;
     config.num_files = static_cast<std::size_t>(args.get_int("files"));
+    config.storage = storage;
     config.work_dir = work.path();
     const auto backend = core::make_backend(name);
     const auto result = core::run_pipeline(config, *backend);
+    const double written =
+        static_cast<double>(result.k0.bytes_written + result.k1.bytes_written +
+                            result.k2.bytes_written +
+                            result.k3.bytes_written) /
+        (1024.0 * 1024.0);
+    const double read =
+        static_cast<double>(result.k0.bytes_read + result.k1.bytes_read +
+                            result.k2.bytes_read + result.k3.bytes_read) /
+        (1024.0 * 1024.0);
     table.add_row({name, util::sci(result.k0.edges_per_second()),
                    util::sci(result.k1.edges_per_second()),
                    util::sci(result.k2.edges_per_second()),
                    util::sci(result.k3.edges_per_second()),
                    util::fixed(result.k0.seconds + result.k1.seconds +
                                    result.k2.seconds + result.k3.seconds,
-                               3)});
+                               3),
+                   util::fixed(written, 1), util::fixed(read, 1)});
     std::fprintf(stderr, "  [pipeline] %s done\n", name.c_str());
   }
   std::printf("%s", table.str().c_str());

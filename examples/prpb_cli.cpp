@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   args.add_option("seed", "graph generator seed", "20160205");
   args.add_option("work-dir",
                   "staging directory (default: fresh temp dir)", "");
+  args.add_option("storage",
+                  "stage store: dir (disk) | mem (in-memory ablation)",
+                  "dir");
   args.add_option("memory-budget",
                   "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
   args.add_option("json", "write a machine-readable run report here", "");
@@ -55,38 +58,48 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   config.memory_budget_bytes =
       static_cast<std::uint64_t>(args.get_int("memory-budget"));
+  config.storage = args.get("storage");
   if (args.get_flag("sort-start-only"))
     config.sort_key = sort::SortKey::kStart;
 
   std::optional<util::TempDir> temp;
-  if (args.get("work-dir").empty()) {
+  if (!args.get("work-dir").empty()) {
+    config.work_dir = args.get("work-dir");
+  } else if (config.storage != "mem") {
     temp.emplace("prpb-cli");
     config.work_dir = temp->path();
-  } else {
-    config.work_dir = args.get("work-dir");
   }
 
   try {
     const auto backend = core::make_backend(args.get("backend"));
-    std::printf("prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu\n",
-                backend->name().c_str(), config.generator.c_str(),
-                config.scale,
-                util::human_count(config.num_vertices()).c_str(),
-                util::human_count(config.num_edges()).c_str(),
-                config.num_files);
+    std::printf(
+        "prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu "
+        "storage=%s\n",
+        backend->name().c_str(), config.generator.c_str(), config.scale,
+        util::human_count(config.num_vertices()).c_str(),
+        util::human_count(config.num_edges()).c_str(), config.num_files,
+        config.storage.c_str());
 
     const core::PipelineResult result = core::run_pipeline(config, *backend);
 
-    util::TextTable table({"kernel", "seconds", "edges/sec", "note"});
+    util::TextTable table(
+        {"kernel", "seconds", "edges/sec", "MB read", "MB written", "note"});
+    const auto mb = [](std::uint64_t bytes) {
+      return util::fixed(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+    };
     table.add_row({"K0 generate", util::fixed(result.k0.seconds, 4),
                    util::sci(result.k0.edges_per_second()),
+                   mb(result.k0.bytes_read), mb(result.k0.bytes_written),
                    "untimed by spec"});
     table.add_row({"K1 sort", util::fixed(result.k1.seconds, 4),
-                   util::sci(result.k1.edges_per_second()), ""});
+                   util::sci(result.k1.edges_per_second()),
+                   mb(result.k1.bytes_read), mb(result.k1.bytes_written), ""});
     table.add_row({"K2 filter", util::fixed(result.k2.seconds, 4),
-                   util::sci(result.k2.edges_per_second()), ""});
+                   util::sci(result.k2.edges_per_second()),
+                   mb(result.k2.bytes_read), mb(result.k2.bytes_written), ""});
     table.add_row({"K3 pagerank", util::fixed(result.k3.seconds, 4),
                    util::sci(result.k3.edges_per_second()),
+                   mb(result.k3.bytes_read), mb(result.k3.bytes_written),
                    std::to_string(config.iterations) + " iterations"});
     std::printf("\n%s", table.str().c_str());
 

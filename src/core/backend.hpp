@@ -9,18 +9,24 @@
 //   arraylang  — interpreted vectorized array language (Matlab/Octave niche)
 //   dataframe  — typed dataframe engine (Python-with-Pandas niche)
 //
+// Kernels receive a KernelContext — configuration, the StageStore holding
+// the stages, the runner-assigned stage names, and a metrics sink — never
+// raw filesystem paths. Storage (dir vs. mem) is therefore a harness
+// decision invisible to kernel code.
+//
 // Every backend must produce identical mathematical results from the same
-// PipelineConfig: the same edge files after K0, the same sorted stage after
+// PipelineConfig: the same edge stage after K0, the same sorted stage after
 // K1, the same normalized matrix after K2 and the same r after K3 (up to fp
-// tolerance). Integration tests enforce this pairwise.
+// tolerance) — on every storage tier. Integration tests enforce this
+// pairwise and across stores.
 #pragma once
 
-#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/kernel_context.hpp"
 #include "sparse/csr.hpp"
 
 namespace prpb::core {
@@ -31,22 +37,21 @@ class PipelineBackend {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Kernel 0: generate the graph and write TSV edge shards to `out_dir`.
-  virtual void kernel0(const PipelineConfig& config,
-                       const std::filesystem::path& out_dir) = 0;
+  /// Kernel 0: generate the graph and write TSV edge shards to
+  /// ctx.out_stage.
+  virtual void kernel0(const KernelContext& ctx) = 0;
 
-  /// Kernel 1: read `in_dir`, sort by start vertex, write to `out_dir`.
-  virtual void kernel1(const PipelineConfig& config,
-                       const std::filesystem::path& in_dir,
-                       const std::filesystem::path& out_dir) = 0;
+  /// Kernel 1: read ctx.in_stage, sort by start vertex, write to
+  /// ctx.out_stage (spilling through ctx.temp_stage when the memory budget
+  /// forces the external sort).
+  virtual void kernel1(const KernelContext& ctx) = 0;
 
-  /// Kernel 2: read `in_dir`, build + filter + normalize the adjacency
+  /// Kernel 2: read ctx.in_stage, build + filter + normalize the adjacency
   /// matrix.
-  virtual sparse::CsrMatrix kernel2(const PipelineConfig& config,
-                                    const std::filesystem::path& in_dir) = 0;
+  virtual sparse::CsrMatrix kernel2(const KernelContext& ctx) = 0;
 
   /// Kernel 3: fixed-iteration PageRank on the kernel-2 matrix.
-  virtual std::vector<double> kernel3(const PipelineConfig& config,
+  virtual std::vector<double> kernel3(const KernelContext& ctx,
                                       const sparse::CsrMatrix& matrix) = 0;
 };
 

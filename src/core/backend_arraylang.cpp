@@ -5,8 +5,6 @@
 
 namespace prpb::core {
 
-namespace fs = std::filesystem;
-
 // Kernel programs. These mirror the paper's Matlab statements; `crand` is
 // the counter-based uniform source shared with the native generator, so the
 // generated graph is bit-identical across backends.
@@ -66,13 +64,14 @@ end
 )";
 }
 
-void ArrayLangBackend::kernel0(const PipelineConfig& config,
-                               const fs::path& out_dir) {
+void ArrayLangBackend::kernel0(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   interp::Interpreter vm;
+  vm.set_stage_store(&ctx.store);
   vm.set("scale", static_cast<double>(config.scale));
   vm.set("seed", static_cast<double>(config.seed));
   vm.set("nfiles", static_cast<double>(config.num_files));
-  vm.set("outdir", out_dir.string());
+  vm.set("outdir", ctx.out_stage);
   if (config.generator == "kronecker") {
     // Graph500 initiator constants (A=0.57, B=0.19, C=0.19, D=0.05).
     vm.set("M", static_cast<double>(config.num_edges()));
@@ -94,12 +93,12 @@ save_edges(outdir, nfiles, u, v)
 )");
 }
 
-void ArrayLangBackend::kernel1(const PipelineConfig& config,
-                               const fs::path& in_dir,
-                               const fs::path& out_dir) {
+void ArrayLangBackend::kernel1(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   interp::Interpreter vm;
-  vm.set("indir", in_dir.string());
-  vm.set("outdir", out_dir.string());
+  vm.set_stage_store(&ctx.store);
+  vm.set("indir", ctx.in_stage);
+  vm.set("outdir", ctx.out_stage);
   vm.set("nfiles", static_cast<double>(config.num_files));
   // vkey selects the tie-break column: v for canonical (u, v) order, u
   // itself (all ties, stable) when only the start vertex is ordered.
@@ -115,17 +114,18 @@ void ArrayLangBackend::kernel1(const PipelineConfig& config,
          "save_edges(outdir, nfiles, u, v)\n");
 }
 
-sparse::CsrMatrix ArrayLangBackend::kernel2(const PipelineConfig& config,
-                                            const fs::path& in_dir) {
+sparse::CsrMatrix ArrayLangBackend::kernel2(const KernelContext& ctx) {
   interp::Interpreter vm;
-  vm.set("indir", in_dir.string());
-  vm.set("N", static_cast<double>(config.num_vertices()));
+  vm.set_stage_store(&ctx.store);
+  vm.set("indir", ctx.in_stage);
+  vm.set("N", static_cast<double>(ctx.config.num_vertices()));
   vm.run(kernel2_source());
   return vm.get("A").matrix();
 }
 
-std::vector<double> ArrayLangBackend::kernel3(const PipelineConfig& config,
+std::vector<double> ArrayLangBackend::kernel3(const KernelContext& ctx,
                                               const sparse::CsrMatrix& matrix) {
+  const PipelineConfig& config = ctx.config;
   util::require(matrix.rows() == config.num_vertices(),
                 "kernel3: matrix size does not match N = 2^scale");
   interp::Interpreter vm;

@@ -9,8 +9,6 @@
 
 namespace prpb::core {
 
-namespace fs = std::filesystem;
-
 namespace {
 df::CsvSchema edge_schema() {
   return df::CsvSchema{{"u", "v"}, {df::DType::kInt64, df::DType::kInt64}};
@@ -30,32 +28,33 @@ df::DataFrame edges_to_frame(const gen::EdgeList& edges) {
 }
 }  // namespace
 
-void DataFrameBackend::kernel0(const PipelineConfig& config,
-                               const fs::path& out_dir) {
+void DataFrameBackend::kernel0(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   // Graph generation happens in the "C extension" (the native generator,
   // the same way a Python harness would call a compiled Graph500 module);
   // the frame build and the delimited write are dataframe work.
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
   const df::DataFrame frame = edges_to_frame(generator->generate_all());
-  df::write_csv_dir(frame, out_dir, config.num_files);
+  df::write_csv_stage(frame, ctx.store, ctx.out_stage, config.num_files);
 }
 
-void DataFrameBackend::kernel1(const PipelineConfig& config,
-                               const fs::path& in_dir,
-                               const fs::path& out_dir) {
-  const df::DataFrame frame = df::read_csv_dir(in_dir, edge_schema());
+void DataFrameBackend::kernel1(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
+  const df::DataFrame frame =
+      df::read_csv_stage(ctx.store, ctx.in_stage, edge_schema());
   const std::vector<std::string> keys =
       config.sort_key == sort::SortKey::kStartEnd
           ? std::vector<std::string>{"u", "v"}
           : std::vector<std::string>{"u"};
   const df::DataFrame sorted = frame.sort_values(keys);
-  df::write_csv_dir(sorted, out_dir, config.num_files);
+  df::write_csv_stage(sorted, ctx.store, ctx.out_stage, config.num_files);
 }
 
-sparse::CsrMatrix DataFrameBackend::kernel2(const PipelineConfig& config,
-                                            const fs::path& in_dir) {
-  const df::DataFrame frame = df::read_csv_dir(in_dir, edge_schema());
+sparse::CsrMatrix DataFrameBackend::kernel2(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
+  const df::DataFrame frame =
+      df::read_csv_stage(ctx.store, ctx.in_stage, edge_schema());
   // df.groupby(["u","v"]).size() -> COO triplets with duplicate counts,
   // then the sparse substrate takes over (scipy.sparse analogue).
   const df::DataFrame triplets = frame.groupby_count({"u", "v"}, "count");
@@ -79,8 +78,9 @@ sparse::CsrMatrix DataFrameBackend::kernel2(const PipelineConfig& config,
   return a;
 }
 
-std::vector<double> DataFrameBackend::kernel3(const PipelineConfig& config,
+std::vector<double> DataFrameBackend::kernel3(const KernelContext& ctx,
                                               const sparse::CsrMatrix& matrix) {
+  const PipelineConfig& config = ctx.config;
   util::require(matrix.rows() == config.num_vertices(),
                 "kernel3: matrix size does not match N = 2^scale");
   sparse::PageRankConfig pr;

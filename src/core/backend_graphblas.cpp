@@ -8,25 +8,20 @@
 
 namespace prpb::core {
 
-namespace fs = std::filesystem;
-
-void GraphBlasBackend::kernel0(const PipelineConfig& config,
-                               const fs::path& out_dir) {
+void GraphBlasBackend::kernel0(const KernelContext& ctx) {
   NativeBackend native;
-  native.kernel0(config, out_dir);
+  native.kernel0(ctx);
 }
 
-void GraphBlasBackend::kernel1(const PipelineConfig& config,
-                               const fs::path& in_dir,
-                               const fs::path& out_dir) {
+void GraphBlasBackend::kernel1(const KernelContext& ctx) {
   NativeBackend native;
-  native.kernel1(config, in_dir, out_dir);
+  native.kernel1(ctx);
 }
 
-sparse::CsrMatrix GraphBlasBackend::kernel2(const PipelineConfig& config,
-                                            const fs::path& in_dir) {
-  const gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
-  const std::uint64_t n = config.num_vertices();
+sparse::CsrMatrix GraphBlasBackend::kernel2(const KernelContext& ctx) {
+  const gen::EdgeList edges =
+      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
+  const std::uint64_t n = ctx.config.num_vertices();
 
   // A = GrB_Matrix_build(u, v, 1, plus-dup)
   std::vector<std::uint64_t> rows(edges.size());
@@ -59,8 +54,9 @@ sparse::CsrMatrix GraphBlasBackend::kernel2(const PipelineConfig& config,
   return a.csr();
 }
 
-std::vector<double> GraphBlasBackend::kernel3(const PipelineConfig& config,
+std::vector<double> GraphBlasBackend::kernel3(const KernelContext& ctx,
                                               const sparse::CsrMatrix& matrix) {
+  const PipelineConfig& config = ctx.config;
   util::require(matrix.rows() == config.num_vertices(),
                 "kernel3: matrix size does not match N = 2^scale");
   const std::uint64_t n = matrix.rows();

@@ -12,14 +12,10 @@ class GraphBlasBackend final : public PipelineBackend {
  public:
   [[nodiscard]] std::string name() const override { return "graphblas"; }
 
-  void kernel0(const PipelineConfig& config,
-               const std::filesystem::path& out_dir) override;
-  void kernel1(const PipelineConfig& config,
-               const std::filesystem::path& in_dir,
-               const std::filesystem::path& out_dir) override;
-  sparse::CsrMatrix kernel2(const PipelineConfig& config,
-                            const std::filesystem::path& in_dir) override;
-  std::vector<double> kernel3(const PipelineConfig& config,
+  void kernel0(const KernelContext& ctx) override;
+  void kernel1(const KernelContext& ctx) override;
+  sparse::CsrMatrix kernel2(const KernelContext& ctx) override;
+  std::vector<double> kernel3(const KernelContext& ctx,
                               const sparse::CsrMatrix& matrix) override;
 };
 

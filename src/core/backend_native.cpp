@@ -14,47 +14,59 @@
 
 namespace prpb::core {
 
-namespace fs = std::filesystem;
-
-void NativeBackend::kernel0(const PipelineConfig& config,
-                            const fs::path& out_dir) {
+void NativeBackend::kernel0(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
-  io::write_generated_edges(*generator, out_dir, config.num_files,
-                            io::Codec::kFast);
+  io::write_generated_edges(ctx.store, ctx.out_stage, *generator,
+                            config.num_files, io::Codec::kFast);
 }
 
-void NativeBackend::kernel1(const PipelineConfig& config,
-                            const fs::path& in_dir, const fs::path& out_dir) {
+void NativeBackend::kernel1(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   if (config.memory_budget_bytes > 0) {
     const auto decision = sort::choose_sort_policy(
         config.num_edges(), config.memory_budget_bytes);
     if (decision.strategy == sort::SortStrategy::kExternal) {
-      util::log_info("kernel1(native): memory budget ",
-                     config.memory_budget_bytes,
-                     " bytes exceeded; using external sort");
-      sort::ExternalSortConfig ext;
-      ext.memory_budget_bytes = config.memory_budget_bytes / 2;
-      ext.output_shards = config.num_files;
-      ext.codec = io::Codec::kFast;
-      ext.key = config.sort_key;
-      sort::external_sort_stage(in_dir, out_dir, config.temp_dir(), ext);
-      return;
+      // The out-of-core sort works on directories; it only applies when the
+      // stages are disk-backed. A memory-budgeted sort of an in-memory
+      // store is contradictory — fall through to the in-memory sort there.
+      const std::filesystem::path* root = ctx.store.root_dir();
+      if (root != nullptr) {
+        ctx.log("kernel1(native): memory budget " +
+                std::to_string(config.memory_budget_bytes) +
+                " bytes exceeded; using external sort");
+        ctx.metric("k1_external_sort", 1);
+        sort::ExternalSortConfig ext;
+        ext.memory_budget_bytes = config.memory_budget_bytes / 2;
+        ext.output_shards = config.num_files;
+        ext.codec = io::Codec::kFast;
+        ext.key = config.sort_key;
+        sort::external_sort_stage(*root / ctx.in_stage, *root / ctx.out_stage,
+                                  *root / ctx.temp_stage, ext);
+        return;
+      }
+      ctx.log("kernel1(native): memory budget set but storage is not "
+              "disk-backed; sorting in memory");
     }
   }
-  gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
+  gen::EdgeList edges =
+      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
   sort::radix_sort(edges, config.sort_key);
-  io::write_edge_list(edges, out_dir, config.num_files, io::Codec::kFast);
+  io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
+                      io::Codec::kFast);
 }
 
-sparse::CsrMatrix NativeBackend::kernel2(const PipelineConfig& config,
-                                         const fs::path& in_dir) {
-  const gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
-  return sparse::filter_edges(edges, config.num_vertices(), &filter_report_);
+sparse::CsrMatrix NativeBackend::kernel2(const KernelContext& ctx) {
+  const gen::EdgeList edges =
+      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
+  return sparse::filter_edges(edges, ctx.config.num_vertices(),
+                              &filter_report_);
 }
 
-std::vector<double> NativeBackend::kernel3(const PipelineConfig& config,
+std::vector<double> NativeBackend::kernel3(const KernelContext& ctx,
                                            const sparse::CsrMatrix& matrix) {
+  const PipelineConfig& config = ctx.config;
   util::require(matrix.rows() == config.num_vertices(),
                 "kernel3: matrix size does not match N = 2^scale");
   sparse::PageRankConfig pr;

@@ -2,25 +2,21 @@
 
 #include "gen/generator.hpp"
 #include "io/edge_files.hpp"
-#include "io/file_stream.hpp"
+#include "io/tsv.hpp"
 #include "rand/rng.hpp"
 #include "sort/edge_sort.hpp"
 #include "sparse/filter.hpp"
 #include "sparse/pagerank.hpp"
 #include "util/error.hpp"
-#include "util/fs.hpp"
 #include "util/threadpool.hpp"
 
 namespace prpb::core {
 
-namespace fs = std::filesystem;
-
-void ParallelBackend::kernel0(const PipelineConfig& config,
-                              const fs::path& out_dir) {
+void ParallelBackend::kernel0(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
-  util::ensure_dir(out_dir);
-  util::clear_dir(out_dir);
+  ctx.store.clear_stage(ctx.out_stage);
   const auto bounds =
       io::shard_boundaries(generator->num_edges(), config.num_files);
 
@@ -29,7 +25,8 @@ void ParallelBackend::kernel0(const PipelineConfig& config,
   futures.reserve(config.num_files);
   for (std::size_t s = 0; s < config.num_files; ++s) {
     futures.push_back(pool.submit([&, s] {
-      io::FileWriter writer(io::shard_path(out_dir, s));
+      const auto writer =
+          ctx.store.open_write(ctx.out_stage, io::shard_name(s));
       gen::EdgeList batch;
       constexpr std::uint64_t kBatch = 1 << 16;
       for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1]; lo += kBatch) {
@@ -38,37 +35,38 @@ void ParallelBackend::kernel0(const PipelineConfig& config,
         batch.clear();
         generator->generate_range(lo, hi, batch);
         for (const auto& edge : batch)
-          io::append_edge_fast(writer.buffer(), edge);
-        writer.maybe_flush();
+          io::append_edge_fast(writer->buffer(), edge);
+        writer->maybe_flush();
       }
-      writer.close();
+      writer->close();
     }));
   }
   for (auto& future : futures) future.get();
 }
 
-void ParallelBackend::kernel1(const PipelineConfig& config,
-                              const fs::path& in_dir,
-                              const fs::path& out_dir) {
-  gen::EdgeList edges = io::read_all_edges(in_dir, io::Codec::kFast);
+void ParallelBackend::kernel1(const KernelContext& ctx) {
+  const PipelineConfig& config = ctx.config;
+  gen::EdgeList edges =
+      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
   util::ThreadPool pool(threads_);
   sort::parallel_merge_sort(edges, pool, config.sort_key);
-  io::write_edge_list(edges, out_dir, config.num_files, io::Codec::kFast);
+  io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
+                      io::Codec::kFast);
 }
 
-sparse::CsrMatrix ParallelBackend::kernel2(const PipelineConfig& config,
-                                           const fs::path& in_dir) {
+sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
   // Row decomposition per the paper; at this repo's default configuration
   // the build is bandwidth-bound, so only the parse is parallelized (by
   // shard), with construction following serially on the gathered edges.
-  const auto files = util::list_files_sorted(in_dir);
-  std::vector<gen::EdgeList> parts(files.size());
+  const auto shards = ctx.store.list(ctx.in_stage);
+  std::vector<gen::EdgeList> parts(shards.size());
   util::ThreadPool pool(threads_);
   std::vector<std::future<void>> futures;
-  futures.reserve(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
+  futures.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
     futures.push_back(pool.submit([&, i] {
-      parts[i] = io::read_edge_file(files[i], io::Codec::kFast);
+      parts[i] = io::read_edge_shard(ctx.store, ctx.in_stage, shards[i],
+                                     io::Codec::kFast);
     }));
   }
   for (auto& future : futures) future.get();
@@ -78,11 +76,12 @@ sparse::CsrMatrix ParallelBackend::kernel2(const PipelineConfig& config,
     part.clear();
     part.shrink_to_fit();
   }
-  return sparse::filter_edges(edges, config.num_vertices(), nullptr);
+  return sparse::filter_edges(edges, ctx.config.num_vertices(), nullptr);
 }
 
-std::vector<double> ParallelBackend::kernel3(const PipelineConfig& config,
+std::vector<double> ParallelBackend::kernel3(const KernelContext& ctx,
                                              const sparse::CsrMatrix& matrix) {
+  const PipelineConfig& config = ctx.config;
   sparse::PageRankConfig pr;
   pr.iterations = config.iterations;
   pr.damping = config.damping;

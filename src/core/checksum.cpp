@@ -37,11 +37,11 @@ std::uint64_t edge_sequence_hash(const gen::EdgeList& edges) {
   return acc;
 }
 
-StageChecksum stage_checksum(const std::filesystem::path& dir) {
+StageChecksum stage_checksum(io::StageStore& store, const std::string& stage) {
   StageChecksum checksum;
   checksum.sequence = 0x0123456789abcdefULL;
   checksum.multiset = 0x5eed0f00dd0123ULL;
-  io::stream_all_edges(dir, io::Codec::kFast,
+  io::stream_all_edges(store, stage, io::Codec::kFast,
                        [&checksum](const gen::EdgeList& batch) {
                          for (const auto& edge : batch) {
                            const std::uint64_t h = mix_pair(edge.u, edge.v);
@@ -52,6 +52,11 @@ StageChecksum stage_checksum(const std::filesystem::path& dir) {
                          }
                        });
   return checksum;
+}
+
+StageChecksum stage_checksum(const std::filesystem::path& dir) {
+  io::DirStageStore store;
+  return stage_checksum(store, dir.string());
 }
 
 std::uint64_t matrix_fingerprint(const sparse::CsrMatrix& a, double quantum) {

@@ -15,7 +15,22 @@ void PipelineConfig::validate() const {
   util::require(generator == "kronecker" || generator == "bter" ||
                     generator == "ppl",
                 "pipeline: generator must be kronecker|bter|ppl");
-  util::require(!work_dir.empty(), "pipeline: work_dir must be set");
+  util::require(storage == "dir" || storage == "mem",
+                "pipeline: storage must be dir|mem");
+  util::require(storage == "mem" || !work_dir.empty(),
+                "pipeline: work_dir must be set for dir storage");
+}
+
+std::unique_ptr<io::StageStore> make_stage_store(
+    const PipelineConfig& config) {
+  if (config.storage == "dir") {
+    util::require(!config.work_dir.empty(),
+                  "make_stage_store: work_dir must be set for dir storage");
+    return std::make_unique<io::DirStageStore>(config.work_dir);
+  }
+  if (config.storage == "mem") return std::make_unique<io::MemStageStore>();
+  throw util::ConfigError("make_stage_store: unknown storage '" +
+                          config.storage + "' (expected dir|mem)");
 }
 
 RunSize run_size(int scale, int edge_factor) {

@@ -1,12 +1,16 @@
 // Pipeline configuration — the benchmark's free parameters (paper §IV):
 // scale S, edge factor k (fixed at 16 by the benchmark), number of files,
-// damping factor c = 0.85, 20 PageRank iterations, and the staging root.
+// damping factor c = 0.85, 20 PageRank iterations, the staging root, and
+// the storage tier stages live on (the paper's future-work "different
+// storage (Lustre, local disk)" knob; `mem` is the tmpfs-style ablation).
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 
+#include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 #include "sort/edge_sort.hpp"
 
@@ -21,7 +25,11 @@ struct PipelineConfig {
   int iterations = 20;
   double damping = 0.85;
   sort::SortKey sort_key = sort::SortKey::kStartEnd;
-  /// Staging root; kernel stages live in subdirectories of it.
+  /// Stage storage tier: "dir" (shard files under work_dir) or "mem"
+  /// (in-memory shard buffers — the tmpfs ablation).
+  std::string storage = "dir";
+  /// Staging root for dir storage; kernel stages live in subdirectories of
+  /// it. Unused (and may be empty) with mem storage.
   std::filesystem::path work_dir;
   /// RAM budget for kernel 1; 0 means unlimited (always in-memory).
   /// When the in-memory sort would exceed it, the external sort runs.
@@ -32,20 +40,13 @@ struct PipelineConfig {
     return static_cast<std::uint64_t>(edge_factor) * num_vertices();
   }
 
-  /// Stage directories under work_dir.
-  [[nodiscard]] std::filesystem::path stage0_dir() const {
-    return work_dir / "k0_edges";
-  }
-  [[nodiscard]] std::filesystem::path stage1_dir() const {
-    return work_dir / "k1_sorted";
-  }
-  [[nodiscard]] std::filesystem::path temp_dir() const {
-    return work_dir / "tmp";
-  }
-
   /// Throws ConfigError on invalid values.
   void validate() const;
 };
+
+/// Builds the stage store the configuration asks for ("dir" rooted at
+/// work_dir, or "mem"). Throws ConfigError for unknown storage names.
+std::unique_ptr<io::StageStore> make_stage_store(const PipelineConfig& config);
 
 /// Table II row: the benchmark run-size bookkeeping for one scale.
 struct RunSize {

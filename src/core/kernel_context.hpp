@@ -1,0 +1,64 @@
+// KernelContext — everything a kernel is allowed to touch.
+//
+// The paper's kernels are mathematically fixed stage-to-stage transforms;
+// the harness decides where stages live (StageStore), what they are called
+// (the runner's stage-naming scheme), and what gets measured. Passing this
+// bundle instead of raw filesystem paths is what makes storage swappable
+// (dir vs. mem ablation) and per-kernel I/O observable.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "io/stage_store.hpp"
+#include "util/log.hpp"
+
+namespace prpb::core {
+
+/// Named-counter sink for kernel-side observations (sort strategy taken,
+/// filter statistics, ...). The runner folds the collected values into the
+/// run report. Keys repeat-add, so kernels can accumulate.
+class MetricsSink {
+ public:
+  void add(const std::string& key, double value) { values_[key] += value; }
+  void set(const std::string& key, double value) { values_[key] = value; }
+  [[nodiscard]] const std::map<std::string, double>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+struct KernelContext {
+  const PipelineConfig& config;
+  io::StageStore& store;
+  /// Stage read by this kernel (empty for kernel 0; kernel 3 reads the
+  /// in-memory kernel-2 matrix, not a stage).
+  std::string in_stage;
+  /// Stage written by this kernel (empty for kernels 2-3).
+  std::string out_stage;
+  /// Scratch stage for spills (external sort runs).
+  std::string temp_stage;
+  /// Optional named-counter sink (may be null).
+  MetricsSink* metrics = nullptr;
+  /// Optional log override; kernels log through log() below.
+  std::function<void(std::string_view)> logger;
+
+  void log(const std::string& message) const {
+    if (logger) {
+      logger(message);
+    } else {
+      util::log_info(message);
+    }
+  }
+
+  void metric(const std::string& key, double value) const {
+    if (metrics != nullptr) metrics->add(key, value);
+  }
+};
+
+}  // namespace prpb::core

@@ -12,6 +12,10 @@ void kernel_object(util::JsonWriter& json, const char* name,
   json.field("seconds", metrics.seconds);
   json.field("edges_processed", metrics.edges_processed);
   json.field("edges_per_second", metrics.edges_per_second());
+  json.field("bytes_read", metrics.bytes_read);
+  json.field("bytes_written", metrics.bytes_written);
+  json.field("files_read", metrics.files_read);
+  json.field("files_written", metrics.files_written);
   json.end_object();
 }
 }  // namespace
@@ -34,9 +38,11 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("damping", config.damping);
   json.field("num_vertices", config.num_vertices());
   json.field("num_edges", config.num_edges());
+  json.field("storage", config.storage);
   json.end_object();
 
   json.field("backend", result.backend);
+  if (!result.storage.empty()) json.field("storage", result.storage);
 
   json.begin_object("kernels");
   kernel_object(json, "k0_generate", result.k0);
@@ -44,6 +50,14 @@ std::string run_report_json(const PipelineConfig& config,
   kernel_object(json, "k2_filter", result.k2);
   kernel_object(json, "k3_pagerank", result.k3);
   json.end_object();
+
+  if (!result.counters.empty()) {
+    json.begin_object("counters");
+    for (const auto& [name, value] : result.counters) {
+      json.field(name, value);
+    }
+    json.end_object();
+  }
 
   json.begin_object("matrix");
   json.field("rows", result.matrix.rows());

@@ -1,61 +1,123 @@
 #include "core/runner.hpp"
 
+#include <memory>
+
 #include "util/error.hpp"
-#include "util/fs.hpp"
 #include "util/log.hpp"
 
 namespace prpb::core {
+
+namespace {
+
+/// Folds one counting-store delta into a kernel's metrics row.
+void fold_io(KernelMetrics& metrics, const io::StageIoCounters& delta) {
+  metrics.bytes_read = delta.bytes_read;
+  metrics.bytes_written = delta.bytes_written;
+  metrics.files_read = delta.files_read;
+  metrics.files_written = delta.files_written;
+}
+
+/// Fails fast when a kernel's required input stage is absent — the barrier
+/// guarantee ("each kernel fully completed before the next begins") is
+/// meaningless if a later kernel silently starts from nothing.
+void require_stage(io::StageStore& store, const char* stage,
+                   const std::string& why) {
+  if (!store.exists(stage) || store.list(stage).empty() ||
+      store.stage_bytes(stage) == 0) {
+    throw util::PipelineError("run_pipeline: stage '" + std::string(stage) +
+                              "' is missing or empty (" + why + ")");
+  }
+}
+
+}  // namespace
 
 PipelineResult run_pipeline(const PipelineConfig& config,
                             PipelineBackend& backend,
                             const RunOptions& options) {
   config.validate();
-  util::ensure_dir(config.work_dir);
+
+  std::unique_ptr<io::StageStore> owned;
+  io::StageStore* base = options.store;
+  if (base == nullptr) {
+    owned = make_stage_store(config);
+    base = owned.get();
+  }
+  io::CountingStageStore store(*base);
 
   PipelineResult result;
   result.backend = backend.name();
+  result.storage = store.kind();
   result.num_vertices = config.num_vertices();
   result.num_edges = config.num_edges();
   const std::uint64_t m = config.num_edges();
 
+  MetricsSink sink;
+  const auto context = [&](const char* in, const char* out) {
+    KernelContext ctx{config, store};
+    ctx.in_stage = in;
+    ctx.out_stage = out;
+    ctx.temp_stage = stages::kTemp;
+    ctx.metrics = &sink;
+    return ctx;
+  };
+  io::StageIoCounters mark = store.snapshot();
+  const auto io_delta = [&] {
+    const io::StageIoCounters now = store.snapshot();
+    const io::StageIoCounters delta = now - mark;
+    mark = now;
+    return delta;
+  };
+
   // Kernel 0 — generate + write (untimed by the benchmark definition, but
   // measured: Figure 4 reports it for insight into write performance).
   if (options.run_kernel0) {
+    const KernelContext ctx = context("", stages::kStage0);
     util::Stopwatch watch;
-    backend.kernel0(config, config.stage0_dir());
+    backend.kernel0(ctx);
     result.k0.seconds = watch.seconds();
     result.k0.edges_processed = m;
+    fold_io(result.k0, io_delta());
     util::log_info("kernel0[", backend.name(), "] ", result.k0.seconds, "s");
+  } else {
+    require_stage(store, stages::kStage0,
+                  "run_kernel0 = false expects a previous run's stage here");
   }
 
   // Kernel 1 — sort (timed; M edges).
   {
+    const KernelContext ctx = context(stages::kStage0, stages::kStage1);
     util::Stopwatch watch;
-    backend.kernel1(config, config.stage0_dir(), config.stage1_dir());
+    backend.kernel1(ctx);
     result.k1.seconds = watch.seconds();
     result.k1.edges_processed = m;
+    fold_io(result.k1, io_delta());
     util::log_info("kernel1[", backend.name(), "] ", result.k1.seconds, "s");
   }
 
   // Kernel 2 — filter (timed; M edges).
   {
+    const KernelContext ctx = context(stages::kStage1, "");
     util::Stopwatch watch;
-    result.matrix = backend.kernel2(config, config.stage1_dir());
+    result.matrix = backend.kernel2(ctx);
     result.k2.seconds = watch.seconds();
     result.k2.edges_processed = m;
+    fold_io(result.k2, io_delta());
     util::log_info("kernel2[", backend.name(), "] ", result.k2.seconds, "s");
   }
 
   // Kernel 3 — PageRank (timed; iterations · M edge traversals).
   {
+    const KernelContext ctx = context("", "");
     util::Stopwatch watch;
-    result.ranks = backend.kernel3(config, result.matrix);
+    result.ranks = backend.kernel3(ctx, result.matrix);
     result.k3.seconds = watch.seconds();
     result.k3.edges_processed =
         static_cast<std::uint64_t>(config.iterations) * m;
+    fold_io(result.k3, io_delta());
     util::log_info("kernel3[", backend.name(), "] ", result.k3.seconds, "s");
   }
 
+  result.counters = sink.values();
   util::ensure(result.ranks.size() == config.num_vertices(),
                "pipeline: rank vector has wrong size");
   if (!options.keep_matrix) result.matrix = sparse::CsrMatrix();

@@ -1,33 +1,62 @@
 // Pipeline orchestration: runs kernels 0-3 in order through a backend,
 // timing each and reporting the paper's metrics (edges/second; kernel 3
-// counts 20·M edge traversals). "Each kernel in the pipeline must be fully
-// completed before the next kernel can begin" — the runner enforces the
-// barrier by materializing every stage before the next kernel starts.
+// counts 20·M edge traversals) plus per-kernel stage I/O. "Each kernel in
+// the pipeline must be fully completed before the next kernel can begin" —
+// the runner enforces the barrier by materializing every stage before the
+// next kernel starts.
+//
+// The runner owns the stage-naming scheme (stages::*) and the storage
+// wiring: it builds the store from config.storage (or takes an injected
+// one), wraps it in an I/O-counting decorator, and hands kernels a
+// KernelContext. Kernels never see paths.
 #pragma once
 
+#include <algorithm>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/backend.hpp"
 #include "core/config.hpp"
+#include "core/kernel_context.hpp"
 #include "sparse/csr.hpp"
 #include "util/timer.hpp"
 
 namespace prpb::core {
 
+/// Canonical stage names — the single definition (kernels, benches,
+/// examples and tests all address stages through these).
+namespace stages {
+inline constexpr const char* kStage0 = "k0_edges";   ///< kernel-0 output
+inline constexpr const char* kStage1 = "k1_sorted";  ///< kernel-1 output
+inline constexpr const char* kTemp = "tmp";          ///< spill scratch
+}  // namespace stages
+
 struct KernelMetrics {
+  /// Floor for rate computation: a timed kernel that completes faster than
+  /// the clock can resolve reports edges/s as if it took this long instead
+  /// of silently reporting 0 (which plots as a missing point in sweeps).
+  static constexpr double kMinMeasurableSeconds = 1e-9;
+
   double seconds = 0.0;
   std::uint64_t edges_processed = 0;  ///< M, or iterations·M for kernel 3
+  // Stage traffic recorded by the runner's counting store.
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t files_read = 0;     ///< shards opened for reading
+  std::uint64_t files_written = 0;  ///< shards opened for writing
 
   [[nodiscard]] double edges_per_second() const {
-    return seconds > 0.0
-               ? static_cast<double>(edges_processed) / seconds
-               : 0.0;
+    if (edges_processed == 0) return 0.0;
+    return static_cast<double>(edges_processed) /
+           std::max(seconds, kMinMeasurableSeconds);
   }
 };
 
 struct PipelineResult {
   std::string backend;
+  std::string storage;  ///< store kind the run used ("dir" | "mem")
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
   KernelMetrics k0;  ///< untimed by the benchmark; measured for insight
@@ -36,14 +65,21 @@ struct PipelineResult {
   KernelMetrics k3;
   sparse::CsrMatrix matrix;     ///< kernel-2 output
   std::vector<double> ranks;    ///< kernel-3 output
+  /// Kernel-side named counters (MetricsSink contents).
+  std::map<std::string, double> counters;
 };
 
 struct RunOptions {
   bool run_kernel0 = true;  ///< when false, stage0 must already exist
   bool keep_matrix = true;  ///< retain the kernel-2 matrix in the result
+  /// Run against this store instead of building one from config.storage
+  /// (not owned; lets tests and benches share or inspect stages).
+  io::StageStore* store = nullptr;
 };
 
-/// Runs the full pipeline. Stages live under config.work_dir.
+/// Runs the full pipeline. Stages live in the configured store. Throws
+/// util::PipelineError when options.run_kernel0 is false and the k0_edges
+/// stage is missing or empty.
 PipelineResult run_pipeline(const PipelineConfig& config,
                             PipelineBackend& backend,
                             const RunOptions& options = {});

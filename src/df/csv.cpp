@@ -5,7 +5,6 @@
 #include "io/edge_files.hpp"
 #include "io/file_stream.hpp"
 #include "util/error.hpp"
-#include "util/fs.hpp"
 #include "util/parse.hpp"
 
 namespace prpb::df {
@@ -77,9 +76,9 @@ void append_frame(DataFrame& frame, const CsvSchema& schema,
   }
 }
 
-void read_into(const fs::path& path, const CsvSchema& schema,
-               const CsvOptions& options, TypedBuffers& buffers) {
-  io::FileReader reader(path);
+void read_into(io::StageReader& reader, const std::string& what,
+               const CsvSchema& schema, const CsvOptions& options,
+               TypedBuffers& buffers) {
   std::string carry;
   bool first_line = true;
   auto consume = [&](std::string_view text) -> std::size_t {
@@ -109,7 +108,7 @@ void read_into(const fs::path& path, const CsvSchema& schema,
     }
   }
   util::io_require(carry.empty(),
-                   "csv: file does not end with a newline: " + path.string());
+                   "csv: file does not end with a newline: " + what);
 }
 
 TypedBuffers make_buffers(const CsvSchema& schema) {
@@ -128,7 +127,20 @@ TypedBuffers make_buffers(const CsvSchema& schema) {
 DataFrame read_csv(const fs::path& path, const CsvSchema& schema,
                    const CsvOptions& options) {
   TypedBuffers buffers = make_buffers(schema);
-  read_into(path, schema, options, buffers);
+  io::FileReader reader(path);
+  read_into(reader, path.string(), schema, options, buffers);
+  DataFrame frame;
+  append_frame(frame, schema, buffers);
+  return frame;
+}
+
+DataFrame read_csv_stage(io::StageStore& store, const std::string& stage,
+                         const CsvSchema& schema, const CsvOptions& options) {
+  TypedBuffers buffers = make_buffers(schema);
+  for (const auto& shard : store.list(stage)) {
+    const auto reader = store.open_read(stage, shard);
+    read_into(*reader, stage + "/" + shard, schema, options, buffers);
+  }
   DataFrame frame;
   append_frame(frame, schema, buffers);
   return frame;
@@ -136,17 +148,12 @@ DataFrame read_csv(const fs::path& path, const CsvSchema& schema,
 
 DataFrame read_csv_dir(const fs::path& dir, const CsvSchema& schema,
                        const CsvOptions& options) {
-  TypedBuffers buffers = make_buffers(schema);
-  for (const auto& file : util::list_files_sorted(dir)) {
-    read_into(file, schema, options, buffers);
-  }
-  DataFrame frame;
-  append_frame(frame, schema, buffers);
-  return frame;
+  io::DirStageStore store;
+  return read_csv_stage(store, dir.string(), schema, options);
 }
 
 namespace {
-void write_rows(const DataFrame& frame, io::FileWriter& writer,
+void write_rows(const DataFrame& frame, io::StageWriter& writer,
                 std::size_t row_begin, std::size_t row_end,
                 const CsvOptions& options) {
   for (std::size_t r = row_begin; r < row_end; ++r) {
@@ -160,7 +167,7 @@ void write_rows(const DataFrame& frame, io::FileWriter& writer,
   }
 }
 
-void write_header(const DataFrame& frame, io::FileWriter& writer,
+void write_header(const DataFrame& frame, io::StageWriter& writer,
                   const CsvOptions& options) {
   if (!options.header) return;
   std::string line;
@@ -181,20 +188,26 @@ void write_csv(const DataFrame& frame, const fs::path& path,
   writer.close();
 }
 
-std::uint64_t write_csv_dir(const DataFrame& frame, const fs::path& dir,
-                            std::size_t shards, const CsvOptions& options) {
-  util::ensure_dir(dir);
-  util::clear_dir(dir);
+std::uint64_t write_csv_stage(const DataFrame& frame, io::StageStore& store,
+                              const std::string& stage, std::size_t shards,
+                              const CsvOptions& options) {
+  store.clear_stage(stage);
   const auto bounds = io::shard_boundaries(frame.num_rows(), shards);
   std::uint64_t bytes = 0;
   for (std::size_t s = 0; s < shards; ++s) {
-    io::FileWriter writer(io::shard_path(dir, s));
-    write_header(frame, writer, options);
-    write_rows(frame, writer, bounds[s], bounds[s + 1], options);
-    writer.close();
-    bytes += writer.bytes_written();
+    const auto writer = store.open_write(stage, io::shard_name(s));
+    write_header(frame, *writer, options);
+    write_rows(frame, *writer, bounds[s], bounds[s + 1], options);
+    writer->close();
+    bytes += writer->bytes_written();
   }
   return bytes;
+}
+
+std::uint64_t write_csv_dir(const DataFrame& frame, const fs::path& dir,
+                            std::size_t shards, const CsvOptions& options) {
+  io::DirStageStore store;
+  return write_csv_stage(frame, store, dir.string(), shards, options);
 }
 
 }  // namespace prpb::df

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "df/dataframe.hpp"
+#include "io/stage_store.hpp"
 
 namespace prpb::df {
 
@@ -41,5 +42,18 @@ std::uint64_t write_csv_dir(const DataFrame& frame,
                             const std::filesystem::path& dir,
                             std::size_t shards,
                             const CsvOptions& options = {});
+
+// ---- StageStore forms (the dataframe backend's kernel seam) -----------------
+
+/// Reads and concatenates every shard of `stage` (sorted shard order).
+DataFrame read_csv_stage(io::StageStore& store, const std::string& stage,
+                         const CsvSchema& schema,
+                         const CsvOptions& options = {});
+
+/// Writes the frame row-partitioned into `shards` shards of `stage`
+/// (cleared first). Returns total bytes written.
+std::uint64_t write_csv_stage(const DataFrame& frame, io::StageStore& store,
+                              const std::string& stage, std::size_t shards,
+                              const CsvOptions& options = {});
 
 }  // namespace prpb::df

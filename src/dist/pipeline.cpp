@@ -1,8 +1,12 @@
 #include "dist/pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "gen/generator.hpp"
+#include "io/edge_files.hpp"
+#include "io/tsv.hpp"
 #include "sort/edge_sort.hpp"
 #include "sparse/pagerank.hpp"
 #include "util/error.hpp"
@@ -48,6 +52,14 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
   Cluster cluster(ranks);
   std::vector<RankScratch> scratch(ranks);
 
+  // Optional K0->K1 file barrier: shard writes/reads go through an
+  // I/O-counting wrapper so the stage traffic lands in the result.
+  std::optional<io::CountingStageStore> staging;
+  if (config.stage_store != nullptr) {
+    staging.emplace(*config.stage_store);
+    staging->clear_stage(config.stage);
+  }
+
   cluster.run([&](Communicator& comm) {
     const std::size_t rank = comm.rank();
     const std::size_t p = comm.size();
@@ -60,6 +72,21 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
     const std::uint64_t hi = total * (rank + 1) / p;
     gen::EdgeList local;
     generator->generate_range(lo, hi, local);
+
+    if (staging.has_value()) {
+      // Materialize the slice as this rank's shard, then read it back —
+      // "each kernel ... fully completed before the next kernel can begin".
+      const auto writer =
+          staging->open_write(config.stage, io::shard_name(rank));
+      for (const auto& edge : local) {
+        io::append_edge_fast(writer->buffer(), edge);
+        writer->maybe_flush();
+      }
+      writer->close();
+      comm.barrier();
+      local = io::read_edge_shard(*staging, config.stage,
+                                  io::shard_name(rank), io::Codec::kFast);
+    }
 
     // ---- Kernel 1: route edges to the owner of their start vertex, then
     // sort locally — the concatenation over ranks is globally sorted.
@@ -131,6 +158,11 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
   DistResult result;
   result.per_rank = cluster.last_stats();
   result.total_bytes = cluster.total_bytes();
+  if (staging.has_value()) {
+    const io::StageIoCounters io = staging->snapshot();
+    result.stage_bytes_written = io.bytes_written;
+    result.stage_bytes_read = io.bytes_read;
+  }
   for (const auto& s : scratch) {
     result.k1_exchange_bytes += s.k1_bytes;
     result.k3_allreduce_bytes += s.k3_bytes;

@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dist/comm.hpp"
+#include "io/stage_store.hpp"
 #include "sparse/csr.hpp"
 
 namespace prpb::dist {
@@ -33,6 +35,12 @@ struct DistConfig {
   std::string generator = "kronecker";
   int iterations = 20;
   double damping = 0.85;
+  /// When set, kernel 0 materializes each rank's slice as a shard of
+  /// `stage` in this store and kernel 1 reads it back — the paper's file
+  /// barrier between K0 and K1, over any storage backend. Not owned; null
+  /// keeps the historical fully in-memory hand-off.
+  io::StageStore* stage_store = nullptr;
+  std::string stage = "k0_edges";
 
   [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
   [[nodiscard]] std::uint64_t num_edges() const {
@@ -46,6 +54,9 @@ struct DistResult {
   std::vector<CommStats> per_rank;
   std::uint64_t k1_exchange_bytes = 0;  ///< alltoallv traffic in kernel 1
   std::uint64_t k3_allreduce_bytes = 0; ///< allreduce traffic in kernel 3
+  // Stage traffic through config.stage_store (0 when no store is set).
+  std::uint64_t stage_bytes_written = 0;  ///< K0 shard writes across ranks
+  std::uint64_t stage_bytes_read = 0;     ///< K1 shard read-back across ranks
 };
 
 /// Block ownership: vertex v belongs to rank v * P / N.

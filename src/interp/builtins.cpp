@@ -342,10 +342,16 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
   };
 
   // ---- edge-file I/O (generic codec — the interpreted stack's string path) --
-  builtins["load_edges"] = [](std::vector<Value>& args, Interpreter&) {
+  // When the host installed a StageStore (set_stage_store), the string
+  // argument names a stage of that store; otherwise it is a filesystem path
+  // handled by a transient DirStageStore, preserving the legacy layout.
+  builtins["load_edges"] = [](std::vector<Value>& args, Interpreter& interp) {
     expect_args(args, 1, "load_edges");
+    io::DirStageStore fallback;
+    io::StageStore& store =
+        interp.stage_store() ? *interp.stage_store() : fallback;
     const gen::EdgeList edges =
-        io::read_all_edges(args[0].str(), io::Codec::kGeneric);
+        io::read_all_edges(store, args[0].str(), io::Codec::kGeneric);
     Array out;
     out.reserve(2 * edges.size());
     for (const auto& edge : edges) {
@@ -354,7 +360,7 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
     }
     return Value(std::move(out));
   };
-  builtins["save_edges"] = [](std::vector<Value>& args, Interpreter&) {
+  builtins["save_edges"] = [](std::vector<Value>& args, Interpreter& interp) {
     expect_args(args, 4, "save_edges");
     const std::uint64_t shards = as_index(args[1].scalar(), "save_edges");
     const Array& u = args[2].array();
@@ -366,13 +372,20 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
       edges.push_back(gen::Edge{as_index(u[i], "save_edges"),
                                 as_index(v[i], "save_edges")});
     }
+    io::DirStageStore fallback;
+    io::StageStore& store =
+        interp.stage_store() ? *interp.stage_store() : fallback;
     const std::uint64_t bytes = io::write_edge_list(
-        edges, args[0].str(), shards, io::Codec::kGeneric);
+        store, args[0].str(), edges, shards, io::Codec::kGeneric);
     return Value(static_cast<double>(bytes));
   };
-  builtins["count_edges"] = [](std::vector<Value>& args, Interpreter&) {
+  builtins["count_edges"] = [](std::vector<Value>& args, Interpreter& interp) {
     expect_args(args, 1, "count_edges");
-    return Value(static_cast<double>(io::count_edges(args[0].str())));
+    io::DirStageStore fallback;
+    io::StageStore& store =
+        interp.stage_store() ? *interp.stage_store() : fallback;
+    return Value(
+        static_cast<double>(io::count_edges(store, args[0].str())));
   };
 
   // ---- diagnostics -----------------------------------------------------------

@@ -17,6 +17,10 @@
 #include "interp/value.hpp"
 #include "rand/rng.hpp"
 
+namespace prpb::io {
+class StageStore;
+}  // namespace prpb::io
+
 namespace prpb::interp {
 
 class Interpreter;
@@ -62,6 +66,14 @@ class Interpreter {
   /// it. Exposed so benchmarks can report interpretation overhead.
   [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
 
+  /// Routes the edge-file builtins (load_edges/save_edges/count_edges)
+  /// through a StageStore: their string arguments become stage names of
+  /// `store` instead of filesystem paths. Pass nullptr (the default) to
+  /// keep the historical path behavior. Non-owning; the store must outlive
+  /// every run() that touches edge I/O.
+  void set_stage_store(io::StageStore* store) { stage_store_ = store; }
+  [[nodiscard]] io::StageStore* stage_store() const { return stage_store_; }
+
   /// True when `name` is a user-defined function.
   [[nodiscard]] bool has_function(const std::string& name) const {
     return functions_.contains(name);
@@ -99,6 +111,7 @@ class Interpreter {
   std::vector<std::shared_ptr<const Program>> retained_programs_;
   rnd::Xoshiro256 rng_;
   std::vector<std::string> output_;
+  io::StageStore* stage_store_ = nullptr;
   std::uint64_t dispatches_ = 0;
   std::size_t call_depth_ = 0;
 };

@@ -11,9 +11,7 @@ namespace prpb::io {
 namespace fs = std::filesystem;
 
 fs::path shard_path(const fs::path& dir, std::size_t index) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "edges_%05zu.tsv", index);
-  return dir / name;
+  return dir / shard_name(index);
 }
 
 std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
@@ -30,17 +28,16 @@ namespace {
 constexpr std::size_t kBatchEdges = 1 << 16;
 
 std::uint64_t write_edges_impl(
-    const fs::path& dir, std::size_t shards, Codec codec,
-    std::uint64_t total,
+    StageStore& store, const std::string& stage, std::size_t shards,
+    Codec codec, std::uint64_t total,
     const std::function<void(std::uint64_t, std::uint64_t, gen::EdgeList&)>&
         producer) {
-  util::ensure_dir(dir);
-  util::clear_dir(dir);
+  store.clear_stage(stage);
   const auto bounds = shard_boundaries(total, shards);
   std::uint64_t bytes = 0;
   gen::EdgeList batch;
   for (std::size_t s = 0; s < shards; ++s) {
-    FileWriter writer(shard_path(dir, s));
+    const auto writer = store.open_write(stage, shard_name(s));
     for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1];
          lo += kBatchEdges) {
       const std::uint64_t hi =
@@ -48,40 +45,19 @@ std::uint64_t write_edges_impl(
       batch.clear();
       producer(lo, hi, batch);
       for (const auto& edge : batch) {
-        append_edge(writer.buffer(), edge, codec);
+        append_edge(writer->buffer(), edge, codec);
       }
-      writer.maybe_flush();
+      writer->maybe_flush();
     }
-    writer.close();
-    bytes += writer.bytes_written();
+    writer->close();
+    bytes += writer->bytes_written();
   }
   return bytes;
 }
-}  // namespace
 
-std::uint64_t write_generated_edges(const gen::EdgeGenerator& generator,
-                                    const fs::path& dir, std::size_t shards,
-                                    Codec codec) {
-  return write_edges_impl(
-      dir, shards, codec, generator.num_edges(),
-      [&generator](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
-        generator.generate_range(lo, hi, out);
-      });
-}
-
-std::uint64_t write_edge_list(const gen::EdgeList& edges, const fs::path& dir,
-                              std::size_t shards, Codec codec) {
-  return write_edges_impl(
-      dir, shards, codec, edges.size(),
-      [&edges](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
-        out.insert(out.end(), edges.begin() + static_cast<std::ptrdiff_t>(lo),
-                   edges.begin() + static_cast<std::ptrdiff_t>(hi));
-      });
-}
-
-gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
+gen::EdgeList read_shard_impl(StageReader& reader, const std::string& label,
+                              Codec codec) {
   gen::EdgeList edges;
-  FileReader reader(path);
   std::string carry;
   for (;;) {
     const auto chunk = reader.read_chunk();
@@ -97,52 +73,94 @@ gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
   }
   util::io_require(carry.empty(),
                    "edge file does not end with a newline-terminated record: " +
-                       path.string());
+                       label);
   return edges;
 }
 
-gen::EdgeList read_all_edges(const fs::path& dir, Codec codec) {
+void stream_shard_impl(StageReader& reader, const std::string& label,
+                       Codec codec,
+                       const std::function<void(const gen::EdgeList&)>& sink) {
+  gen::EdgeList batch;
+  std::string carry;
+  for (;;) {
+    const auto chunk = reader.read_chunk();
+    if (chunk.empty()) break;
+    batch.clear();
+    if (carry.empty()) {
+      const std::size_t consumed = parse_edges(chunk, batch, codec);
+      carry.assign(chunk.substr(consumed));
+    } else {
+      carry.append(chunk);
+      const std::size_t consumed = parse_edges(carry, batch, codec);
+      carry.erase(0, consumed);
+    }
+    if (!batch.empty()) sink(batch);
+  }
+  util::io_require(carry.empty(),
+                   "edge file does not end with a newline-terminated "
+                   "record: " +
+                       label);
+}
+
+/// Expresses an arbitrary stage directory as a (store, stage) pair.
+DirStageStore path_store() { return DirStageStore{}; }
+
+}  // namespace
+
+// ---- StageStore forms ------------------------------------------------------
+
+std::uint64_t write_generated_edges(StageStore& store,
+                                    const std::string& stage,
+                                    const gen::EdgeGenerator& generator,
+                                    std::size_t shards, Codec codec) {
+  return write_edges_impl(
+      store, stage, shards, codec, generator.num_edges(),
+      [&generator](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
+        generator.generate_range(lo, hi, out);
+      });
+}
+
+std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
+                              const gen::EdgeList& edges, std::size_t shards,
+                              Codec codec) {
+  return write_edges_impl(
+      store, stage, shards, codec, edges.size(),
+      [&edges](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
+        out.insert(out.end(), edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                   edges.begin() + static_cast<std::ptrdiff_t>(hi));
+      });
+}
+
+gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
+                              const std::string& shard, Codec codec) {
+  const auto reader = store.open_read(stage, shard);
+  return read_shard_impl(*reader, stage + "/" + shard, codec);
+}
+
+gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
+                             Codec codec) {
   gen::EdgeList edges;
-  for (const auto& file : util::list_files_sorted(dir)) {
-    auto part = read_edge_file(file, codec);
+  for (const auto& shard : store.list(stage)) {
+    auto part = read_edge_shard(store, stage, shard, codec);
     edges.insert(edges.end(), part.begin(), part.end());
   }
   return edges;
 }
 
-void stream_all_edges(const fs::path& dir, Codec codec,
+void stream_all_edges(StageStore& store, const std::string& stage, Codec codec,
                       const std::function<void(const gen::EdgeList&)>& sink) {
-  gen::EdgeList batch;
-  for (const auto& file : util::list_files_sorted(dir)) {
-    FileReader reader(file);
-    std::string carry;
-    for (;;) {
-      const auto chunk = reader.read_chunk();
-      if (chunk.empty()) break;
-      batch.clear();
-      if (carry.empty()) {
-        const std::size_t consumed = parse_edges(chunk, batch, codec);
-        carry.assign(chunk.substr(consumed));
-      } else {
-        carry.append(chunk);
-        const std::size_t consumed = parse_edges(carry, batch, codec);
-        carry.erase(0, consumed);
-      }
-      if (!batch.empty()) sink(batch);
-    }
-    util::io_require(carry.empty(),
-                     "edge file does not end with a newline-terminated "
-                     "record: " +
-                         file.string());
+  for (const auto& shard : store.list(stage)) {
+    const auto reader = store.open_read(stage, shard);
+    stream_shard_impl(*reader, stage + "/" + shard, codec, sink);
   }
 }
 
-std::uint64_t count_edges(const fs::path& dir) {
+std::uint64_t count_edges(StageStore& store, const std::string& stage) {
   std::uint64_t total = 0;
-  for (const auto& file : util::list_files_sorted(dir)) {
-    FileReader reader(file);
+  for (const auto& shard : store.list(stage)) {
+    const auto reader = store.open_read(stage, shard);
     for (;;) {
-      const auto chunk = reader.read_chunk();
+      const auto chunk = reader->read_chunk();
       if (chunk.empty()) break;
       for (const char ch : chunk) {
         if (ch == '\n') ++total;
@@ -150,6 +168,42 @@ std::uint64_t count_edges(const fs::path& dir) {
     }
   }
   return total;
+}
+
+// ---- path forms ------------------------------------------------------------
+
+std::uint64_t write_generated_edges(const gen::EdgeGenerator& generator,
+                                    const fs::path& dir, std::size_t shards,
+                                    Codec codec) {
+  auto store = path_store();
+  return write_generated_edges(store, dir.string(), generator, shards, codec);
+}
+
+std::uint64_t write_edge_list(const gen::EdgeList& edges, const fs::path& dir,
+                              std::size_t shards, Codec codec) {
+  auto store = path_store();
+  return write_edge_list(store, dir.string(), edges, shards, codec);
+}
+
+gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
+  FileReader reader(path);
+  return read_shard_impl(reader, path.string(), codec);
+}
+
+gen::EdgeList read_all_edges(const fs::path& dir, Codec codec) {
+  auto store = path_store();
+  return read_all_edges(store, dir.string(), codec);
+}
+
+void stream_all_edges(const fs::path& dir, Codec codec,
+                      const std::function<void(const gen::EdgeList&)>& sink) {
+  auto store = path_store();
+  stream_all_edges(store, dir.string(), codec, sink);
+}
+
+std::uint64_t count_edges(const fs::path& dir) {
+  auto store = path_store();
+  return count_edges(store, dir.string());
 }
 
 }  // namespace prpb::io

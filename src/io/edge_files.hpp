@@ -1,20 +1,27 @@
-// Sharded edge-file stages. Each pipeline kernel reads a directory of TSV
-// shard files and writes another; "the number of files is a free parameter"
+// Sharded edge-file stages. Each pipeline kernel reads a stage of TSV
+// shards and writes another; "the number of files is a free parameter"
 // (paper §IV.A), so the shard count is part of the stage layout.
+//
+// Every helper comes in two forms: the StageStore form (the kernel seam —
+// works over dir, mem, and counting stores) and a legacy path form that is
+// a thin wrapper over a DirStageStore, preserving the historical on-disk
+// layout byte for byte.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gen/edge.hpp"
 #include "gen/generator.hpp"
+#include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 
 namespace prpb::io {
 
-/// Naming scheme for shard i of a stage directory.
+/// Naming scheme for shard i of a stage directory (dir / shard_name(i)).
 std::filesystem::path shard_path(const std::filesystem::path& dir,
                                  std::size_t index);
 
@@ -23,13 +30,44 @@ std::filesystem::path shard_path(const std::filesystem::path& dir,
 std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
                                             std::size_t shards);
 
-/// Writes all edges of `generator` into `shards` TSV files under `dir`
-/// (created if needed, cleared of stale shards first). Returns bytes written.
+// ---- StageStore forms (the kernel I/O seam) --------------------------------
+
+/// Writes all edges of `generator` into `shards` shards of `stage`
+/// (created if needed, cleared of stale shards first). Returns bytes
+/// written.
+std::uint64_t write_generated_edges(StageStore& store,
+                                    const std::string& stage,
+                                    const gen::EdgeGenerator& generator,
+                                    std::size_t shards, Codec codec);
+
+/// Writes an in-memory edge list into `shards` shards of `stage`.
+std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
+                              const gen::EdgeList& edges, std::size_t shards,
+                              Codec codec);
+
+/// Reads one shard of a stage fully.
+gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
+                              const std::string& shard, Codec codec);
+
+/// Reads every shard of `stage` (sorted shard order) into one list.
+gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
+                             Codec codec);
+
+/// Streams edges from every shard of `stage` in shard order, invoking
+/// `sink` with batches. Bounded memory regardless of stage size.
+void stream_all_edges(StageStore& store, const std::string& stage,
+                      Codec codec,
+                      const std::function<void(const gen::EdgeList&)>& sink);
+
+/// Number of edges in the stage (counts newline-delimited records).
+std::uint64_t count_edges(StageStore& store, const std::string& stage);
+
+// ---- path forms (DirStageStore wrappers) -----------------------------------
+
 std::uint64_t write_generated_edges(const gen::EdgeGenerator& generator,
                                     const std::filesystem::path& dir,
                                     std::size_t shards, Codec codec);
 
-/// Writes an in-memory edge list into `shards` TSV files under `dir`.
 std::uint64_t write_edge_list(const gen::EdgeList& edges,
                               const std::filesystem::path& dir,
                               std::size_t shards, Codec codec);
@@ -37,15 +75,11 @@ std::uint64_t write_edge_list(const gen::EdgeList& edges,
 /// Reads one TSV shard fully.
 gen::EdgeList read_edge_file(const std::filesystem::path& path, Codec codec);
 
-/// Reads every shard in `dir` (lexicographic file order) into one list.
 gen::EdgeList read_all_edges(const std::filesystem::path& dir, Codec codec);
 
-/// Streams edges from every shard in `dir` in file order, invoking `sink`
-/// with batches. Bounded memory regardless of stage size.
 void stream_all_edges(const std::filesystem::path& dir, Codec codec,
                       const std::function<void(const gen::EdgeList&)>& sink);
 
-/// Number of edges in the stage (counts newline-delimited records).
 std::uint64_t count_edges(const std::filesystem::path& dir);
 
 }  // namespace prpb::io

@@ -9,29 +9,34 @@
 #include <string>
 #include <string_view>
 
+#include "io/stage_stream.hpp"
+
 namespace prpb::io {
 
 inline constexpr std::size_t kDefaultBufferBytes = 1 << 20;  // 1 MiB
 
 /// Buffered writer. Data is staged in an internal string and flushed in
-/// large blocks. Throws IoError on any failure.
-class FileWriter {
+/// large blocks. Throws IoError on any failure. Implements StageWriter, so
+/// it doubles as the on-disk shard writer of DirStageStore.
+class FileWriter : public StageWriter {
  public:
   explicit FileWriter(const std::filesystem::path& path,
                       std::size_t buffer_bytes = kDefaultBufferBytes);
   FileWriter(const FileWriter&) = delete;
   FileWriter& operator=(const FileWriter&) = delete;
-  ~FileWriter();
+  ~FileWriter() override;
 
   void write(std::string_view data);
   /// Exposes the staging buffer so codecs can append in place; call
   /// maybe_flush() afterwards.
-  std::string& buffer() { return buffer_; }
-  void maybe_flush();
+  std::string& buffer() override { return buffer_; }
+  void maybe_flush() override;
   /// Flushes and closes; safe to call once, after which write() is invalid.
-  void close();
+  void close() override;
 
-  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return bytes_written_;
+  }
 
  private:
   void flush_buffer();
@@ -44,20 +49,23 @@ class FileWriter {
 };
 
 /// Buffered reader delivering sequential chunks. Throws IoError on failure.
-class FileReader {
+/// Implements StageReader (the on-disk shard reader of DirStageStore).
+class FileReader : public StageReader {
  public:
   explicit FileReader(const std::filesystem::path& path,
                       std::size_t buffer_bytes = kDefaultBufferBytes);
   FileReader(const FileReader&) = delete;
   FileReader& operator=(const FileReader&) = delete;
-  ~FileReader();
+  ~FileReader() override;
 
   /// Reads up to buffer capacity; returns the chunk (empty at EOF).
   /// The view is valid until the next read_chunk() call.
-  std::string_view read_chunk();
+  std::string_view read_chunk() override;
 
   [[nodiscard]] bool eof() const { return eof_; }
-  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return bytes_read_;
+  }
 
  private:
   std::FILE* file_ = nullptr;

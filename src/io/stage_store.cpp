@@ -1,0 +1,255 @@
+#include "io/stage_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+
+namespace fs = std::filesystem;
+
+std::string shard_name(std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "edges_%05zu.tsv", index);
+  return name;
+}
+
+// ---- DirStageStore ---------------------------------------------------------
+
+std::unique_ptr<StageReader> DirStageStore::open_read(
+    const std::string& stage, const std::string& shard) {
+  return std::make_unique<FileReader>(resolve(stage) / shard);
+}
+
+std::unique_ptr<StageWriter> DirStageStore::open_write(
+    const std::string& stage, const std::string& shard) {
+  util::ensure_dir(resolve(stage));
+  return std::make_unique<FileWriter>(resolve(stage) / shard);
+}
+
+std::vector<std::string> DirStageStore::list(const std::string& stage) const {
+  std::vector<std::string> names;
+  for (const auto& path : util::list_files_sorted(resolve(stage))) {
+    names.push_back(path.filename().string());
+  }
+  return names;
+}
+
+bool DirStageStore::exists(const std::string& stage) const {
+  return fs::is_directory(resolve(stage));
+}
+
+void DirStageStore::clear_stage(const std::string& stage) {
+  util::ensure_dir(resolve(stage));
+  util::clear_dir(resolve(stage));
+}
+
+void DirStageStore::remove(const std::string& stage) {
+  fs::remove_all(resolve(stage));
+}
+
+std::uint64_t DirStageStore::stage_bytes(const std::string& stage) const {
+  return exists(stage) ? util::dir_bytes(resolve(stage)) : 0;
+}
+
+// ---- MemStageStore ---------------------------------------------------------
+
+namespace {
+
+class MemReader final : public StageReader {
+ public:
+  explicit MemReader(std::shared_ptr<const std::string> blob)
+      : blob_(std::move(blob)) {}
+
+  std::string_view read_chunk() override {
+    // Serve bounded chunks to exercise the same carry/boundary logic the
+    // file path exercises, instead of one giant view.
+    constexpr std::size_t kChunk = kDefaultBufferBytes;
+    if (pos_ >= blob_->size()) return {};
+    const std::size_t n = std::min(kChunk, blob_->size() - pos_);
+    const std::string_view view(blob_->data() + pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const override { return pos_; }
+
+ private:
+  std::shared_ptr<const std::string> blob_;  // keeps data alive if cleared
+  std::size_t pos_ = 0;
+};
+
+class MemWriter final : public StageWriter {
+ public:
+  explicit MemWriter(std::shared_ptr<std::string> blob)
+      : blob_(std::move(blob)) {
+    buffer_.reserve(kDefaultBufferBytes + 4096);
+  }
+  ~MemWriter() override { close(); }
+
+  std::string& buffer() override { return buffer_; }
+  void maybe_flush() override {
+    if (buffer_.size() >= kDefaultBufferBytes) flush();
+  }
+  void close() override {
+    if (closed_) return;
+    flush();
+    closed_ = true;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return blob_->size() + buffer_.size();
+  }
+
+ private:
+  void flush() {
+    blob_->append(buffer_);
+    buffer_.clear();
+  }
+
+  std::shared_ptr<std::string> blob_;
+  std::string buffer_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<StageReader> MemStageStore::open_read(
+    const std::string& stage, const std::string& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto stage_it = stages_.find(stage);
+  util::io_require(stage_it != stages_.end(),
+                   "mem store: no such stage: " + stage);
+  const auto shard_it = stage_it->second.find(shard);
+  util::io_require(shard_it != stage_it->second.end(),
+                   "mem store: no such shard: " + stage + "/" + shard);
+  return std::make_unique<MemReader>(shard_it->second);
+}
+
+std::unique_ptr<StageWriter> MemStageStore::open_write(
+    const std::string& stage, const std::string& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto blob = std::make_shared<std::string>();
+  stages_[stage][shard] = blob;  // create-or-truncate
+  return std::make_unique<MemWriter>(std::move(blob));
+}
+
+std::vector<std::string> MemStageStore::list(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  util::io_require(it != stages_.end(), "mem store: no such stage: " + stage);
+  std::vector<std::string> names;
+  names.reserve(it->second.size());
+  for (const auto& [name, blob] : it->second) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool MemStageStore::exists(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_.contains(stage);
+}
+
+void MemStageStore::clear_stage(const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_[stage].clear();
+}
+
+void MemStageStore::remove(const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.erase(stage);
+}
+
+std::uint64_t MemStageStore::stage_bytes(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  if (it == stages_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [name, blob] : it->second) total += blob->size();
+  return total;
+}
+
+// ---- CountingStageStore ----------------------------------------------------
+
+namespace {
+
+class CountingReaderImpl final : public StageReader {
+ public:
+  CountingReaderImpl(std::unique_ptr<StageReader> inner,
+                     std::atomic<std::uint64_t>& bytes)
+      : inner_(std::move(inner)), bytes_(bytes) {}
+
+  std::string_view read_chunk() override {
+    const auto chunk = inner_->read_chunk();
+    bytes_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    return chunk;
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return inner_->bytes_read();
+  }
+
+ private:
+  std::unique_ptr<StageReader> inner_;
+  std::atomic<std::uint64_t>& bytes_;
+};
+
+class CountingWriterImpl final : public StageWriter {
+ public:
+  CountingWriterImpl(std::unique_ptr<StageWriter> inner,
+                     std::atomic<std::uint64_t>& bytes)
+      : inner_(std::move(inner)), bytes_(bytes) {}
+  ~CountingWriterImpl() override {
+    try {
+      close();
+    } catch (...) {
+      // destructor must not throw; the underlying writer handles cleanup
+    }
+  }
+
+  std::string& buffer() override { return inner_->buffer(); }
+  void maybe_flush() override { inner_->maybe_flush(); }
+  void close() override {
+    inner_->close();
+    if (!counted_) {
+      counted_ = true;
+      bytes_.fetch_add(inner_->bytes_written(), std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return inner_->bytes_written();
+  }
+
+ private:
+  std::unique_ptr<StageWriter> inner_;
+  std::atomic<std::uint64_t>& bytes_;
+  bool counted_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<StageReader> CountingStageStore::open_read(
+    const std::string& stage, const std::string& shard) {
+  auto inner = inner_.open_read(stage, shard);
+  files_read_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<CountingReaderImpl>(std::move(inner), bytes_read_);
+}
+
+std::unique_ptr<StageWriter> CountingStageStore::open_write(
+    const std::string& stage, const std::string& shard) {
+  auto inner = inner_.open_write(stage, shard);
+  files_written_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<CountingWriterImpl>(std::move(inner),
+                                              bytes_written_);
+}
+
+StageIoCounters CountingStageStore::snapshot() const {
+  StageIoCounters counters;
+  counters.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  counters.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  counters.files_read = files_read_.load(std::memory_order_relaxed);
+  counters.files_written = files_written_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace prpb::io

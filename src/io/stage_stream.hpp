@@ -1,0 +1,48 @@
+// Abstract byte-stream interfaces for stage I/O. Every kernel moves its
+// stage data through these, so the storage medium (on-disk shard files,
+// in-memory buffers, counting decorators) is swappable without touching
+// kernel code. FileReader/FileWriter (src/io/file_stream.hpp) are the
+// on-disk implementations; MemStageStore supplies in-memory ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace prpb::io {
+
+/// Sequential chunked reader over one shard of one stage.
+class StageReader {
+ public:
+  virtual ~StageReader() = default;
+
+  /// Returns the next chunk (empty at EOF). The view is valid until the
+  /// next read_chunk() call.
+  virtual std::string_view read_chunk() = 0;
+
+  [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;
+};
+
+/// Buffered writer over one shard of one stage. Codecs append into the
+/// staging buffer in place and call maybe_flush() afterwards — the same
+/// protocol FileWriter always had.
+class StageWriter {
+ public:
+  virtual ~StageWriter() = default;
+
+  /// Exposes the staging buffer so codecs can append in place.
+  virtual std::string& buffer() = 0;
+  virtual void maybe_flush() = 0;
+  /// Flushes and commits; safe to call once, after which writes are invalid.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
+
+  /// Convenience append-through-buffer.
+  void write(std::string_view data) {
+    buffer().append(data.data(), data.size());
+    maybe_flush();
+  }
+};
+
+}  // namespace prpb::io

@@ -31,6 +31,13 @@ class InvariantError : public Error {
   explicit InvariantError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when the pipeline harness cannot run as requested (for example a
+/// required input stage is missing when kernel 0 is skipped).
+class PipelineError : public Error {
+ public:
+  explicit PipelineError(const std::string& what) : Error(what) {}
+};
+
 /// Throws ConfigError with `msg` when `cond` is false.
 inline void require(bool cond, std::string_view msg) {
   if (!cond) throw ConfigError(std::string(msg));

@@ -75,8 +75,9 @@ TEST(ChecksumTest, SortPreservesMultisetChangesSequence) {
   config.work_dir = work.path();
   const auto backend = make_backend("native");
   run_pipeline(config, *backend);
-  const StageChecksum stage0 = stage_checksum(config.stage0_dir());
-  const StageChecksum stage1 = stage_checksum(config.stage1_dir());
+  const auto store = make_stage_store(config);
+  const StageChecksum stage0 = stage_checksum(*store, stages::kStage0);
+  const StageChecksum stage1 = stage_checksum(*store, stages::kStage1);
   EXPECT_EQ(stage0.multiset, stage1.multiset);  // same edges
   EXPECT_NE(stage0.sequence, stage1.sequence);  // different order
   EXPECT_EQ(stage0.edges, stage1.edges);

@@ -33,8 +33,19 @@ TEST(ConfigTest, DerivedQuantities) {
   const PipelineConfig config = small_config(work, 10);
   EXPECT_EQ(config.num_vertices(), 1024u);
   EXPECT_EQ(config.num_edges(), 16384u);
-  EXPECT_EQ(config.stage0_dir().filename(), "k0_edges");
-  EXPECT_EQ(config.stage1_dir().filename(), "k1_sorted");
+  EXPECT_STREQ(stages::kStage0, "k0_edges");
+  EXPECT_STREQ(stages::kStage1, "k1_sorted");
+}
+
+TEST(ConfigTest, StorageKnobSelectsStore) {
+  util::TempDir work("prpb-core");
+  PipelineConfig config = small_config(work);
+  EXPECT_EQ(make_stage_store(config)->kind(), "dir");
+  config.storage = "mem";
+  EXPECT_EQ(make_stage_store(config)->kind(), "mem");
+  config.storage = "lustre";
+  EXPECT_THROW(config.validate(), util::ConfigError);
+  EXPECT_THROW(make_stage_store(config), util::ConfigError);
 }
 
 TEST(ConfigTest, ValidationRejectsBadValues) {
@@ -54,6 +65,9 @@ TEST(ConfigTest, ValidationRejectsBadValues) {
   config = small_config(work);
   config.work_dir.clear();
   EXPECT_THROW(config.validate(), util::ConfigError);
+  // ... unless stages live in memory, where no staging root is needed.
+  config.storage = "mem";
+  EXPECT_NO_THROW(config.validate());
   EXPECT_NO_THROW(small_config(work).validate());
 }
 
@@ -204,8 +218,45 @@ TEST(RunnerTest, StagesLandInConfiguredDirectories) {
   config.num_files = 3;
   const auto backend = make_backend("native");
   run_pipeline(config, *backend);
-  EXPECT_EQ(util::list_files_sorted(config.stage0_dir()).size(), 3u);
-  EXPECT_EQ(util::list_files_sorted(config.stage1_dir()).size(), 3u);
+  const auto stage_dir = [&](const char* stage) {
+    return config.work_dir / stage;
+  };
+  EXPECT_EQ(util::list_files_sorted(stage_dir(stages::kStage0)).size(), 3u);
+  EXPECT_EQ(util::list_files_sorted(stage_dir(stages::kStage1)).size(), 3u);
+}
+
+TEST(RunnerTest, ReportsPerKernelStageIo) {
+  util::TempDir work("prpb-core");
+  const PipelineConfig config = small_config(work);
+  const auto backend = make_backend("native");
+  const PipelineResult result = run_pipeline(config, *backend);
+  EXPECT_EQ(result.storage, "dir");
+  // K0 only writes, K2 only reads; K1 reads what K0 wrote.
+  EXPECT_EQ(result.k0.bytes_read, 0u);
+  EXPECT_GT(result.k0.bytes_written, 0u);
+  EXPECT_EQ(result.k1.bytes_read, result.k0.bytes_written);
+  EXPECT_GT(result.k1.bytes_written, 0u);
+  EXPECT_EQ(result.k2.bytes_read, result.k1.bytes_written);
+  EXPECT_EQ(result.k2.bytes_written, 0u);
+  EXPECT_EQ(result.k3.bytes_read, 0u);
+  EXPECT_EQ(result.k3.bytes_written, 0u);
+  EXPECT_EQ(result.k0.files_written, config.num_files);
+  EXPECT_EQ(result.k1.files_read, config.num_files);
+}
+
+TEST(RunnerTest, InjectedStoreIsUsed) {
+  io::MemStageStore store;
+  util::TempDir work("prpb-core");
+  PipelineConfig config = small_config(work);
+  config.storage = "mem";
+  const auto backend = make_backend("native");
+  RunOptions options;
+  options.store = &store;
+  const PipelineResult result = run_pipeline(config, *backend, options);
+  EXPECT_EQ(result.storage, "mem");
+  EXPECT_TRUE(store.exists(stages::kStage0));
+  EXPECT_TRUE(store.exists(stages::kStage1));
+  EXPECT_GT(store.stage_bytes(stages::kStage0), 0u);
 }
 
 TEST(RunnerTest, SkipKernel0ReusesExistingStage) {
@@ -250,9 +301,24 @@ TEST(RunnerTest, MemoryBudgetTriggersExternalSortSameResult) {
   const auto backend = make_backend("native");
   const auto result_a = run_pipeline(in_memory, *backend);
   const auto result_b = run_pipeline(external, *backend);
-  EXPECT_EQ(io::read_all_edges(in_memory.stage1_dir(), io::Codec::kFast),
-            io::read_all_edges(external.stage1_dir(), io::Codec::kFast));
+  EXPECT_EQ(io::read_all_edges(in_memory.work_dir / stages::kStage1,
+                               io::Codec::kFast),
+            io::read_all_edges(external.work_dir / stages::kStage1,
+                               io::Codec::kFast));
   EXPECT_EQ(result_a.ranks, result_b.ranks);
+}
+
+TEST(KernelMetricsTest, SubMicrosecondKernelStillReportsRate) {
+  KernelMetrics metrics;
+  metrics.edges_processed = 1000;
+  metrics.seconds = 0.0;  // faster than the clock can resolve
+  EXPECT_GT(metrics.edges_per_second(), 0.0);
+  EXPECT_EQ(metrics.edges_per_second(),
+            1000.0 / KernelMetrics::kMinMeasurableSeconds);
+  metrics.seconds = 2.0;
+  EXPECT_EQ(metrics.edges_per_second(), 500.0);
+  metrics.edges_processed = 0;  // nothing processed -> rate really is 0
+  EXPECT_EQ(metrics.edges_per_second(), 0.0);
 }
 
 // ---- arraylang kernel sources -----------------------------------------------------

@@ -231,6 +231,34 @@ TEST(DistPipelineTest, MoreRanksThanVerticesStillCorrect) {
   EXPECT_LT(core::normalized_difference(dist.ranks, serial), 1e-12);
 }
 
+TEST(DistPipelineTest, StageBarrierDoesNotChangeResults) {
+  // With a stage store, K0 materializes per-rank shards and K1 reads them
+  // back; the ranks must be unchanged and the traffic fully accounted.
+  const DistConfig plain = small_config();
+  const DistResult in_memory = run_distributed(plain, 4);
+
+  for (const char* kind : {"mem", "dir"}) {
+    util::TempDir work("prpb-dist-stage");
+    io::MemStageStore mem;
+    io::DirStageStore dir(work.path());
+    DistConfig staged = small_config();
+    staged.stage_store =
+        std::string(kind) == "mem" ? static_cast<io::StageStore*>(&mem)
+                                   : static_cast<io::StageStore*>(&dir);
+    const DistResult result = run_distributed(staged, 4);
+    EXPECT_EQ(result.ranks, in_memory.ranks) << kind;
+    EXPECT_GT(result.stage_bytes_written, 0u) << kind;
+    EXPECT_EQ(result.stage_bytes_read, result.stage_bytes_written) << kind;
+    EXPECT_EQ(staged.stage_store->list(staged.stage).size(), 4u) << kind;
+  }
+}
+
+TEST(DistPipelineTest, NoStageStoreMeansNoStageTraffic) {
+  const DistResult result = run_distributed(small_config(), 2);
+  EXPECT_EQ(result.stage_bytes_written, 0u);
+  EXPECT_EQ(result.stage_bytes_read, 0u);
+}
+
 TEST(DistPipelineTest, WorksForAllGenerators) {
   for (const char* name : {"kronecker", "bter", "ppl"}) {
     DistConfig config = small_config();

@@ -9,6 +9,7 @@
 #include "core/runner.hpp"
 #include "io/edge_files.hpp"
 #include "io/file_stream.hpp"
+#include "io/stage_store.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 
@@ -25,6 +26,24 @@ PipelineConfig config_in(const util::TempDir& work) {
   return config;
 }
 
+/// Direct-kernel harness: the store and stage names run_pipeline would use.
+struct Harness {
+  explicit Harness(const PipelineConfig& config)
+      : store(config.work_dir) {}
+
+  io::DirStageStore store;
+
+  KernelContext context(const PipelineConfig& config, std::string in,
+                        std::string out) {
+    return KernelContext{config, store, std::move(in), std::move(out),
+                         stages::kTemp};
+  }
+  [[nodiscard]] fs::path shard0(const PipelineConfig& config,
+                                const std::string& stage) const {
+    return fs::path(config.work_dir) / stage / io::shard_name(0);
+  }
+};
+
 class FailureTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(FailureTest, MissingStage0FailsKernel1) {
@@ -33,19 +52,19 @@ TEST_P(FailureTest, MissingStage0FailsKernel1) {
   const auto backend = make_backend(GetParam());
   RunOptions options;
   options.run_kernel0 = false;  // stage0 never materialized
-  EXPECT_THROW(run_pipeline(config, *backend, options), util::Error);
+  EXPECT_THROW(run_pipeline(config, *backend, options), util::PipelineError);
 }
 
 TEST_P(FailureTest, CorruptedStage0FailsLoudly) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend(GetParam());
-  backend->kernel0(config, config.stage0_dir());
+  Harness h(config);
+  backend->kernel0(h.context(config, "", stages::kStage0));
   // inject garbage into the first shard
-  io::write_file(io::shard_path(config.stage0_dir(), 0),
-                 "12\tnot-a-number\n");
+  io::write_file(h.shard0(config, stages::kStage0), "12\tnot-a-number\n");
   EXPECT_THROW(
-      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      backend->kernel1(h.context(config, stages::kStage0, stages::kStage1)),
       util::Error);
 }
 
@@ -53,13 +72,15 @@ TEST_P(FailureTest, TruncatedRecordDetected) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend(GetParam());
-  backend->kernel0(config, config.stage0_dir());
+  Harness h(config);
+  backend->kernel0(h.context(config, "", stages::kStage0));
   // chop the final newline off the last shard
-  const auto shards = util::list_files_sorted(config.stage0_dir());
+  const auto shards =
+      util::list_files_sorted(fs::path(config.work_dir) / stages::kStage0);
   const std::string content = io::read_file(shards.back());
   io::write_file(shards.back(), content.substr(0, content.size() - 1));
   EXPECT_THROW(
-      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      backend->kernel1(h.context(config, stages::kStage0, stages::kStage1)),
       util::Error);
 }
 
@@ -67,11 +88,13 @@ TEST_P(FailureTest, OutOfRangeVertexFailsKernel2) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend(GetParam());
-  util::ensure_dir(config.stage1_dir());
+  Harness h(config);
+  h.store.clear_stage(stages::kStage1);
   // vertex 99999 >= N = 256
-  io::write_file(io::shard_path(config.stage1_dir(), 0),
-                 "1\t2\n99999\t3\n");
-  EXPECT_THROW(backend->kernel2(config, config.stage1_dir()), util::Error);
+  io::write_file(h.shard0(config, stages::kStage1), "1\t2\n99999\t3\n");
+  EXPECT_THROW(
+      (void)backend->kernel2(h.context(config, stages::kStage1, "")),
+      util::Error);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, FailureTest,
@@ -84,10 +107,11 @@ TEST(FailureRecoveryTest, PipelineRecoversAfterFailedRun) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend("native");
-  backend->kernel0(config, config.stage0_dir());
-  io::write_file(io::shard_path(config.stage0_dir(), 0), "garbage\n");
+  Harness h(config);
+  backend->kernel0(h.context(config, "", stages::kStage0));
+  io::write_file(h.shard0(config, stages::kStage0), "garbage\n");
   EXPECT_THROW(
-      backend->kernel1(config, config.stage0_dir(), config.stage1_dir()),
+      backend->kernel1(h.context(config, stages::kStage0, stages::kStage1)),
       util::Error);
   // Full fresh run in the same work dir succeeds.
   const auto result = run_pipeline(config, *backend);
@@ -98,27 +122,33 @@ TEST(FailureRecoveryTest, KernelMismatchedMatrixRejected) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend("native");
+  Harness h(config);
   const sparse::CsrMatrix wrong_size(8, 8);  // N should be 256
-  EXPECT_THROW(backend->kernel3(config, wrong_size), util::Error);
+  EXPECT_THROW((void)backend->kernel3(h.context(config, "", ""), wrong_size),
+               util::Error);
 }
 
 TEST(FailureRecoveryTest, NonDirectoryStagePathFails) {
   util::TempDir work("prpb-fail");
   PipelineConfig config = config_in(work);
   const auto backend = make_backend("native");
+  Harness h(config);
   // stage0 path exists as a *file*
-  io::write_file(config.stage0_dir(), "i am a file");
-  EXPECT_THROW(backend->kernel0(config, config.stage0_dir()), util::Error);
+  io::write_file(fs::path(config.work_dir) / stages::kStage0, "i am a file");
+  EXPECT_THROW(backend->kernel0(h.context(config, "", stages::kStage0)),
+               util::Error);
 }
 
 TEST(FailureRecoveryTest, EmptyStageYieldsEmptyMatrixNotCrash) {
   util::TempDir work("prpb-fail");
   const PipelineConfig config = config_in(work);
   const auto backend = make_backend("native");
-  util::ensure_dir(config.stage1_dir());
-  io::FileWriter empty(io::shard_path(config.stage1_dir(), 0));
+  Harness h(config);
+  h.store.clear_stage(stages::kStage1);
+  io::FileWriter empty(h.shard0(config, stages::kStage1));
   empty.close();
-  const auto matrix = backend->kernel2(config, config.stage1_dir());
+  const auto matrix =
+      backend->kernel2(h.context(config, stages::kStage1, ""));
   EXPECT_EQ(matrix.nnz(), 0u);
   EXPECT_EQ(matrix.rows(), config.num_vertices());
 }

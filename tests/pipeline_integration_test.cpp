@@ -64,12 +64,32 @@ TEST_P(BackendPipelineTest, StageFilesMatchNativeByteSemantics) {
   run_backend("native", config_n);
   run_backend(GetParam(), config_o);
 
-  EXPECT_EQ(io::read_all_edges(config_n.stage0_dir(), io::Codec::kFast),
-            io::read_all_edges(config_o.stage0_dir(), io::Codec::kFast))
+  EXPECT_EQ(io::read_all_edges(config_n.work_dir / stages::kStage0,
+                               io::Codec::kFast),
+            io::read_all_edges(config_o.work_dir / stages::kStage0,
+                               io::Codec::kFast))
       << "kernel 0 stage differs";
-  EXPECT_EQ(io::read_all_edges(config_n.stage1_dir(), io::Codec::kFast),
-            io::read_all_edges(config_o.stage1_dir(), io::Codec::kFast))
+  EXPECT_EQ(io::read_all_edges(config_n.work_dir / stages::kStage1,
+                               io::Codec::kFast),
+            io::read_all_edges(config_o.work_dir / stages::kStage1,
+                               io::Codec::kFast))
       << "kernel 1 stage differs";
+}
+
+TEST_P(BackendPipelineTest, MemStorageMatchesDirStorage) {
+  // The storage ablation must not change any result: identical stage
+  // checksums, fp-identical ranks.
+  util::TempDir work("prpb-integ");
+  PipelineConfig config_dir = config_for(work);
+  PipelineConfig config_mem = config_for(work);
+  config_mem.storage = "mem";
+
+  const PipelineResult on_dir = run_backend(GetParam(), config_dir);
+  const PipelineResult in_mem = run_backend(GetParam(), config_mem);
+  EXPECT_EQ(on_dir.storage, "dir");
+  EXPECT_EQ(in_mem.storage, "mem");
+  EXPECT_TRUE(on_dir.matrix.approx_equal(in_mem.matrix, 0.0));
+  EXPECT_EQ(on_dir.ranks, in_mem.ranks);
 }
 
 TEST_P(BackendPipelineTest, MatrixMatchesNative) {
@@ -123,8 +143,10 @@ TEST(PipelinePropertyTest, Kernel1OutputIsSortedAndSameMultiset) {
   const PipelineConfig config = config_for(work, 9);
   run_backend("native", config);
 
-  auto stage0 = io::read_all_edges(config.stage0_dir(), io::Codec::kFast);
-  auto stage1 = io::read_all_edges(config.stage1_dir(), io::Codec::kFast);
+  auto stage0 = io::read_all_edges(config.work_dir / stages::kStage0,
+                                   io::Codec::kFast);
+  auto stage1 = io::read_all_edges(config.work_dir / stages::kStage1,
+                                   io::Codec::kFast);
   EXPECT_TRUE(std::is_sorted(stage1.begin(), stage1.end()));
   std::sort(stage0.begin(), stage0.end());
   EXPECT_EQ(stage0, stage1);  // sorting is a permutation
@@ -194,7 +216,7 @@ TEST(PipelinePropertyTest, EdgeFactorPropagates) {
   config.edge_factor = 4;
   const auto result = run_backend("native", config);
   EXPECT_EQ(result.num_edges, 4u << 8);
-  EXPECT_EQ(io::count_edges(config.stage0_dir()), 4u << 8);
+  EXPECT_EQ(io::count_edges(config.work_dir / stages::kStage0), 4u << 8);
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// Tests for the StageStore abstraction (src/io/stage_store.*): dir/mem
+// behavioral parity, the I/O-counting decorator, and the cross-backend
+// guarantee that swapping storage never changes pipeline results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/backend.hpp"
+#include "core/checksum.hpp"
+#include "core/runner.hpp"
+#include "core/validate.hpp"
+#include "io/stage_store.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace prpb::io {
+namespace {
+
+TEST(ShardNameTest, FixedWidthAndSorted) {
+  EXPECT_EQ(shard_name(0), "edges_00000.tsv");
+  EXPECT_EQ(shard_name(42), "edges_00042.tsv");
+  EXPECT_EQ(shard_name(99999), "edges_99999.tsv");
+  EXPECT_LT(shard_name(9), shard_name(10));  // lexicographic == numeric
+}
+
+/// Both store kinds must satisfy the same contract.
+class StoreContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "dir") {
+      dir_.emplace("prpb-store");
+      store_ = std::make_unique<DirStageStore>(dir_->path());
+    } else {
+      store_ = std::make_unique<MemStageStore>();
+    }
+  }
+
+  void put(const std::string& stage, const std::string& shard,
+           const std::string& data) {
+    const auto writer = store_->open_write(stage, shard);
+    writer->write(data);
+    writer->close();
+  }
+
+  std::string get(const std::string& stage, const std::string& shard) {
+    const auto reader = store_->open_read(stage, shard);
+    std::string out;
+    for (;;) {
+      const auto chunk = reader->read_chunk();
+      if (chunk.empty()) break;
+      out.append(chunk);
+    }
+    return out;
+  }
+
+  std::optional<util::TempDir> dir_;
+  std::unique_ptr<StageStore> store_;
+};
+
+TEST_P(StoreContractTest, KindMatchesParam) {
+  EXPECT_EQ(store_->kind(), GetParam());
+}
+
+TEST_P(StoreContractTest, WriteReadRoundTrip) {
+  put("s", shard_name(0), "1\t2\n3\t4\n");
+  EXPECT_EQ(get("s", shard_name(0)), "1\t2\n3\t4\n");
+}
+
+TEST_P(StoreContractTest, OpenWriteTruncates) {
+  put("s", shard_name(0), "old content that is longer\n");
+  put("s", shard_name(0), "new\n");
+  EXPECT_EQ(get("s", shard_name(0)), "new\n");
+}
+
+TEST_P(StoreContractTest, ListIsSortedAndComplete) {
+  put("s", shard_name(2), "c\n");
+  put("s", shard_name(0), "a\n");
+  put("s", shard_name(1), "b\n");
+  const auto shards = store_->list("s");
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], shard_name(0));
+  EXPECT_EQ(shards[1], shard_name(1));
+  EXPECT_EQ(shards[2], shard_name(2));
+}
+
+TEST_P(StoreContractTest, ListMissingStageThrows) {
+  EXPECT_THROW(store_->list("nope"), util::IoError);
+}
+
+TEST_P(StoreContractTest, ReadMissingShardThrows) {
+  put("s", shard_name(0), "x\n");
+  EXPECT_THROW(store_->open_read("s", shard_name(7)), util::IoError);
+  EXPECT_THROW(store_->open_read("nope", shard_name(0)), util::IoError);
+}
+
+TEST_P(StoreContractTest, ExistsAndRemove) {
+  EXPECT_FALSE(store_->exists("s"));
+  put("s", shard_name(0), "x\n");
+  EXPECT_TRUE(store_->exists("s"));
+  store_->remove("s");
+  EXPECT_FALSE(store_->exists("s"));
+  store_->remove("s");  // removing an absent stage is a no-op
+}
+
+TEST_P(StoreContractTest, ClearStageDropsShardsKeepsStage) {
+  put("s", shard_name(0), "x\n");
+  put("s", shard_name(1), "y\n");
+  store_->clear_stage("s");
+  EXPECT_TRUE(store_->exists("s"));
+  EXPECT_TRUE(store_->list("s").empty());
+  store_->clear_stage("fresh");  // also creates
+  EXPECT_TRUE(store_->exists("fresh"));
+}
+
+TEST_P(StoreContractTest, StageBytesSumsShards) {
+  EXPECT_EQ(store_->stage_bytes("s"), 0u);
+  put("s", shard_name(0), "12345");
+  put("s", shard_name(1), "678");
+  EXPECT_EQ(store_->stage_bytes("s"), 8u);
+}
+
+TEST_P(StoreContractTest, BytesWrittenReported) {
+  const auto writer = store_->open_write("s", shard_name(0));
+  writer->write("hello\n");
+  writer->close();
+  EXPECT_EQ(writer->bytes_written(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DirAndMem, StoreContractTest,
+                         ::testing::Values("dir", "mem"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DirStageStoreTest, EmptyRootResolvesStagesAsPaths) {
+  util::TempDir dir("prpb-store");
+  DirStageStore store;
+  EXPECT_EQ(store.root_dir(), nullptr);
+  const std::string stage = (dir.path() / "stage").string();
+  const auto writer = store.open_write(stage, shard_name(0));
+  writer->write("1\t2\n");
+  writer->close();
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "stage" /
+                                      shard_name(0)));
+}
+
+TEST(DirStageStoreTest, RootedStoreExposesRootDir) {
+  util::TempDir dir("prpb-store");
+  DirStageStore store(dir.path());
+  ASSERT_NE(store.root_dir(), nullptr);
+  EXPECT_EQ(*store.root_dir(), dir.path());
+}
+
+TEST(MemStageStoreTest, ReaderSurvivesRemove) {
+  // A reader opened before remove() must keep serving its snapshot (the
+  // runner can clear stages while metrics readers drain).
+  MemStageStore store;
+  const auto writer = store.open_write("s", shard_name(0));
+  writer->write("payload\n");
+  writer->close();
+  const auto reader = store.open_read("s", shard_name(0));
+  store.remove("s");
+  EXPECT_EQ(std::string(reader->read_chunk()), "payload\n");
+}
+
+TEST(CountingStageStoreTest, CountsReadsAndWrites) {
+  MemStageStore inner;
+  CountingStageStore store(inner);
+  const auto writer = store.open_write("s", shard_name(0));
+  writer->write("0123456789");
+  writer->close();
+  StageIoCounters after_write = store.snapshot();
+  EXPECT_EQ(after_write.bytes_written, 10u);
+  EXPECT_EQ(after_write.files_written, 1u);
+  EXPECT_EQ(after_write.bytes_read, 0u);
+
+  const auto reader = store.open_read("s", shard_name(0));
+  while (!reader->read_chunk().empty()) {
+  }
+  const StageIoCounters delta = store.snapshot() - after_write;
+  EXPECT_EQ(delta.bytes_read, 10u);
+  EXPECT_EQ(delta.files_read, 1u);
+  EXPECT_EQ(delta.bytes_written, 0u);
+}
+
+TEST(CountingStageStoreTest, ForwardsKindAndRoot) {
+  util::TempDir dir("prpb-store");
+  DirStageStore inner(dir.path());
+  CountingStageStore store(inner);
+  EXPECT_EQ(store.kind(), "dir");
+  ASSERT_NE(store.root_dir(), nullptr);
+  EXPECT_EQ(*store.root_dir(), dir.path());
+}
+
+// ---- cross-backend storage parity ------------------------------------------
+
+class StorageParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StorageParityTest, MemAndDirProduceIdenticalStagesAndRanks) {
+  core::PipelineConfig config;
+  config.scale = 8;
+  config.num_files = 2;
+
+  util::TempDir work("prpb-parity");
+  config.work_dir = work.path();
+  DirStageStore dir_store(work.path());
+  MemStageStore mem_store;
+
+  const auto backend = core::make_backend(GetParam());
+  core::RunOptions options;
+  options.store = &dir_store;
+  const core::PipelineResult on_dir =
+      core::run_pipeline(config, *backend, options);
+  options.store = &mem_store;
+  config.storage = "mem";
+  const core::PipelineResult in_mem =
+      core::run_pipeline(config, *backend, options);
+
+  // Identical stage checksums for both materialized stages...
+  for (const char* stage : {core::stages::kStage0, core::stages::kStage1}) {
+    const core::StageChecksum d = core::stage_checksum(dir_store, stage);
+    const core::StageChecksum m = core::stage_checksum(mem_store, stage);
+    EXPECT_EQ(d.multiset, m.multiset) << stage;
+    EXPECT_EQ(d.sequence, m.sequence) << stage;
+    EXPECT_EQ(d.edges, m.edges) << stage;
+  }
+  // ... and identical (fp-tolerant) kernel-3 ranks.
+  EXPECT_LT(core::normalized_difference(on_dir.ranks, in_mem.ranks), 1e-12);
+  EXPECT_EQ(on_dir.storage, "dir");
+  EXPECT_EQ(in_mem.storage, "mem");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StorageParityTest,
+                         ::testing::Values("native", "parallel", "graphblas",
+                                           "arraylang", "dataframe"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace prpb::io

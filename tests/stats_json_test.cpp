@@ -163,7 +163,8 @@ TEST(ReportTest, ContainsAllSections) {
        {"\"benchmark\":\"pagerank-pipeline\"", "\"backend\":\"native\"",
         "\"k0_generate\"", "\"k1_sort\"", "\"k2_filter\"",
         "\"k3_pagerank\"", "\"rank_digest\"", "\"matrix_fingerprint\"",
-        "\"num_edges\":2048"}) {
+        "\"num_edges\":2048", "\"storage\":\"dir\"", "\"bytes_read\"",
+        "\"bytes_written\"", "\"files_read\"", "\"files_written\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(json.find("eigen_check"), std::string::npos);  // not requested
