@@ -9,8 +9,10 @@
 #include "gen/kronecker.hpp"
 #include "io/edge_files.hpp"
 #include "io/mmap_file.hpp"
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "io/tsv.hpp"
+#include "sort/edge_sort.hpp"
 #include "util/fs.hpp"
 
 namespace {
@@ -161,6 +163,110 @@ BENCHMARK(BM_WriteStageStore)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReadStageStore)
     ->Args({0, 4})->Args({1, 4})->Args({0, 16})->Args({1, 16})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- stage-format ablation: storage x codec ---------------------------------
+// Arg 0 selects the store (0 = dir, 1 = mem), arg 1 the codec (0 = tsv,
+// 1 = binary), arg 2 the scale. The store is wrapped in a
+// CountingStageStore so every cell reports the bytes it actually moved
+// ("bytes_written"/"bytes_read" counters) alongside edges/s — the numbers
+// behind the "what if stages were not text" ablation.
+
+const io::StageCodec& pick_codec(int kind) {
+  return kind == 1 ? io::binary_codec() : io::tsv_codec(io::Codec::kFast);
+}
+
+std::string cell_label(const io::StageStore& store,
+                       const io::StageCodec& codec) {
+  return store.kind() + "/" + codec.name();
+}
+
+void BM_WriteStageCodec(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = static_cast<int>(state.range(2));
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-codec");
+  const auto inner = make_store(static_cast<int>(state.range(0)), dir);
+  io::CountingStageStore store(*inner);
+  const io::StageCodec& codec = pick_codec(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    io::write_generated_edges(store, "k0_edges", generator, 4, codec);
+  }
+  const io::StageIoCounters counters = store.snapshot();
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+  state.counters["bytes_written"] = benchmark::Counter(
+      static_cast<double>(counters.bytes_written) /
+      static_cast<double>(state.iterations()));
+  state.SetLabel(cell_label(*inner, codec));
+}
+
+void BM_ReadStageCodec(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = static_cast<int>(state.range(2));
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-codec");
+  const auto inner = make_store(static_cast<int>(state.range(0)), dir);
+  io::CountingStageStore store(*inner);
+  const io::StageCodec& codec = pick_codec(static_cast<int>(state.range(1)));
+  io::write_generated_edges(store, "k0_edges", generator, 4, codec);
+  const io::StageIoCounters before = store.snapshot();
+  for (auto _ : state) {
+    const auto edges = io::read_all_edges(store, "k0_edges", codec);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  const io::StageIoCounters delta = store.snapshot() - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+  state.counters["bytes_read"] = benchmark::Counter(
+      static_cast<double>(delta.bytes_read) /
+      static_cast<double>(state.iterations()));
+  state.SetLabel(cell_label(*inner, codec));
+}
+
+// The K1-shaped roundtrip the tentpole targets: read the stage, sort it,
+// write it back — the bytes-moved delta between tsv and binary cells is
+// the stage-format ablation headline.
+void BM_SortRoundTripCodec(benchmark::State& state) {
+  gen::KroneckerParams params;
+  params.scale = static_cast<int>(state.range(2));
+  const gen::KroneckerGenerator generator(params);
+  util::TempDir dir("prpb-bench-codec");
+  const auto inner = make_store(static_cast<int>(state.range(0)), dir);
+  io::CountingStageStore store(*inner);
+  const io::StageCodec& codec = pick_codec(static_cast<int>(state.range(1)));
+  io::write_generated_edges(store, "k0_edges", generator, 4, codec);
+  const io::StageIoCounters before = store.snapshot();
+  for (auto _ : state) {
+    auto edges = io::read_all_edges(store, "k0_edges", codec);
+    sort::radix_sort(edges);
+    io::write_edge_list(store, "k1_sorted", edges, 4, codec);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  const io::StageIoCounters delta = store.snapshot() - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(generator.num_edges()) *
+                          state.iterations());
+  state.counters["bytes_read"] = benchmark::Counter(
+      static_cast<double>(delta.bytes_read) /
+      static_cast<double>(state.iterations()));
+  state.counters["bytes_written"] = benchmark::Counter(
+      static_cast<double>(delta.bytes_written) /
+      static_cast<double>(state.iterations()));
+  state.SetLabel(cell_label(*inner, codec));
+}
+
+#define PRPB_CODEC_CELLS(scale)                                       \
+  Args({0, 0, (scale)})->Args({0, 1, (scale)})->Args({1, 0, (scale)}) \
+      ->Args({1, 1, (scale)})
+
+BENCHMARK(BM_WriteStageCodec)
+    ->PRPB_CODEC_CELLS(14)->PRPB_CODEC_CELLS(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadStageCodec)
+    ->PRPB_CODEC_CELLS(14)->PRPB_CODEC_CELLS(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortRoundTripCodec)
+    ->PRPB_CODEC_CELLS(16)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -36,7 +36,8 @@ struct SweepOptions {
   int trials = 1;        ///< repeated timings per cell; median is reported
   std::string csv_path;  ///< when set, the series is also written as CSV
   std::string generator = "kronecker";
-  std::string storage = "dir";  ///< stage store kind: dir | mem
+  std::string storage = "dir";       ///< stage store kind: dir | mem
+  std::string stage_format = "tsv";  ///< stage encoding: tsv | binary
 };
 
 /// Standard CLI for figure benches. Returns false if --help was printed.
@@ -55,6 +56,7 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("generator", "kronecker|bter|ppl", "kronecker");
   args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
                   "dir");
+  args.add_option("stage-format", "stage encoding: tsv | binary", "tsv");
   if (!args.parse(argc, argv)) return false;
   options.min_scale = static_cast<int>(args.get_int("min-scale"));
   options.max_scale = static_cast<int>(args.get_int("max-scale"));
@@ -64,6 +66,7 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.csv_path = args.get("csv");
   options.generator = args.get("generator");
   options.storage = args.get("storage");
+  options.stage_format = args.get("stage-format");
   util::require(options.trials >= 1, "--trials must be >= 1");
   util::require(options.storage == "dir" || options.storage == "mem",
                 "--storage must be dir or mem");
@@ -116,6 +119,7 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
   config.seed = options.seed;
   config.generator = options.generator;
   config.storage = options.storage;
+  config.stage_format = options.stage_format;
   config.work_dir = work.path();
   return config;
 }

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   args.add_option("storage",
                   "stage store: dir (disk) | mem (in-memory ablation)",
                   "dir");
+  args.add_option("stage-format",
+                  "stage encoding: tsv (paper format) | binary (columnar)",
+                  "tsv");
   args.add_option("memory-budget",
                   "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
   args.add_option("json", "write a machine-readable run report here", "");
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
   config.memory_budget_bytes =
       static_cast<std::uint64_t>(args.get_int("memory-budget"));
   config.storage = args.get("storage");
+  config.stage_format = args.get("stage-format");
   if (args.get_flag("sort-start-only"))
     config.sort_key = sort::SortKey::kStart;
 
@@ -74,11 +78,11 @@ int main(int argc, char** argv) {
     const auto backend = core::make_backend(args.get("backend"));
     std::printf(
         "prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu "
-        "storage=%s\n",
+        "storage=%s stage-format=%s\n",
         backend->name().c_str(), config.generator.c_str(), config.scale,
         util::human_count(config.num_vertices()).c_str(),
         util::human_count(config.num_edges()).c_str(), config.num_files,
-        config.storage.c_str());
+        config.storage.c_str(), config.stage_format.c_str());
 
     const core::PipelineResult result = core::run_pipeline(config, *backend);
 

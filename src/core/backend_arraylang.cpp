@@ -68,6 +68,7 @@ void ArrayLangBackend::kernel0(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
   interp::Interpreter vm;
   vm.set_stage_store(&ctx.store);
+  vm.set_stage_codec(&ctx.codec(io::Codec::kGeneric));
   vm.set("scale", static_cast<double>(config.scale));
   vm.set("seed", static_cast<double>(config.seed));
   vm.set("nfiles", static_cast<double>(config.num_files));
@@ -97,6 +98,7 @@ void ArrayLangBackend::kernel1(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
   interp::Interpreter vm;
   vm.set_stage_store(&ctx.store);
+  vm.set_stage_codec(&ctx.codec(io::Codec::kGeneric));
   vm.set("indir", ctx.in_stage);
   vm.set("outdir", ctx.out_stage);
   vm.set("nfiles", static_cast<double>(config.num_files));
@@ -117,6 +119,7 @@ void ArrayLangBackend::kernel1(const KernelContext& ctx) {
 sparse::CsrMatrix ArrayLangBackend::kernel2(const KernelContext& ctx) {
   interp::Interpreter vm;
   vm.set_stage_store(&ctx.store);
+  vm.set_stage_codec(&ctx.codec(io::Codec::kGeneric));
   vm.set("indir", ctx.in_stage);
   vm.set("N", static_cast<double>(ctx.config.num_vertices()));
   vm.run(kernel2_source());

@@ -36,25 +36,27 @@ void DataFrameBackend::kernel0(const KernelContext& ctx) {
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
   const df::DataFrame frame = edges_to_frame(generator->generate_all());
-  df::write_csv_stage(frame, ctx.store, ctx.out_stage, config.num_files);
+  df::write_edge_stage(frame, ctx.store, ctx.out_stage, config.num_files,
+                       ctx.codec(io::Codec::kGeneric));
 }
 
 void DataFrameBackend::kernel1(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
-  const df::DataFrame frame =
-      df::read_csv_stage(ctx.store, ctx.in_stage, edge_schema());
+  const df::DataFrame frame = df::read_edge_stage(
+      ctx.store, ctx.in_stage, edge_schema(), ctx.codec(io::Codec::kGeneric));
   const std::vector<std::string> keys =
       config.sort_key == sort::SortKey::kStartEnd
           ? std::vector<std::string>{"u", "v"}
           : std::vector<std::string>{"u"};
   const df::DataFrame sorted = frame.sort_values(keys);
-  df::write_csv_stage(sorted, ctx.store, ctx.out_stage, config.num_files);
+  df::write_edge_stage(sorted, ctx.store, ctx.out_stage, config.num_files,
+                       ctx.codec(io::Codec::kGeneric));
 }
 
 sparse::CsrMatrix DataFrameBackend::kernel2(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
-  const df::DataFrame frame =
-      df::read_csv_stage(ctx.store, ctx.in_stage, edge_schema());
+  const df::DataFrame frame = df::read_edge_stage(
+      ctx.store, ctx.in_stage, edge_schema(), ctx.codec(io::Codec::kGeneric));
   // df.groupby(["u","v"]).size() -> COO triplets with duplicate counts,
   // then the sparse substrate takes over (scipy.sparse analogue).
   const df::DataFrame triplets = frame.groupby_count({"u", "v"}, "count");

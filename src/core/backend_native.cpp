@@ -19,7 +19,7 @@ void NativeBackend::kernel0(const KernelContext& ctx) {
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
   io::write_generated_edges(ctx.store, ctx.out_stage, *generator,
-                            config.num_files, io::Codec::kFast);
+                            config.num_files, ctx.codec());
 }
 
 void NativeBackend::kernel1(const KernelContext& ctx) {
@@ -28,38 +28,32 @@ void NativeBackend::kernel1(const KernelContext& ctx) {
     const auto decision = sort::choose_sort_policy(
         config.num_edges(), config.memory_budget_bytes);
     if (decision.strategy == sort::SortStrategy::kExternal) {
-      // The out-of-core sort works on directories; it only applies when the
-      // stages are disk-backed. A memory-budgeted sort of an in-memory
-      // store is contradictory — fall through to the in-memory sort there.
-      const std::filesystem::path* root = ctx.store.root_dir();
-      if (root != nullptr) {
-        ctx.log("kernel1(native): memory budget " +
-                std::to_string(config.memory_budget_bytes) +
-                " bytes exceeded; using external sort");
-        ctx.metric("k1_external_sort", 1);
-        sort::ExternalSortConfig ext;
-        ext.memory_budget_bytes = config.memory_budget_bytes / 2;
-        ext.output_shards = config.num_files;
-        ext.codec = io::Codec::kFast;
-        ext.key = config.sort_key;
-        sort::external_sort_stage(*root / ctx.in_stage, *root / ctx.out_stage,
-                                  *root / ctx.temp_stage, ext);
-        return;
-      }
-      ctx.log("kernel1(native): memory budget set but storage is not "
-              "disk-backed; sorting in memory");
+      // The out-of-core sort streams through the StageStore, so it works
+      // over any storage; runs spill as shards of the temp stage.
+      ctx.log("kernel1(native): memory budget " +
+              std::to_string(config.memory_budget_bytes) +
+              " bytes exceeded; using external sort");
+      ctx.metric("k1_external_sort", 1);
+      sort::ExternalSortConfig ext;
+      ext.memory_budget_bytes = config.memory_budget_bytes / 2;
+      ext.output_shards = config.num_files;
+      ext.stage_codec = &ctx.codec();
+      ext.key = config.sort_key;
+      sort::external_sort_stage(ctx.store, ctx.in_stage, ctx.out_stage,
+                                ctx.temp_stage, ext);
+      return;
     }
   }
   gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
+      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
   sort::radix_sort(edges, config.sort_key);
   io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
-                      io::Codec::kFast);
+                      ctx.codec());
 }
 
 sparse::CsrMatrix NativeBackend::kernel2(const KernelContext& ctx) {
   const gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
+      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
   return sparse::filter_edges(edges, ctx.config.num_vertices(),
                               &filter_report_);
 }

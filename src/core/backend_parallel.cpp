@@ -1,6 +1,7 @@
 #include "core/backend_parallel.hpp"
 
 #include "gen/generator.hpp"
+#include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
 #include "io/tsv.hpp"
 #include "rand/rng.hpp"
@@ -17,6 +18,7 @@ void ParallelBackend::kernel0(const KernelContext& ctx) {
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
   ctx.store.clear_stage(ctx.out_stage);
+  const io::StageCodec& codec = ctx.codec();
   const auto bounds =
       io::shard_boundaries(generator->num_edges(), config.num_files);
 
@@ -25,20 +27,18 @@ void ParallelBackend::kernel0(const KernelContext& ctx) {
   futures.reserve(config.num_files);
   for (std::size_t s = 0; s < config.num_files; ++s) {
     futures.push_back(pool.submit([&, s] {
-      const auto writer =
-          ctx.store.open_write(ctx.out_stage, io::shard_name(s));
+      io::ShardWriter writer(ctx.store, ctx.out_stage,
+                             io::shard_name(s, codec), codec);
       gen::EdgeList batch;
-      constexpr std::uint64_t kBatch = 1 << 16;
+      constexpr std::uint64_t kBatch = io::kDefaultBatchEdges;
       for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1]; lo += kBatch) {
         const std::uint64_t hi =
             std::min<std::uint64_t>(bounds[s + 1], lo + kBatch);
         batch.clear();
         generator->generate_range(lo, hi, batch);
-        for (const auto& edge : batch)
-          io::append_edge_fast(writer->buffer(), edge);
-        writer->maybe_flush();
+        writer.append(batch);
       }
-      writer->close();
+      writer.close();
     }));
   }
   for (auto& future : futures) future.get();
@@ -47,11 +47,11 @@ void ParallelBackend::kernel0(const KernelContext& ctx) {
 void ParallelBackend::kernel1(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
   gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, io::Codec::kFast);
+      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
   util::ThreadPool pool(threads_);
   sort::parallel_merge_sort(edges, pool, config.sort_key);
   io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
-                      io::Codec::kFast);
+                      ctx.codec());
 }
 
 sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
@@ -59,14 +59,15 @@ sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
   // the build is bandwidth-bound, so only the parse is parallelized (by
   // shard), with construction following serially on the gathered edges.
   const auto shards = ctx.store.list(ctx.in_stage);
+  const io::StageCodec& codec = ctx.codec();
   std::vector<gen::EdgeList> parts(shards.size());
   util::ThreadPool pool(threads_);
   std::vector<std::future<void>> futures;
   futures.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     futures.push_back(pool.submit([&, i] {
-      parts[i] = io::read_edge_shard(ctx.store, ctx.in_stage, shards[i],
-                                     io::Codec::kFast);
+      parts[i] =
+          io::read_edge_shard(ctx.store, ctx.in_stage, shards[i], codec);
     }));
   }
   for (auto& future : futures) future.get();

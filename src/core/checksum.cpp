@@ -37,11 +37,12 @@ std::uint64_t edge_sequence_hash(const gen::EdgeList& edges) {
   return acc;
 }
 
-StageChecksum stage_checksum(io::StageStore& store, const std::string& stage) {
+StageChecksum stage_checksum(io::StageStore& store, const std::string& stage,
+                             const io::StageCodec& codec) {
   StageChecksum checksum;
   checksum.sequence = 0x0123456789abcdefULL;
   checksum.multiset = 0x5eed0f00dd0123ULL;
-  io::stream_all_edges(store, stage, io::Codec::kFast,
+  io::stream_all_edges(store, stage, codec,
                        [&checksum](const gen::EdgeList& batch) {
                          for (const auto& edge : batch) {
                            const std::uint64_t h = mix_pair(edge.u, edge.v);
@@ -52,6 +53,10 @@ StageChecksum stage_checksum(io::StageStore& store, const std::string& stage) {
                          }
                        });
   return checksum;
+}
+
+StageChecksum stage_checksum(io::StageStore& store, const std::string& stage) {
+  return stage_checksum(store, stage, io::tsv_codec(io::Codec::kFast));
 }
 
 StageChecksum stage_checksum(const std::filesystem::path& dir) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "gen/edge.hpp"
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "sparse/csr.hpp"
 
@@ -30,14 +31,19 @@ std::uint64_t edge_multiset_hash(const gen::EdgeList& edges);
 /// Order-sensitive sequence hash: also pins the on-disk ordering.
 std::uint64_t edge_sequence_hash(const gen::EdgeList& edges);
 
-/// Hashes a TSV stage (reads every shard in sorted shard order).
+/// Hashes an edge stage (reads every shard in sorted shard order). The
+/// digest is over decoded (start, end) records, so TSV and binary encodings
+/// of the same edge sequence produce identical checksums.
 struct StageChecksum {
   std::uint64_t multiset = 0;
   std::uint64_t sequence = 0;
   std::uint64_t edges = 0;
 };
+StageChecksum stage_checksum(io::StageStore& store, const std::string& stage,
+                             const io::StageCodec& codec);
+/// TSV form (the default stage encoding).
 StageChecksum stage_checksum(io::StageStore& store, const std::string& stage);
-/// Path form: hashes a stage directory on disk.
+/// Path form: hashes a TSV stage directory on disk.
 StageChecksum stage_checksum(const std::filesystem::path& dir);
 
 /// CSR fingerprint: shape, structure, and values quantized to `quantum`.

@@ -15,8 +15,11 @@ void PipelineConfig::validate() const {
   util::require(generator == "kronecker" || generator == "bter" ||
                     generator == "ppl",
                 "pipeline: generator must be kronecker|bter|ppl");
-  util::require(storage == "dir" || storage == "mem",
-                "pipeline: storage must be dir|mem");
+  if (storage != "dir" && storage != "mem") {
+    throw util::ConfigError("pipeline: unknown storage '" + storage +
+                            "' (valid values: dir, mem)");
+  }
+  io::parse_stage_format(stage_format);  // throws listing valid values
   util::require(storage == "mem" || !work_dir.empty(),
                 "pipeline: work_dir must be set for dir storage");
 }
@@ -30,7 +33,12 @@ std::unique_ptr<io::StageStore> make_stage_store(
   }
   if (config.storage == "mem") return std::make_unique<io::MemStageStore>();
   throw util::ConfigError("make_stage_store: unknown storage '" +
-                          config.storage + "' (expected dir|mem)");
+                          config.storage + "' (valid values: dir, mem)");
+}
+
+const io::StageCodec& make_stage_codec(const PipelineConfig& config,
+                                       io::Codec flavor) {
+  return io::stage_codec(io::parse_stage_format(config.stage_format), flavor);
 }
 
 RunSize run_size(int scale, int edge_factor) {

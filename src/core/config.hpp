@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 #include "sort/edge_sort.hpp"
@@ -28,6 +29,9 @@ struct PipelineConfig {
   /// Stage storage tier: "dir" (shard files under work_dir) or "mem"
   /// (in-memory shard buffers — the tmpfs ablation).
   std::string storage = "dir";
+  /// Stage encoding: "tsv" (the paper's format, the default) or "binary"
+  /// (columnar little-endian — the serialization ablation).
+  std::string stage_format = "tsv";
   /// Staging root for dir storage; kernel stages live in subdirectories of
   /// it. Unused (and may be empty) with mem storage.
   std::filesystem::path work_dir;
@@ -47,6 +51,12 @@ struct PipelineConfig {
 /// Builds the stage store the configuration asks for ("dir" rooted at
 /// work_dir, or "mem"). Throws ConfigError for unknown storage names.
 std::unique_ptr<io::StageStore> make_stage_store(const PipelineConfig& config);
+
+/// Resolves the configured stage codec. `flavor` picks the TSV parse/format
+/// flavor (interpreted-stack backends pass kGeneric); binary ignores it.
+/// Throws ConfigError for unknown stage_format names.
+const io::StageCodec& make_stage_codec(const PipelineConfig& config,
+                                       io::Codec flavor = io::Codec::kFast);
 
 /// Table II row: the benchmark run-size bookkeeping for one scale.
 struct RunSize {

@@ -59,6 +59,13 @@ struct KernelContext {
   void metric(const std::string& key, double value) const {
     if (metrics != nullptr) metrics->add(key, value);
   }
+
+  /// The stage codec this pipeline is configured with. `flavor` picks the
+  /// TSV parse/format flavor (interpreted-stack backends pass kGeneric).
+  [[nodiscard]] const io::StageCodec& codec(
+      io::Codec flavor = io::Codec::kFast) const {
+    return make_stage_codec(config, flavor);
+  }
 };
 
 }  // namespace prpb::core

@@ -39,10 +39,14 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("num_vertices", config.num_vertices());
   json.field("num_edges", config.num_edges());
   json.field("storage", config.storage);
+  json.field("stage_format", config.stage_format);
   json.end_object();
 
   json.field("backend", result.backend);
   if (!result.storage.empty()) json.field("storage", result.storage);
+  if (!result.stage_format.empty()) {
+    json.field("stage_format", result.stage_format);
+  }
 
   json.begin_object("kernels");
   kernel_object(json, "k0_generate", result.k0);

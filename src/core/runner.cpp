@@ -47,6 +47,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   PipelineResult result;
   result.backend = backend.name();
   result.storage = store.kind();
+  result.stage_format = config.stage_format;
   result.num_vertices = config.num_vertices();
   result.num_edges = config.num_edges();
   const std::uint64_t m = config.num_edges();

@@ -56,7 +56,8 @@ struct KernelMetrics {
 
 struct PipelineResult {
   std::string backend;
-  std::string storage;  ///< store kind the run used ("dir" | "mem")
+  std::string storage;       ///< store kind the run used ("dir" | "mem")
+  std::string stage_format;  ///< stage encoding ("tsv" | "binary")
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
   KernelMetrics k0;  ///< untimed by the benchmark; measured for insight

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
 #include "io/file_stream.hpp"
 #include "util/error.hpp"
@@ -76,9 +77,8 @@ void append_frame(DataFrame& frame, const CsvSchema& schema,
   }
 }
 
-void read_into(io::StageReader& reader, const std::string& what,
-               const CsvSchema& schema, const CsvOptions& options,
-               TypedBuffers& buffers) {
+void read_into(io::StageReader& reader, const CsvSchema& schema,
+               const CsvOptions& options, TypedBuffers& buffers) {
   std::string carry;
   bool first_line = true;
   auto consume = [&](std::string_view text) -> std::size_t {
@@ -107,8 +107,12 @@ void read_into(io::StageReader& reader, const std::string& what,
       carry.erase(0, consumed);
     }
   }
-  util::io_require(carry.empty(),
-                   "csv: file does not end with a newline: " + what);
+  // Tolerate a final record without a trailing newline, matching the edge
+  // decoders; malformed leftovers still throw from parse_line.
+  if (!carry.empty() && !(first_line && options.header)) {
+    const std::string_view line = util::strip_cr(carry);
+    if (!line.empty()) parse_line(line, schema, options.separator, buffers);
+  }
 }
 
 TypedBuffers make_buffers(const CsvSchema& schema) {
@@ -128,7 +132,7 @@ DataFrame read_csv(const fs::path& path, const CsvSchema& schema,
                    const CsvOptions& options) {
   TypedBuffers buffers = make_buffers(schema);
   io::FileReader reader(path);
-  read_into(reader, path.string(), schema, options, buffers);
+  read_into(reader, schema, options, buffers);
   DataFrame frame;
   append_frame(frame, schema, buffers);
   return frame;
@@ -139,7 +143,7 @@ DataFrame read_csv_stage(io::StageStore& store, const std::string& stage,
   TypedBuffers buffers = make_buffers(schema);
   for (const auto& shard : store.list(stage)) {
     const auto reader = store.open_read(stage, shard);
-    read_into(*reader, stage + "/" + shard, schema, options, buffers);
+    read_into(*reader, schema, options, buffers);
   }
   DataFrame frame;
   append_frame(frame, schema, buffers);
@@ -208,6 +212,64 @@ std::uint64_t write_csv_dir(const DataFrame& frame, const fs::path& dir,
                             std::size_t shards, const CsvOptions& options) {
   io::DirStageStore store;
   return write_csv_stage(frame, store, dir.string(), shards, options);
+}
+
+// ---- codec-aware edge-stage forms ------------------------------------------
+
+namespace {
+void require_edge_schema(const CsvSchema& schema) {
+  util::require(schema.dtypes.size() == 2 &&
+                    schema.dtypes[0] == DType::kInt64 &&
+                    schema.dtypes[1] == DType::kInt64,
+                "edge stage: schema must be two int64 columns");
+}
+}  // namespace
+
+DataFrame read_edge_stage(io::StageStore& store, const std::string& stage,
+                          const CsvSchema& schema,
+                          const io::StageCodec& codec,
+                          const CsvOptions& options) {
+  if (codec.name() == "tsv") {
+    return read_csv_stage(store, stage, schema, options);
+  }
+  require_edge_schema(schema);
+  std::vector<std::int64_t> u;
+  std::vector<std::int64_t> v;
+  io::EdgeBatchReader reader(store, stage, codec);
+  gen::EdgeList batch;
+  while (reader.next(batch)) {
+    for (const auto& edge : batch) {
+      u.push_back(static_cast<std::int64_t>(edge.u));
+      v.push_back(static_cast<std::int64_t>(edge.v));
+    }
+  }
+  DataFrame frame;
+  frame.add_column(schema.names[0], Column(std::move(u)));
+  frame.add_column(schema.names[1], Column(std::move(v)));
+  return frame;
+}
+
+std::uint64_t write_edge_stage(const DataFrame& frame, io::StageStore& store,
+                               const std::string& stage, std::size_t shards,
+                               const io::StageCodec& codec,
+                               const CsvOptions& options) {
+  if (codec.name() == "tsv") {
+    return write_csv_stage(frame, store, stage, shards, options);
+  }
+  util::require(frame.num_columns() == 2 &&
+                    frame.col_at(0).dtype() == DType::kInt64 &&
+                    frame.col_at(1).dtype() == DType::kInt64,
+                "edge stage: frame must be two int64 columns");
+  const auto& u = frame.col_at(0).i64();
+  const auto& v = frame.col_at(1).i64();
+  io::EdgeBatchWriter writer(store, stage, codec, shards, frame.num_rows());
+  for (std::size_t r = 0; r < frame.num_rows(); ++r) {
+    util::ensure(u[r] >= 0 && v[r] >= 0, "edge stage: negative vertex id");
+    writer.append(gen::Edge{static_cast<std::uint64_t>(u[r]),
+                            static_cast<std::uint64_t>(v[r])});
+  }
+  writer.close();
+  return writer.bytes_written();
 }
 
 }  // namespace prpb::df

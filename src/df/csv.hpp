@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "df/dataframe.hpp"
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 
 namespace prpb::df {
@@ -55,5 +56,27 @@ DataFrame read_csv_stage(io::StageStore& store, const std::string& stage,
 std::uint64_t write_csv_stage(const DataFrame& frame, io::StageStore& store,
                               const std::string& stage, std::size_t shards,
                               const CsvOptions& options = {});
+
+// ---- codec-aware edge-stage forms ------------------------------------------
+//
+// The dataframe backend's stages are two-int64-column frames. With the TSV
+// codec these dispatch to the CSV paths above — preserving the per-cell
+// string materialization that is this backend's honest cost profile and
+// keeping the on-disk bytes identical. Other codecs decode/encode typed
+// edge batches directly.
+
+/// Reads every shard of an edge stage. The schema must be two int64
+/// columns.
+DataFrame read_edge_stage(io::StageStore& store, const std::string& stage,
+                          const CsvSchema& schema,
+                          const io::StageCodec& codec,
+                          const CsvOptions& options = {});
+
+/// Writes a two-int64-column frame row-partitioned into `shards` shards of
+/// `stage` (cleared first). Returns total bytes written.
+std::uint64_t write_edge_stage(const DataFrame& frame, io::StageStore& store,
+                               const std::string& stage, std::size_t shards,
+                               const io::StageCodec& codec,
+                               const CsvOptions& options = {});
 
 }  // namespace prpb::df

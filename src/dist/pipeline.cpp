@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "gen/generator.hpp"
+#include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
 #include "io/tsv.hpp"
 #include "sort/edge_sort.hpp"
@@ -76,16 +77,13 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
     if (staging.has_value()) {
       // Materialize the slice as this rank's shard, then read it back —
       // "each kernel ... fully completed before the next kernel can begin".
-      const auto writer =
-          staging->open_write(config.stage, io::shard_name(rank));
-      for (const auto& edge : local) {
-        io::append_edge_fast(writer->buffer(), edge);
-        writer->maybe_flush();
-      }
-      writer->close();
+      const io::StageCodec& codec = config.stage_codec != nullptr
+                                        ? *config.stage_codec
+                                        : io::tsv_codec(io::Codec::kFast);
+      const std::string shard = io::shard_name(rank, codec);
+      io::write_edge_shard(*staging, config.stage, shard, local, codec);
       comm.barrier();
-      local = io::read_edge_shard(*staging, config.stage,
-                                  io::shard_name(rank), io::Codec::kFast);
+      local = io::read_edge_shard(*staging, config.stage, shard, codec);
     }
 
     // ---- Kernel 1: route edges to the owner of their start vertex, then

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dist/comm.hpp"
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "sparse/csr.hpp"
 
@@ -41,6 +42,9 @@ struct DistConfig {
   /// keeps the historical fully in-memory hand-off.
   io::StageStore* stage_store = nullptr;
   std::string stage = "k0_edges";
+  /// Stage encoding for the K0->K1 file barrier. Not owned (codecs are
+  /// immutable singletons); null means TSV in the fast flavor.
+  const io::StageCodec* stage_codec = nullptr;
 
   [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
   [[nodiscard]] std::uint64_t num_edges() const {

@@ -32,6 +32,14 @@ std::uint64_t as_index(double x, const char* what) {
   return static_cast<std::uint64_t>(x);
 }
 
+/// The codec the edge-file builtins encode/decode with: whatever the host
+/// installed, defaulting to the generic TSV string path.
+const io::StageCodec& interp_codec(const Interpreter& interp) {
+  return interp.stage_codec() != nullptr
+             ? *interp.stage_codec()
+             : io::tsv_codec(io::Codec::kGeneric);
+}
+
 Array map_array(const Value& v, double (*fn)(double)) {
   if (v.is_scalar()) return Array{fn(v.scalar())};
   const Array& a = v.array();
@@ -341,17 +349,19 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
     return m;
   };
 
-  // ---- edge-file I/O (generic codec — the interpreted stack's string path) --
+  // ---- edge-file I/O (generic TSV unless the host picked a codec) -----------
   // When the host installed a StageStore (set_stage_store), the string
   // argument names a stage of that store; otherwise it is a filesystem path
   // handled by a transient DirStageStore, preserving the legacy layout.
+  // set_stage_codec swaps the encoding; the default stays the generic TSV
+  // string path an interpreted stack pays for.
   builtins["load_edges"] = [](std::vector<Value>& args, Interpreter& interp) {
     expect_args(args, 1, "load_edges");
     io::DirStageStore fallback;
     io::StageStore& store =
         interp.stage_store() ? *interp.stage_store() : fallback;
     const gen::EdgeList edges =
-        io::read_all_edges(store, args[0].str(), io::Codec::kGeneric);
+        io::read_all_edges(store, args[0].str(), interp_codec(interp));
     Array out;
     out.reserve(2 * edges.size());
     for (const auto& edge : edges) {
@@ -376,7 +386,7 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
     io::StageStore& store =
         interp.stage_store() ? *interp.stage_store() : fallback;
     const std::uint64_t bytes = io::write_edge_list(
-        store, args[0].str(), edges, shards, io::Codec::kGeneric);
+        store, args[0].str(), edges, shards, interp_codec(interp));
     return Value(static_cast<double>(bytes));
   };
   builtins["count_edges"] = [](std::vector<Value>& args, Interpreter& interp) {
@@ -384,8 +394,8 @@ void install_standard_builtins(std::map<std::string, Builtin>& builtins) {
     io::DirStageStore fallback;
     io::StageStore& store =
         interp.stage_store() ? *interp.stage_store() : fallback;
-    return Value(
-        static_cast<double>(io::count_edges(store, args[0].str())));
+    return Value(static_cast<double>(
+        io::count_edges(store, args[0].str(), interp_codec(interp))));
   };
 
   // ---- diagnostics -----------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "rand/rng.hpp"
 
 namespace prpb::io {
+class StageCodec;
 class StageStore;
 }  // namespace prpb::io
 
@@ -74,6 +75,14 @@ class Interpreter {
   void set_stage_store(io::StageStore* store) { stage_store_ = store; }
   [[nodiscard]] io::StageStore* stage_store() const { return stage_store_; }
 
+  /// Selects the stage codec the edge-file builtins use. Pass nullptr (the
+  /// default) for TSV in the generic flavor — the interpreted stack's
+  /// honest string path. Non-owning; codecs are immutable singletons.
+  void set_stage_codec(const io::StageCodec* codec) { stage_codec_ = codec; }
+  [[nodiscard]] const io::StageCodec* stage_codec() const {
+    return stage_codec_;
+  }
+
   /// True when `name` is a user-defined function.
   [[nodiscard]] bool has_function(const std::string& name) const {
     return functions_.contains(name);
@@ -112,6 +121,7 @@ class Interpreter {
   rnd::Xoshiro256 rng_;
   std::vector<std::string> output_;
   io::StageStore* stage_store_ = nullptr;
+  const io::StageCodec* stage_codec_ = nullptr;
   std::uint64_t dispatches_ = 0;
   std::size_t call_depth_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "io/file_stream.hpp"
 #include "util/error.hpp"
 
 namespace prpb::io {
@@ -23,12 +24,15 @@ gen::Edge decode(const char* in) {
 }  // namespace
 
 BinaryRunWriter::BinaryRunWriter(const std::filesystem::path& path)
-    : writer_(path) {}
+    : writer_(std::make_unique<FileWriter>(path)) {}
+
+BinaryRunWriter::BinaryRunWriter(std::unique_ptr<StageWriter> writer)
+    : writer_(std::move(writer)) {}
 
 void BinaryRunWriter::write(const gen::Edge& edge) {
   char buf[kRecordBytes];
   encode(buf, edge);
-  writer_.write(std::string_view(buf, kRecordBytes));
+  writer_->write(std::string_view(buf, kRecordBytes));
   ++records_;
 }
 
@@ -36,10 +40,13 @@ void BinaryRunWriter::write_all(const gen::EdgeList& edges) {
   for (const auto& edge : edges) write(edge);
 }
 
-void BinaryRunWriter::close() { writer_.close(); }
+void BinaryRunWriter::close() { writer_->close(); }
 
 BinaryRunReader::BinaryRunReader(const std::filesystem::path& path)
-    : reader_(path) {}
+    : reader_(std::make_unique<FileReader>(path)) {}
+
+BinaryRunReader::BinaryRunReader(std::unique_ptr<StageReader> reader)
+    : reader_(std::move(reader)) {}
 
 std::optional<gen::Edge> BinaryRunReader::next() {
   // Fast path: full record available in the current chunk.
@@ -51,7 +58,7 @@ std::optional<gen::Edge> BinaryRunReader::next() {
   // Slow path: assemble a record across chunk boundaries.
   while (pending_.size() < kRecordBytes) {
     if (chunk_pos_ >= chunk_.size()) {
-      chunk_ = reader_.read_chunk();
+      chunk_ = reader_->read_chunk();
       chunk_pos_ = 0;
       if (chunk_.empty()) {
         util::io_require(pending_.empty(),

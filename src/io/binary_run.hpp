@@ -1,14 +1,19 @@
 // Binary spill format for the external (out-of-core) sort: fixed 16-byte
 // little-endian Edge records, no header. Used only for intermediate runs;
-// the benchmark's visible stages stay TSV per the paper's file format.
+// the benchmark's visible stages go through a StageCodec
+// (src/io/stage_codec.*). Runs are written through the StageWriter /
+// StageReader seam so spills can live in any StageStore (and get counted
+// with the rest of the kernel's traffic); the path constructors remain
+// for stand-alone use.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 
 #include "gen/edge.hpp"
-#include "io/file_stream.hpp"
+#include "io/stage_stream.hpp"
 
 namespace prpb::io {
 
@@ -16,6 +21,7 @@ namespace prpb::io {
 class BinaryRunWriter {
  public:
   explicit BinaryRunWriter(const std::filesystem::path& path);
+  explicit BinaryRunWriter(std::unique_ptr<StageWriter> writer);
 
   void write(const gen::Edge& edge);
   void write_all(const gen::EdgeList& edges);
@@ -23,7 +29,7 @@ class BinaryRunWriter {
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
 
  private:
-  FileWriter writer_;
+  std::unique_ptr<StageWriter> writer_;
   std::uint64_t records_ = 0;
 };
 
@@ -31,13 +37,14 @@ class BinaryRunWriter {
 class BinaryRunReader {
  public:
   explicit BinaryRunReader(const std::filesystem::path& path);
+  explicit BinaryRunReader(std::unique_ptr<StageReader> reader);
 
   std::optional<gen::Edge> next();
   /// Fills `out` with up to `max_records` records; returns count read.
   std::size_t next_batch(gen::EdgeList& out, std::size_t max_records);
 
  private:
-  FileReader reader_;
+  std::unique_ptr<StageReader> reader_;
   std::string pending_;     // partial record bytes carried across chunks
   std::string_view chunk_;  // current chunk view
   std::size_t chunk_pos_ = 0;

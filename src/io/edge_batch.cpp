@@ -1,0 +1,191 @@
+#include "io/edge_batch.hpp"
+
+#include <algorithm>
+
+#include "io/edge_files.hpp"
+#include "util/error.hpp"
+
+namespace prpb::io {
+
+// ---- EdgeBatchReader --------------------------------------------------------
+
+EdgeBatchReader::EdgeBatchReader(StageStore& store, std::string stage,
+                                 const StageCodec& codec,
+                                 std::size_t batch_capacity)
+    : store_(store),
+      stage_(std::move(stage)),
+      codec_(codec),
+      capacity_(batch_capacity),
+      shards_(store.list(stage_)) {
+  util::require(capacity_ >= 1, "EdgeBatchReader: batch capacity must be >= 1");
+}
+
+bool EdgeBatchReader::next(gen::EdgeList& batch) {
+  batch.clear();
+  for (;;) {
+    const std::size_t take = std::min(pending_.size() - pending_pos_,
+                                      capacity_ - batch.size());
+    batch.insert(batch.end(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(pending_pos_),
+                 pending_.begin() +
+                     static_cast<std::ptrdiff_t>(pending_pos_ + take));
+    pending_pos_ += take;
+    if (batch.size() == capacity_) break;
+    if (!refill()) break;
+  }
+  edges_read_ += batch.size();
+  return !batch.empty();
+}
+
+bool EdgeBatchReader::refill() {
+  pending_.clear();
+  pending_pos_ = 0;
+  while (pending_.empty()) {
+    if (!reader_) {
+      if (shard_index_ >= shards_.size()) return false;
+      reader_ = store_.open_read(stage_, shards_[shard_index_]);
+      decoder_ = codec_.make_decoder();
+    }
+    const auto chunk = reader_->read_chunk();
+    if (chunk.empty()) {
+      decoder_->finish(pending_, stage_ + "/" + shards_[shard_index_]);
+      reader_.reset();
+      decoder_.reset();
+      ++shard_index_;
+    } else {
+      decoder_->feed(chunk, pending_);
+    }
+  }
+  return true;
+}
+
+// ---- ShardWriter ------------------------------------------------------------
+
+ShardWriter::ShardWriter(StageStore& store, const std::string& stage,
+                         const std::string& shard, const StageCodec& codec)
+    : writer_(store.open_write(stage, shard)),
+      encoder_(codec.make_encoder()) {
+  encoder_->begin(*writer_);
+}
+
+void ShardWriter::append(const gen::Edge& edge) {
+  pending_.push_back(edge);
+  if (pending_.size() >= kDefaultBatchEdges) flush_pending();
+}
+
+void ShardWriter::append(const gen::Edge* edges, std::size_t count) {
+  flush_pending();
+  encoder_->encode(*writer_, edges, count);
+  edges_ += count;
+}
+
+void ShardWriter::flush_pending() {
+  if (pending_.empty()) return;
+  encoder_->encode(*writer_, pending_.data(), pending_.size());
+  edges_ += pending_.size();
+  pending_.clear();
+}
+
+void ShardWriter::close() {
+  util::require(writer_ != nullptr, "ShardWriter: close() called twice");
+  flush_pending();
+  encoder_->finish(*writer_);
+  writer_->close();
+  bytes_ = writer_->bytes_written();
+  writer_.reset();
+  encoder_.reset();
+}
+
+// ---- EdgeBatchWriter --------------------------------------------------------
+
+EdgeBatchWriter::EdgeBatchWriter(StageStore& store, std::string stage,
+                                 const StageCodec& codec, std::size_t shards,
+                                 std::uint64_t total_edges)
+    : store_(store),
+      stage_(std::move(stage)),
+      codec_(codec),
+      bounds_(shard_boundaries(total_edges, shards)) {
+  store_.clear_stage(stage_);
+  open_shard();
+}
+
+void EdgeBatchWriter::open_shard() {
+  writer_ = store_.open_write(stage_, shard_name(shard_, codec_));
+  encoder_ = codec_.make_encoder();
+  encoder_->begin(*writer_);
+}
+
+void EdgeBatchWriter::close_shard() {
+  if (!writer_) return;
+  encoder_->finish(*writer_);
+  writer_->close();
+  bytes_ += writer_->bytes_written();
+  writer_.reset();
+  encoder_.reset();
+}
+
+void EdgeBatchWriter::append(const gen::Edge& edge) {
+  pending_.push_back(edge);
+  if (pending_.size() >= kDefaultBatchEdges) flush_pending();
+}
+
+void EdgeBatchWriter::append(const gen::Edge* edges, std::size_t count) {
+  flush_pending();
+  write_run(edges, count);
+}
+
+void EdgeBatchWriter::flush_pending() {
+  if (pending_.empty()) return;
+  write_run(pending_.data(), pending_.size());
+  pending_.clear();
+}
+
+void EdgeBatchWriter::write_run(const gen::Edge* edges, std::size_t count) {
+  const std::size_t num_shards = bounds_.size() - 1;
+  while (count > 0) {
+    // Roll to the shard that owns the next edge; empty shards in between
+    // are created and closed on the way past.
+    while (shard_ + 1 < num_shards && written_ >= bounds_[shard_ + 1]) {
+      close_shard();
+      ++shard_;
+      open_shard();
+    }
+    util::ensure(written_ < bounds_[shard_ + 1],
+                 "EdgeBatchWriter: more edges appended than declared");
+    const std::uint64_t room = bounds_[shard_ + 1] - written_;
+    const auto take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, room));
+    encoder_->encode(*writer_, edges, take);
+    edges += take;
+    count -= take;
+    written_ += take;
+  }
+}
+
+void EdgeBatchWriter::close() {
+  util::require(writer_ != nullptr, "EdgeBatchWriter: close() called twice");
+  flush_pending();
+  util::ensure(written_ == bounds_.back(),
+               "EdgeBatchWriter: fewer edges appended than declared");
+  // Create any remaining (empty) trailing shards so the stage always has
+  // exactly the declared shard count.
+  const std::size_t num_shards = bounds_.size() - 1;
+  while (shard_ + 1 < num_shards) {
+    close_shard();
+    ++shard_;
+    open_shard();
+  }
+  close_shard();
+}
+
+std::uint64_t write_edge_shard(StageStore& store, const std::string& stage,
+                               const std::string& shard,
+                               const gen::EdgeList& edges,
+                               const StageCodec& codec) {
+  ShardWriter writer(store, stage, shard, codec);
+  writer.append(edges);
+  writer.close();
+  return writer.bytes_written();
+}
+
+}  // namespace prpb::io

@@ -1,0 +1,127 @@
+// Typed edge-batch streaming over stage shards. Kernels deal in batches
+// of (start, end) records; the codec (TSV or binary, src/io/stage_codec.*)
+// and the storage medium (src/io/stage_store.*) are both injected, so no
+// kernel hand-rolls parse/format loops against raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/edge.hpp"
+#include "io/stage_codec.hpp"
+#include "io/stage_store.hpp"
+
+namespace prpb::io {
+
+/// Batch capacity used when callers do not pick one. Also the block size
+/// per-edge appends are coalesced into before hitting the encoder.
+inline constexpr std::size_t kDefaultBatchEdges = std::size_t{1} << 16;
+
+/// Streams every shard of a stage (sorted shard order) as fixed-capacity
+/// batches of decoded edges. Bounded memory regardless of stage size.
+class EdgeBatchReader {
+ public:
+  EdgeBatchReader(StageStore& store, std::string stage,
+                  const StageCodec& codec,
+                  std::size_t batch_capacity = kDefaultBatchEdges);
+
+  /// Clears `batch` and fills it with up to the configured capacity.
+  /// Returns false once the stage is exhausted (batch left empty).
+  bool next(gen::EdgeList& batch);
+
+  [[nodiscard]] std::uint64_t edges_read() const { return edges_read_; }
+
+ private:
+  bool refill();
+
+  StageStore& store_;
+  std::string stage_;
+  const StageCodec& codec_;
+  std::size_t capacity_;
+  std::vector<std::string> shards_;
+  std::size_t shard_index_ = 0;
+  std::unique_ptr<StageReader> reader_;
+  std::unique_ptr<StageDecoder> decoder_;
+  gen::EdgeList pending_;
+  std::size_t pending_pos_ = 0;
+  std::uint64_t edges_read_ = 0;
+};
+
+/// Streams edges into one named shard. No boundary math — this is what
+/// concurrent per-shard producers (the parallel backend's kernel 0, the
+/// dist ranks) use. Per-edge appends are coalesced into blocks so the
+/// binary codec never emits degenerate one-record blocks.
+class ShardWriter {
+ public:
+  ShardWriter(StageStore& store, const std::string& stage,
+              const std::string& shard, const StageCodec& codec);
+
+  void append(const gen::Edge& edge);
+  void append(const gen::Edge* edges, std::size_t count);
+  void append(const gen::EdgeList& edges) {
+    append(edges.data(), edges.size());
+  }
+  /// Finalizes the shard. Must be called exactly once.
+  void close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t edges_written() const { return edges_; }
+
+ private:
+  void flush_pending();
+
+  std::unique_ptr<StageWriter> writer_;
+  std::unique_ptr<StageEncoder> encoder_;
+  gen::EdgeList pending_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t edges_ = 0;
+};
+
+/// Writes a declared number of edges into `shards` shards of a stage,
+/// splitting at the same near-equal shard_boundaries() the stage layout
+/// has always used (trailing shards may be empty). The stage is cleared
+/// on construction; close() must be called once and verifies that exactly
+/// `total_edges` were appended.
+class EdgeBatchWriter {
+ public:
+  EdgeBatchWriter(StageStore& store, std::string stage,
+                  const StageCodec& codec, std::size_t shards,
+                  std::uint64_t total_edges);
+
+  void append(const gen::Edge& edge);
+  void append(const gen::Edge* edges, std::size_t count);
+  void append(const gen::EdgeList& edges) {
+    append(edges.data(), edges.size());
+  }
+  void close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t edges_written() const { return written_; }
+
+ private:
+  void open_shard();
+  void close_shard();
+  void flush_pending();
+  void write_run(const gen::Edge* edges, std::size_t count);
+
+  StageStore& store_;
+  std::string stage_;
+  const StageCodec& codec_;
+  std::vector<std::uint64_t> bounds_;
+  std::size_t shard_ = 0;
+  std::unique_ptr<StageWriter> writer_;
+  std::unique_ptr<StageEncoder> encoder_;
+  gen::EdgeList pending_;
+  std::uint64_t written_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Writes one shard in a single call; returns bytes written.
+std::uint64_t write_edge_shard(StageStore& store, const std::string& stage,
+                               const std::string& shard,
+                               const gen::EdgeList& edges,
+                               const StageCodec& codec);
+
+}  // namespace prpb::io

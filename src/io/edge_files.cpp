@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 
+#include "io/edge_batch.hpp"
 #include "io/file_stream.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -25,81 +26,53 @@ std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
 }
 
 namespace {
-constexpr std::size_t kBatchEdges = 1 << 16;
 
 std::uint64_t write_edges_impl(
     StageStore& store, const std::string& stage, std::size_t shards,
-    Codec codec, std::uint64_t total,
+    const StageCodec& codec, std::uint64_t total,
     const std::function<void(std::uint64_t, std::uint64_t, gen::EdgeList&)>&
         producer) {
-  store.clear_stage(stage);
-  const auto bounds = shard_boundaries(total, shards);
-  std::uint64_t bytes = 0;
+  EdgeBatchWriter writer(store, stage, codec, shards, total);
   gen::EdgeList batch;
-  for (std::size_t s = 0; s < shards; ++s) {
-    const auto writer = store.open_write(stage, shard_name(s));
-    for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1];
-         lo += kBatchEdges) {
-      const std::uint64_t hi =
-          std::min<std::uint64_t>(bounds[s + 1], lo + kBatchEdges);
-      batch.clear();
-      producer(lo, hi, batch);
-      for (const auto& edge : batch) {
-        append_edge(writer->buffer(), edge, codec);
-      }
-      writer->maybe_flush();
-    }
-    writer->close();
-    bytes += writer->bytes_written();
+  for (std::uint64_t lo = 0; lo < total; lo += kDefaultBatchEdges) {
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(total, lo + kDefaultBatchEdges);
+    batch.clear();
+    producer(lo, hi, batch);
+    writer.append(batch);
   }
-  return bytes;
+  writer.close();
+  return writer.bytes_written();
 }
 
 gen::EdgeList read_shard_impl(StageReader& reader, const std::string& label,
-                              Codec codec) {
+                              const StageCodec& codec) {
   gen::EdgeList edges;
-  std::string carry;
+  const auto decoder = codec.make_decoder();
   for (;;) {
     const auto chunk = reader.read_chunk();
     if (chunk.empty()) break;
-    if (carry.empty()) {
-      const std::size_t consumed = parse_edges(chunk, edges, codec);
-      carry.assign(chunk.substr(consumed));
-    } else {
-      carry.append(chunk);
-      const std::size_t consumed = parse_edges(carry, edges, codec);
-      carry.erase(0, consumed);
-    }
+    decoder->feed(chunk, edges);
   }
-  util::io_require(carry.empty(),
-                   "edge file does not end with a newline-terminated record: " +
-                       label);
+  decoder->finish(edges, label);
   return edges;
 }
 
 void stream_shard_impl(StageReader& reader, const std::string& label,
-                       Codec codec,
+                       const StageCodec& codec,
                        const std::function<void(const gen::EdgeList&)>& sink) {
   gen::EdgeList batch;
-  std::string carry;
+  const auto decoder = codec.make_decoder();
   for (;;) {
     const auto chunk = reader.read_chunk();
     if (chunk.empty()) break;
     batch.clear();
-    if (carry.empty()) {
-      const std::size_t consumed = parse_edges(chunk, batch, codec);
-      carry.assign(chunk.substr(consumed));
-    } else {
-      carry.append(chunk);
-      const std::size_t consumed = parse_edges(carry, batch, codec);
-      carry.erase(0, consumed);
-    }
+    decoder->feed(chunk, batch);
     if (!batch.empty()) sink(batch);
   }
-  util::io_require(carry.empty(),
-                   "edge file does not end with a newline-terminated "
-                   "record: " +
-                       label);
+  batch.clear();
+  decoder->finish(batch, label);
+  if (!batch.empty()) sink(batch);
 }
 
 /// Expresses an arbitrary stage directory as a (store, stage) pair.
@@ -107,12 +80,13 @@ DirStageStore path_store() { return DirStageStore{}; }
 
 }  // namespace
 
-// ---- StageStore forms ------------------------------------------------------
+// ---- StageCodec forms ------------------------------------------------------
 
 std::uint64_t write_generated_edges(StageStore& store,
                                     const std::string& stage,
                                     const gen::EdgeGenerator& generator,
-                                    std::size_t shards, Codec codec) {
+                                    std::size_t shards,
+                                    const StageCodec& codec) {
   return write_edges_impl(
       store, stage, shards, codec, generator.num_edges(),
       [&generator](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
@@ -122,23 +96,22 @@ std::uint64_t write_generated_edges(StageStore& store,
 
 std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
                               const gen::EdgeList& edges, std::size_t shards,
-                              Codec codec) {
-  return write_edges_impl(
-      store, stage, shards, codec, edges.size(),
-      [&edges](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
-        out.insert(out.end(), edges.begin() + static_cast<std::ptrdiff_t>(lo),
-                   edges.begin() + static_cast<std::ptrdiff_t>(hi));
-      });
+                              const StageCodec& codec) {
+  EdgeBatchWriter writer(store, stage, codec, shards, edges.size());
+  writer.append(edges);
+  writer.close();
+  return writer.bytes_written();
 }
 
 gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
-                              const std::string& shard, Codec codec) {
+                              const std::string& shard,
+                              const StageCodec& codec) {
   const auto reader = store.open_read(stage, shard);
   return read_shard_impl(*reader, stage + "/" + shard, codec);
 }
 
 gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
-                             Codec codec) {
+                             const StageCodec& codec) {
   gen::EdgeList edges;
   for (const auto& shard : store.list(stage)) {
     auto part = read_edge_shard(store, stage, shard, codec);
@@ -147,7 +120,8 @@ gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
   return edges;
 }
 
-void stream_all_edges(StageStore& store, const std::string& stage, Codec codec,
+void stream_all_edges(StageStore& store, const std::string& stage,
+                      const StageCodec& codec,
                       const std::function<void(const gen::EdgeList&)>& sink) {
   for (const auto& shard : store.list(stage)) {
     const auto reader = store.open_read(stage, shard);
@@ -155,19 +129,49 @@ void stream_all_edges(StageStore& store, const std::string& stage, Codec codec,
   }
 }
 
-std::uint64_t count_edges(StageStore& store, const std::string& stage) {
+std::uint64_t count_edges(StageStore& store, const std::string& stage,
+                          const StageCodec& codec) {
   std::uint64_t total = 0;
-  for (const auto& shard : store.list(stage)) {
-    const auto reader = store.open_read(stage, shard);
-    for (;;) {
-      const auto chunk = reader->read_chunk();
-      if (chunk.empty()) break;
-      for (const char ch : chunk) {
-        if (ch == '\n') ++total;
-      }
-    }
-  }
+  stream_all_edges(store, stage, codec,
+                   [&total](const gen::EdgeList& batch) {
+                     total += batch.size();
+                   });
   return total;
+}
+
+// ---- legacy io::Codec forms ------------------------------------------------
+
+std::uint64_t write_generated_edges(StageStore& store,
+                                    const std::string& stage,
+                                    const gen::EdgeGenerator& generator,
+                                    std::size_t shards, Codec codec) {
+  return write_generated_edges(store, stage, generator, shards,
+                               tsv_codec(codec));
+}
+
+std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
+                              const gen::EdgeList& edges, std::size_t shards,
+                              Codec codec) {
+  return write_edge_list(store, stage, edges, shards, tsv_codec(codec));
+}
+
+gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
+                              const std::string& shard, Codec codec) {
+  return read_edge_shard(store, stage, shard, tsv_codec(codec));
+}
+
+gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
+                             Codec codec) {
+  return read_all_edges(store, stage, tsv_codec(codec));
+}
+
+void stream_all_edges(StageStore& store, const std::string& stage, Codec codec,
+                      const std::function<void(const gen::EdgeList&)>& sink) {
+  stream_all_edges(store, stage, tsv_codec(codec), sink);
+}
+
+std::uint64_t count_edges(StageStore& store, const std::string& stage) {
+  return count_edges(store, stage, tsv_codec(Codec::kFast));
 }
 
 // ---- path forms ------------------------------------------------------------
@@ -187,7 +191,7 @@ std::uint64_t write_edge_list(const gen::EdgeList& edges, const fs::path& dir,
 
 gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
   FileReader reader(path);
-  return read_shard_impl(reader, path.string(), codec);
+  return read_shard_impl(reader, path.string(), tsv_codec(codec));
 }
 
 gen::EdgeList read_all_edges(const fs::path& dir, Codec codec) {

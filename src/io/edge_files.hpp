@@ -1,11 +1,12 @@
-// Sharded edge-file stages. Each pipeline kernel reads a stage of TSV
+// Sharded edge-file stages. Each pipeline kernel reads a stage of edge
 // shards and writes another; "the number of files is a free parameter"
 // (paper §IV.A), so the shard count is part of the stage layout.
 //
-// Every helper comes in two forms: the StageStore form (the kernel seam —
-// works over dir, mem, and counting stores) and a legacy path form that is
-// a thin wrapper over a DirStageStore, preserving the historical on-disk
-// layout byte for byte.
+// Every helper comes in three forms: the StageCodec form (the kernel seam —
+// any storage, any encoding), a legacy io::Codec form that fixes the
+// encoding to TSV in the given flavor (kept so TSV-era call sites read
+// unchanged), and a path form that is a thin wrapper over a DirStageStore,
+// preserving the historical on-disk layout byte for byte.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 
 #include "gen/edge.hpp"
 #include "gen/generator.hpp"
+#include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 
@@ -30,7 +32,7 @@ std::filesystem::path shard_path(const std::filesystem::path& dir,
 std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
                                             std::size_t shards);
 
-// ---- StageStore forms (the kernel I/O seam) --------------------------------
+// ---- StageCodec forms (the kernel I/O seam) --------------------------------
 
 /// Writes all edges of `generator` into `shards` shards of `stage`
 /// (created if needed, cleared of stale shards first). Returns bytes
@@ -38,28 +40,55 @@ std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
 std::uint64_t write_generated_edges(StageStore& store,
                                     const std::string& stage,
                                     const gen::EdgeGenerator& generator,
-                                    std::size_t shards, Codec codec);
+                                    std::size_t shards,
+                                    const StageCodec& codec);
 
 /// Writes an in-memory edge list into `shards` shards of `stage`.
 std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
                               const gen::EdgeList& edges, std::size_t shards,
-                              Codec codec);
+                              const StageCodec& codec);
 
 /// Reads one shard of a stage fully.
 gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
-                              const std::string& shard, Codec codec);
+                              const std::string& shard,
+                              const StageCodec& codec);
 
 /// Reads every shard of `stage` (sorted shard order) into one list.
 gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
-                             Codec codec);
+                             const StageCodec& codec);
 
 /// Streams edges from every shard of `stage` in shard order, invoking
 /// `sink` with batches. Bounded memory regardless of stage size.
 void stream_all_edges(StageStore& store, const std::string& stage,
+                      const StageCodec& codec,
+                      const std::function<void(const gen::EdgeList&)>& sink);
+
+/// Number of decoded records in the stage.
+std::uint64_t count_edges(StageStore& store, const std::string& stage,
+                          const StageCodec& codec);
+
+// ---- legacy io::Codec forms (TSV in the given flavor) ----------------------
+
+std::uint64_t write_generated_edges(StageStore& store,
+                                    const std::string& stage,
+                                    const gen::EdgeGenerator& generator,
+                                    std::size_t shards, Codec codec);
+
+std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
+                              const gen::EdgeList& edges, std::size_t shards,
+                              Codec codec);
+
+gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
+                              const std::string& shard, Codec codec);
+
+gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
+                             Codec codec);
+
+void stream_all_edges(StageStore& store, const std::string& stage,
                       Codec codec,
                       const std::function<void(const gen::EdgeList&)>& sink);
 
-/// Number of edges in the stage (counts newline-delimited records).
+/// Number of edges in the stage (decodes the default TSV encoding).
 std::uint64_t count_edges(StageStore& store, const std::string& stage);
 
 // ---- path forms (DirStageStore wrappers) -----------------------------------

@@ -42,10 +42,11 @@ gen::EdgeList read_edge_file_mmap(const std::filesystem::path& path,
   const MmapFile file(path);
   gen::EdgeList edges;
   const std::size_t consumed = parse_edges(file.view(), edges, codec);
-  util::io_require(consumed == file.size(),
-                   "mmap edge file does not end with a newline-terminated "
-                   "record: " +
-                       path.string());
+  // Tolerate a final record without a trailing newline, matching the
+  // streamed TSV decoder; parse_edge_line throws on anything malformed.
+  if (consumed != file.size()) {
+    edges.push_back(parse_edge_line(file.view().substr(consumed), codec));
+  }
   return edges;
 }
 

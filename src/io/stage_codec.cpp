@@ -1,0 +1,256 @@
+#include "io/stage_codec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace prpb::io {
+
+StageFormat parse_stage_format(const std::string& name) {
+  if (name == "tsv") return StageFormat::kTsv;
+  if (name == "binary") return StageFormat::kBinary;
+  throw util::ConfigError("unknown stage format '" + name +
+                          "' (valid values: tsv, binary)");
+}
+
+std::string stage_format_name(StageFormat format) {
+  return format == StageFormat::kTsv ? "tsv" : "binary";
+}
+
+std::string shard_name(std::size_t index, const StageCodec& codec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "edges_%05zu", index);
+  return buf + codec.shard_extension();
+}
+
+// ---- TSV --------------------------------------------------------------------
+
+namespace {
+
+class TsvEncoder final : public StageEncoder {
+ public:
+  explicit TsvEncoder(Codec flavor) : flavor_(flavor) {}
+
+  void begin(StageWriter&) override {}
+
+  void encode(StageWriter& writer, const gen::Edge* edges,
+              std::size_t count) override {
+    std::string& buf = writer.buffer();
+    for (std::size_t i = 0; i < count; ++i) {
+      append_edge(buf, edges[i], flavor_);
+    }
+    writer.maybe_flush();
+  }
+
+  void finish(StageWriter&) override {}
+
+ private:
+  Codec flavor_;
+};
+
+class TsvDecoder final : public StageDecoder {
+ public:
+  explicit TsvDecoder(Codec flavor) : flavor_(flavor) {}
+
+  void feed(std::string_view chunk, gen::EdgeList& out) override {
+    if (carry_.empty()) {
+      const std::size_t consumed = parse_edges(chunk, out, flavor_);
+      carry_.assign(chunk.substr(consumed));
+    } else {
+      carry_.append(chunk);
+      const std::size_t consumed = parse_edges(carry_, out, flavor_);
+      carry_.erase(0, consumed);
+    }
+  }
+
+  void finish(gen::EdgeList& out, const std::string&) override {
+    // Tolerate a final record without a trailing newline (and, via the
+    // line parser's CR stripping, CRLF endings). Malformed leftovers
+    // still throw from parse_edge_line.
+    if (carry_.empty()) return;
+    out.push_back(parse_edge_line(carry_, flavor_));
+    carry_.clear();
+  }
+
+ private:
+  Codec flavor_;
+  std::string carry_;
+};
+
+class TsvStageCodec final : public StageCodec {
+ public:
+  explicit TsvStageCodec(Codec flavor) : flavor_(flavor) {}
+
+  [[nodiscard]] std::string name() const override { return "tsv"; }
+  [[nodiscard]] std::string shard_extension() const override { return ".tsv"; }
+  [[nodiscard]] std::unique_ptr<StageEncoder> make_encoder() const override {
+    return std::make_unique<TsvEncoder>(flavor_);
+  }
+  [[nodiscard]] std::unique_ptr<StageDecoder> make_decoder() const override {
+    return std::make_unique<TsvDecoder>(flavor_);
+  }
+
+ private:
+  Codec flavor_;
+};
+
+// ---- binary -----------------------------------------------------------------
+
+std::size_t width_for(std::uint64_t max_id) {
+  if (max_id < (std::uint64_t{1} << 8)) return 1;
+  if (max_id < (std::uint64_t{1} << 16)) return 2;
+  if (max_id < (std::uint64_t{1} << 32)) return 4;
+  return 8;
+}
+
+void append_le(std::string& out, std::uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(static_cast<char>(value & 0xffu));
+    value >>= 8;
+  }
+}
+
+std::uint64_t load_le(const char* in, std::size_t width) {
+  std::uint64_t value = 0;
+  for (std::size_t i = width; i-- > 0;) {
+    value = (value << 8) | static_cast<unsigned char>(in[i]);
+  }
+  return value;
+}
+
+/// Backstop against decoding garbage as a huge count: a block never holds
+/// more edges than fit in a terabyte of the widest records.
+constexpr std::uint64_t kMaxBlockRecords = std::uint64_t{1} << 36;
+
+class BinaryEncoder final : public StageEncoder {
+ public:
+  void begin(StageWriter& writer) override {
+    std::string& buf = writer.buffer();
+    buf.append(binfmt::kMagic, sizeof(binfmt::kMagic));
+    buf.push_back(static_cast<char>(binfmt::kVersion));
+    buf.append(3, '\0');
+    writer.maybe_flush();
+  }
+
+  void encode(StageWriter& writer, const gen::Edge* edges,
+              std::size_t count) override {
+    if (count == 0) return;
+    std::uint64_t max_u = 0;
+    std::uint64_t max_v = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      max_u = std::max(max_u, edges[i].u);
+      max_v = std::max(max_v, edges[i].v);
+    }
+    const std::size_t wu = width_for(max_u);
+    const std::size_t wv = width_for(max_v);
+    std::string& buf = writer.buffer();
+    append_le(buf, count, 8);
+    buf.push_back(static_cast<char>(wu));
+    buf.push_back(static_cast<char>(wv));
+    buf.append(6, '\0');
+    for (std::size_t i = 0; i < count; ++i) append_le(buf, edges[i].u, wu);
+    for (std::size_t i = 0; i < count; ++i) append_le(buf, edges[i].v, wv);
+    writer.maybe_flush();
+  }
+
+  void finish(StageWriter&) override {}
+};
+
+class BinaryDecoder final : public StageDecoder {
+ public:
+  void feed(std::string_view chunk, gen::EdgeList& out) override {
+    if (chunk.empty()) return;
+    buf_.append(chunk);
+    consume(out);
+  }
+
+  void finish(gen::EdgeList& out, const std::string& label) override {
+    consume(out);
+    if (!header_seen_) {
+      // A fully empty shard (stage padding) is valid; header fragments
+      // are not.
+      util::io_require(buf_.empty(),
+                       "binary edge shard truncated before header: " + label);
+      return;
+    }
+    util::io_require(buf_.empty(),
+                     "binary edge shard ends mid-block: " + label);
+  }
+
+ private:
+  void consume(gen::EdgeList& out) {
+    std::size_t pos = 0;
+    const char* data = buf_.data();
+    const std::uint64_t size = buf_.size();
+    if (!header_seen_) {
+      if (size < binfmt::kHeaderBytes) return;
+      util::io_require(
+          std::memcmp(data, binfmt::kMagic, sizeof(binfmt::kMagic)) == 0,
+          "binary edge shard has bad magic (is this a TSV stage?)");
+      util::io_require(
+          static_cast<std::uint8_t>(data[4]) == binfmt::kVersion,
+          "binary edge shard has an unsupported version");
+      pos = binfmt::kHeaderBytes;
+      header_seen_ = true;
+    }
+    for (;;) {
+      if (size - pos < binfmt::kBlockHeaderBytes) break;
+      const std::uint64_t count = load_le(data + pos, 8);
+      const auto wu = static_cast<std::size_t>(
+          static_cast<unsigned char>(data[pos + 8]));
+      const auto wv = static_cast<std::size_t>(
+          static_cast<unsigned char>(data[pos + 9]));
+      util::io_require((wu == 1 || wu == 2 || wu == 4 || wu == 8) &&
+                           (wv == 1 || wv == 2 || wv == 4 || wv == 8) &&
+                           count <= kMaxBlockRecords,
+                       "binary edge shard has a corrupt block header");
+      const std::uint64_t payload = count * (wu + wv);
+      if (size - pos - binfmt::kBlockHeaderBytes < payload) break;
+      const char* su = data + pos + binfmt::kBlockHeaderBytes;
+      const char* sv = su + count * wu;
+      out.reserve(out.size() + count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        out.push_back(gen::Edge{load_le(su + i * wu, wu),
+                                load_le(sv + i * wv, wv)});
+      }
+      pos += binfmt::kBlockHeaderBytes + payload;
+    }
+    buf_.erase(0, pos);
+  }
+
+  std::string buf_;
+  bool header_seen_ = false;
+};
+
+class BinaryStageCodec final : public StageCodec {
+ public:
+  [[nodiscard]] std::string name() const override { return "binary"; }
+  [[nodiscard]] std::string shard_extension() const override { return ".bin"; }
+  [[nodiscard]] std::unique_ptr<StageEncoder> make_encoder() const override {
+    return std::make_unique<BinaryEncoder>();
+  }
+  [[nodiscard]] std::unique_ptr<StageDecoder> make_decoder() const override {
+    return std::make_unique<BinaryDecoder>();
+  }
+};
+
+}  // namespace
+
+const StageCodec& tsv_codec(Codec flavor) {
+  static const TsvStageCodec fast{Codec::kFast};
+  static const TsvStageCodec generic{Codec::kGeneric};
+  return flavor == Codec::kFast ? fast : generic;
+}
+
+const StageCodec& binary_codec() {
+  static const BinaryStageCodec codec;
+  return codec;
+}
+
+const StageCodec& stage_codec(StageFormat format, Codec flavor) {
+  return format == StageFormat::kTsv ? tsv_codec(flavor) : binary_codec();
+}
+
+}  // namespace prpb::io

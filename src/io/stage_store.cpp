@@ -51,6 +51,11 @@ void DirStageStore::remove(const std::string& stage) {
   fs::remove_all(resolve(stage));
 }
 
+void DirStageStore::remove_shard(const std::string& stage,
+                                 const std::string& shard) {
+  fs::remove(resolve(stage) / shard);
+}
+
 std::uint64_t DirStageStore::stage_bytes(const std::string& stage) const {
   return exists(stage) ? util::dir_bytes(resolve(stage)) : 0;
 }
@@ -159,6 +164,13 @@ void MemStageStore::clear_stage(const std::string& stage) {
 void MemStageStore::remove(const std::string& stage) {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.erase(stage);
+}
+
+void MemStageStore::remove_shard(const std::string& stage,
+                                 const std::string& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  if (it != stages_.end()) it->second.erase(shard);
 }
 
 std::uint64_t MemStageStore::stage_bytes(const std::string& stage) const {

@@ -53,6 +53,10 @@ class StageStore {
   virtual void clear_stage(const std::string& stage) = 0;
   /// Removes the stage and everything in it (no-op when absent).
   virtual void remove(const std::string& stage) = 0;
+  /// Removes one shard of a stage (no-op when absent). The external sort
+  /// uses this to drop spill runs as soon as a merge consumes them.
+  virtual void remove_shard(const std::string& stage,
+                            const std::string& shard) = 0;
   /// Total payload bytes across all shards of a stage (0 when absent).
   [[nodiscard]] virtual std::uint64_t stage_bytes(
       const std::string& stage) const = 0;
@@ -84,6 +88,8 @@ class DirStageStore final : public StageStore {
   [[nodiscard]] bool exists(const std::string& stage) const override;
   void clear_stage(const std::string& stage) override;
   void remove(const std::string& stage) override;
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override;
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override;
   [[nodiscard]] const std::filesystem::path* root_dir() const override {
@@ -114,6 +120,8 @@ class MemStageStore final : public StageStore {
   [[nodiscard]] bool exists(const std::string& stage) const override;
   void clear_stage(const std::string& stage) override;
   void remove(const std::string& stage) override;
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override;
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override;
 
@@ -161,6 +169,10 @@ class CountingStageStore final : public StageStore {
     inner_.clear_stage(stage);
   }
   void remove(const std::string& stage) override { inner_.remove(stage); }
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override {
+    inner_.remove_shard(stage, shard);
+  }
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override {
     return inner_.stage_bytes(stage);

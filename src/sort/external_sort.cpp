@@ -1,16 +1,16 @@
 #include "sort/external_sort.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
 #include "io/binary_run.hpp"
+#include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
-#include "io/file_stream.hpp"
 #include "util/error.hpp"
-#include "util/fs.hpp"
 
 namespace prpb::sort {
 
@@ -26,11 +26,10 @@ void ExternalSortConfig::validate() const {
 
 namespace {
 
-fs::path run_path(const fs::path& temp_dir, std::size_t generation,
-                  std::size_t index) {
+std::string run_name(std::size_t generation, std::size_t index) {
   char name[48];
   std::snprintf(name, sizeof(name), "run_g%03zu_%05zu.bin", generation, index);
-  return temp_dir / name;
+  return name;
 }
 
 bool edge_less(const gen::Edge& a, const gen::Edge& b, SortKey key) {
@@ -38,9 +37,11 @@ bool edge_less(const gen::Edge& a, const gen::Edge& b, SortKey key) {
   return a.u != b.u ? a.u < b.u : a.v < b.v;
 }
 
-/// Merges `inputs` into `emit`. The heap holds (edge, source index); the
-/// source index is a tiebreaker so the merge is deterministic.
-void merge_runs(const std::vector<fs::path>& inputs, SortKey key,
+/// Merges the named runs of `temp_stage` into `emit`. The heap holds
+/// (edge, source index); the source index is a tiebreaker so the merge is
+/// deterministic.
+void merge_runs(io::StageStore& store, const std::string& temp_stage,
+                const std::vector<std::string>& inputs, SortKey key,
                 const std::function<void(const gen::Edge&)>& emit) {
   struct HeapItem {
     gen::Edge edge;
@@ -53,8 +54,10 @@ void merge_runs(const std::vector<fs::path>& inputs, SortKey key,
   };
   std::vector<std::unique_ptr<io::BinaryRunReader>> readers;
   readers.reserve(inputs.size());
-  for (const auto& path : inputs)
-    readers.push_back(std::make_unique<io::BinaryRunReader>(path));
+  for (const auto& name : inputs) {
+    readers.push_back(std::make_unique<io::BinaryRunReader>(
+        store.open_read(temp_stage, name)));
+  }
 
   std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(greater)>
       heap(greater);
@@ -73,99 +76,89 @@ void merge_runs(const std::vector<fs::path>& inputs, SortKey key,
 
 }  // namespace
 
-ExternalSortStats external_sort_stage(const fs::path& in_dir,
-                                      const fs::path& out_dir,
-                                      const fs::path& temp_dir,
+ExternalSortStats external_sort_stage(io::StageStore& store,
+                                      const std::string& in_stage,
+                                      const std::string& out_stage,
+                                      const std::string& temp_stage,
                                       const ExternalSortConfig& config) {
   config.validate();
-  util::ensure_dir(temp_dir);
+  const io::StageCodec& codec = config.resolved_codec();
+  store.clear_stage(temp_stage);
   ExternalSortStats stats;
 
   // --- Phase 1: run formation ---------------------------------------------
   const std::uint64_t slice_edges =
       std::max<std::uint64_t>(1024, config.memory_budget_bytes /
                                         (2 * sizeof(gen::Edge)));
-  std::vector<fs::path> runs;
+  std::vector<std::string> runs;
   gen::EdgeList slice;
   slice.reserve(slice_edges);
   auto spill_slice = [&] {
     if (slice.empty()) return;
     radix_sort(slice, config.key);
-    const fs::path path = run_path(temp_dir, 0, runs.size());
-    io::BinaryRunWriter writer(path);
+    const std::string name = run_name(0, runs.size());
+    io::BinaryRunWriter writer(store.open_write(temp_stage, name));
     writer.write_all(slice);
     writer.close();
     stats.spill_bytes += slice.size() * sizeof(gen::Edge);
-    runs.push_back(path);
+    runs.push_back(name);
     slice.clear();
   };
-  io::stream_all_edges(in_dir, config.codec, [&](const gen::EdgeList& batch) {
-    for (const auto& edge : batch) {
-      slice.push_back(edge);
-      stats.edges += 1;
-      if (slice.size() >= slice_edges) spill_slice();
-    }
-  });
+  io::stream_all_edges(store, in_stage, codec,
+                       [&](const gen::EdgeList& batch) {
+                         for (const auto& edge : batch) {
+                           slice.push_back(edge);
+                           stats.edges += 1;
+                           if (slice.size() >= slice_edges) spill_slice();
+                         }
+                       });
   spill_slice();
   stats.initial_runs = runs.size();
 
   // --- Phase 2: cascaded k-way merge ---------------------------------------
   std::size_t generation = 1;
   while (runs.size() > config.fan_in) {
-    std::vector<fs::path> next;
+    std::vector<std::string> next;
     for (std::size_t lo = 0; lo < runs.size(); lo += config.fan_in) {
       const std::size_t hi = std::min(runs.size(), lo + config.fan_in);
-      const std::vector<fs::path> group(runs.begin() + static_cast<std::ptrdiff_t>(lo),
-                                        runs.begin() + static_cast<std::ptrdiff_t>(hi));
-      const fs::path path = run_path(temp_dir, generation, next.size());
-      io::BinaryRunWriter writer(path);
-      merge_runs(group, config.key,
+      const std::vector<std::string> group(
+          runs.begin() + static_cast<std::ptrdiff_t>(lo),
+          runs.begin() + static_cast<std::ptrdiff_t>(hi));
+      const std::string name = run_name(generation, next.size());
+      io::BinaryRunWriter writer(store.open_write(temp_stage, name));
+      merge_runs(store, temp_stage, group, config.key,
                  [&writer](const gen::Edge& edge) { writer.write(edge); });
       writer.close();
       stats.spill_bytes += writer.records_written() * sizeof(gen::Edge);
-      next.push_back(path);
-      for (const auto& used : group) fs::remove(used);
+      next.push_back(name);
+      for (const auto& used : group) store.remove_shard(temp_stage, used);
     }
     runs = std::move(next);
     ++generation;
     ++stats.merge_passes;
   }
 
-  // --- Final merge straight into the sharded TSV output --------------------
-  util::ensure_dir(out_dir);
-  util::clear_dir(out_dir);
-  const auto bounds = io::shard_boundaries(stats.edges, config.output_shards);
-  std::size_t shard = 0;
-  std::uint64_t written = 0;
-  std::unique_ptr<io::FileWriter> writer;
-  auto open_shard = [&] {
-    writer = std::make_unique<io::FileWriter>(
-        io::shard_path(out_dir, shard));
-  };
-  if (stats.edges > 0 || config.output_shards > 0) open_shard();
-  merge_runs(runs, config.key, [&](const gen::Edge& edge) {
-    while (shard + 1 < config.output_shards && written >= bounds[shard + 1]) {
-      writer->close();
-      ++shard;
-      open_shard();
-    }
-    io::append_edge(writer->buffer(), edge, config.codec);
-    writer->maybe_flush();
-    ++written;
-  });
-  if (writer) writer->close();
-  // Create any remaining empty shards so the stage always has the declared
-  // shard count.
-  for (std::size_t s = shard + 1; s < config.output_shards; ++s) {
-    io::FileWriter empty(io::shard_path(out_dir, s));
-    empty.close();
-  }
+  // --- Final merge straight into the sharded output ------------------------
+  io::EdgeBatchWriter writer(store, out_stage, codec, config.output_shards,
+                             stats.edges);
+  merge_runs(store, temp_stage, runs, config.key,
+             [&writer](const gen::Edge& edge) { writer.append(edge); });
+  writer.close();
   ++stats.merge_passes;
-  for (const auto& used : runs) fs::remove(used);
+  for (const auto& used : runs) store.remove_shard(temp_stage, used);
 
-  util::ensure(written == stats.edges,
+  util::ensure(writer.edges_written() == stats.edges,
                "external sort: output edge count mismatch");
   return stats;
+}
+
+ExternalSortStats external_sort_stage(const fs::path& in_dir,
+                                      const fs::path& out_dir,
+                                      const fs::path& temp_dir,
+                                      const ExternalSortConfig& config) {
+  io::DirStageStore store;  // empty root: stage names are paths verbatim
+  return external_sort_stage(store, in_dir.string(), out_dir.string(),
+                             temp_dir.string(), config);
 }
 
 }  // namespace prpb::sort

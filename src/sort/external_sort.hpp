@@ -3,12 +3,15 @@
 //   run formation — stream the input stage in memory-budget-sized slices,
 //                   sort each slice in memory (radix), spill as binary runs;
 //   k-way merge   — merge runs with a loser-tree, cascading when the run
-//                   count exceeds the fan-in, and write the sorted TSV stage.
+//                   count exceeds the fan-in, and write the sorted stage.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <string>
 
+#include "io/stage_codec.hpp"
+#include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 #include "sort/edge_sort.hpp"
 
@@ -18,10 +21,16 @@ struct ExternalSortConfig {
   std::uint64_t memory_budget_bytes = 256ULL << 20;  ///< per-run slice budget
   std::size_t fan_in = 64;          ///< max runs merged per cascade pass
   std::size_t output_shards = 1;    ///< shard count of the sorted stage
-  io::Codec codec = io::Codec::kFast;
+  io::Codec codec = io::Codec::kFast;  ///< TSV flavor when stage_codec unset
+  /// Stage encoding for input and output; nullptr means TSV in `codec`'s
+  /// flavor (the historical behavior).
+  const io::StageCodec* stage_codec = nullptr;
   SortKey key = SortKey::kStartEnd;
 
   void validate() const;
+  [[nodiscard]] const io::StageCodec& resolved_codec() const {
+    return stage_codec != nullptr ? *stage_codec : io::tsv_codec(codec);
+  }
 };
 
 struct ExternalSortStats {
@@ -31,8 +40,18 @@ struct ExternalSortStats {
   std::uint64_t spill_bytes = 0;
 };
 
-/// Sorts the TSV stage in `in_dir` into TSV shards under `out_dir`, spilling
-/// intermediate binary runs under `temp_dir`. Returns run statistics.
+/// Sorts stage `in_stage` of `store` into sharded stage `out_stage`,
+/// spilling intermediate binary runs as shards of `temp_stage` (cleared
+/// first, drained as the merge consumes them). Works over any StageStore;
+/// with a CountingStageStore the spill traffic is counted alongside the
+/// stage traffic. Returns run statistics.
+ExternalSortStats external_sort_stage(io::StageStore& store,
+                                      const std::string& in_stage,
+                                      const std::string& out_stage,
+                                      const std::string& temp_stage,
+                                      const ExternalSortConfig& config);
+
+/// Path form: the same sort expressed over directories on disk.
 ExternalSortStats external_sort_stage(const std::filesystem::path& in_dir,
                                       const std::filesystem::path& out_dir,
                                       const std::filesystem::path& temp_dir,

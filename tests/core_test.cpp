@@ -48,6 +48,45 @@ TEST(ConfigTest, StorageKnobSelectsStore) {
   EXPECT_THROW(make_stage_store(config), util::ConfigError);
 }
 
+TEST(ConfigTest, UnknownStorageListsValidValues) {
+  util::TempDir work("prpb-core");
+  PipelineConfig config = small_config(work);
+  config.storage = "lustre";
+  try {
+    config.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lustre"), std::string::npos) << what;
+    EXPECT_NE(what.find("dir"), std::string::npos) << what;
+    EXPECT_NE(what.find("mem"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigTest, UnknownStageFormatListsValidValues) {
+  util::TempDir work("prpb-core");
+  PipelineConfig config = small_config(work);
+  config.stage_format = "parquet";
+  try {
+    config.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parquet"), std::string::npos) << what;
+    EXPECT_NE(what.find("tsv"), std::string::npos) << what;
+    EXPECT_NE(what.find("binary"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigTest, StageFormatKnobSelectsCodec) {
+  util::TempDir work("prpb-core");
+  PipelineConfig config = small_config(work);
+  EXPECT_EQ(make_stage_codec(config).name(), "tsv");
+  config.stage_format = "binary";
+  EXPECT_EQ(make_stage_codec(config).name(), "binary");
+  EXPECT_EQ(make_stage_codec(config).shard_extension(), ".bin");
+}
+
 TEST(ConfigTest, ValidationRejectsBadValues) {
   util::TempDir work("prpb-core");
   PipelineConfig config = small_config(work);

@@ -74,14 +74,35 @@ TEST_P(FailureTest, TruncatedRecordDetected) {
   const auto backend = make_backend(GetParam());
   Harness h(config);
   backend->kernel0(h.context(config, "", stages::kStage0));
-  // chop the final newline off the last shard
+  // chop the last shard mid-record: everything after the final record's
+  // start field (and its tab) is lost
   const auto shards =
       util::list_files_sorted(fs::path(config.work_dir) / stages::kStage0);
   const std::string content = io::read_file(shards.back());
-  io::write_file(shards.back(), content.substr(0, content.size() - 1));
+  const std::size_t cut = content.find_last_of('\t');
+  ASSERT_NE(cut, std::string::npos);
+  io::write_file(shards.back(), content.substr(0, cut + 1));
   EXPECT_THROW(
       backend->kernel1(h.context(config, stages::kStage0, stages::kStage1)),
       util::Error);
+}
+
+TEST_P(FailureTest, MissingFinalNewlineTolerated) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend(GetParam());
+  Harness h(config);
+  backend->kernel0(h.context(config, "", stages::kStage0));
+  // chop only the final newline: the last record is complete, so every
+  // decoder must accept it
+  const auto shards =
+      util::list_files_sorted(fs::path(config.work_dir) / stages::kStage0);
+  const std::string content = io::read_file(shards.back());
+  ASSERT_FALSE(content.empty());
+  ASSERT_EQ(content.back(), '\n');
+  io::write_file(shards.back(), content.substr(0, content.size() - 1));
+  EXPECT_NO_THROW(
+      backend->kernel1(h.context(config, stages::kStage0, stages::kStage1)));
 }
 
 TEST_P(FailureTest, OutOfRangeVertexFailsKernel2) {

@@ -6,9 +6,12 @@
 
 #include "gen/kronecker.hpp"
 #include "io/binary_run.hpp"
+#include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
 #include "io/file_stream.hpp"
 #include "io/mmap_file.hpp"
+#include "io/stage_codec.hpp"
+#include "io/stage_store.hpp"
 #include "io/tsv.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -222,10 +225,37 @@ TEST(StageTest, StreamAllEdgesSeesEverything) {
   EXPECT_EQ(streamed, generator.generate_all());
 }
 
-TEST(StageTest, TruncatedFileDetected) {
+TEST(StageTest, MissingFinalNewlineTolerated) {
+  // A complete final record without its trailing newline decodes; cutting
+  // the record itself still throws.
   util::TempDir dir("prpb-io");
   write_file(shard_path(dir.path(), 0), "1\t2\n3\t4");  // no trailing \n
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast),
+            (EdgeList{{1, 2}, {3, 4}}));
+}
+
+TEST(StageTest, MidRecordTruncationDetected) {
+  util::TempDir dir("prpb-io");
+  write_file(shard_path(dir.path(), 0), "1\t2\n3\t");  // end field lost
   EXPECT_THROW(read_all_edges(dir.path(), Codec::kFast), util::IoError);
+}
+
+TEST(StageTest, CrLfFinalRecordTolerated) {
+  util::TempDir dir("prpb-io");
+  write_file(shard_path(dir.path(), 0), "1\t2\r\n3\t4\r");  // CRLF, no \n
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast),
+            (EdgeList{{1, 2}, {3, 4}}));
+}
+
+TEST(StageTest, OverflowingVertexIdRejected) {
+  util::TempDir dir("prpb-io");
+  // 2^64 overflows; 2^64 - 1 is the largest representable id.
+  write_file(shard_path(dir.path(), 0), "18446744073709551616\t1\n");
+  EXPECT_THROW(read_all_edges(dir.path(), Codec::kFast), util::IoError);
+  EXPECT_THROW(read_all_edges(dir.path(), Codec::kGeneric), util::IoError);
+  write_file(shard_path(dir.path(), 0), "18446744073709551615\t1\n");
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast),
+            (EdgeList{{~0ULL, 1}}));
 }
 
 TEST(StageTest, CrossCodecCompatibility) {
@@ -271,9 +301,16 @@ TEST(MmapTest, EdgeStageMatchesBufferedReader) {
             read_all_edges(dir.path(), Codec::kFast));
 }
 
-TEST(MmapTest, TruncatedRecordDetected) {
+TEST(MmapTest, MissingFinalNewlineTolerated) {
   util::TempDir dir("prpb-io");
   write_file(shard_path(dir.path(), 0), "1\t2\n3\t4");
+  EXPECT_EQ(read_all_edges_mmap(dir.path(), Codec::kFast),
+            (EdgeList{{1, 2}, {3, 4}}));
+}
+
+TEST(MmapTest, MidRecordTruncationDetected) {
+  util::TempDir dir("prpb-io");
+  write_file(shard_path(dir.path(), 0), "1\t2\n3\t");
   EXPECT_THROW(read_all_edges_mmap(dir.path(), Codec::kFast),
                util::IoError);
 }
@@ -345,6 +382,218 @@ TEST(BinaryRunTest, LargeRunSurvivesChunkBoundaries) {
   got.reserve(edges.size());
   while (auto edge = reader.next()) got.push_back(*edge);
   EXPECT_EQ(got, edges);
+}
+
+// ---- stage codecs & edge batches --------------------------------------------
+
+const StageCodec* codec_for(const std::string& name) {
+  if (name == "TsvFast") return &tsv_codec(Codec::kFast);
+  if (name == "TsvGeneric") return &tsv_codec(Codec::kGeneric);
+  return &binary_codec();
+}
+
+class StageCodecTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const StageCodec& codec() { return *codec_for(GetParam()); }
+};
+
+TEST_P(StageCodecTest, ShardNameCarriesExtension) {
+  const std::string name = shard_name(7, codec());
+  EXPECT_EQ(name, "edges_00007" + codec().shard_extension());
+}
+
+TEST_P(StageCodecTest, RoundTripsThroughMemStore) {
+  MemStageStore store;
+  const EdgeList edges = {{0, 0}, {1, 2}, {65535, 65536}, {~0ULL, 3}};
+  write_edge_shard(store, "s", shard_name(0, codec()), edges, codec());
+  EXPECT_EQ(read_edge_shard(store, "s", shard_name(0, codec()), codec()),
+            edges);
+}
+
+TEST_P(StageCodecTest, EmptyShardDecodesToNothing) {
+  MemStageStore store;
+  write_edge_shard(store, "s", shard_name(0, codec()), {}, codec());
+  EXPECT_TRUE(read_edge_shard(store, "s", shard_name(0, codec()), codec())
+                  .empty());
+}
+
+TEST_P(StageCodecTest, BatchWriterSplitsLikeShardBoundaries) {
+  MemStageStore store;
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 1000; ++i) edges.push_back({i, i + 1});
+  EdgeBatchWriter writer(store, "s", codec(), 7, edges.size());
+  writer.append(edges);
+  writer.close();
+  EXPECT_EQ(store.list("s").size(), 7u);
+  EXPECT_EQ(read_all_edges(store, "s", codec()), edges);
+  EXPECT_EQ(count_edges(store, "s", codec()), edges.size());
+}
+
+TEST_P(StageCodecTest, BatchWriterPadsTrailingEmptyShards) {
+  MemStageStore store;
+  const EdgeList edges = {{1, 2}, {3, 4}};
+  EdgeBatchWriter writer(store, "s", codec(), 5, edges.size());
+  for (const auto& edge : edges) writer.append(edge);
+  writer.close();
+  EXPECT_EQ(store.list("s").size(), 5u);  // 3 of them empty
+  EXPECT_EQ(read_all_edges(store, "s", codec()), edges);
+}
+
+TEST_P(StageCodecTest, BatchReaderHonorsCapacity) {
+  MemStageStore store;
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 257; ++i) edges.push_back({i, i});
+  EdgeBatchWriter writer(store, "s", codec(), 3, edges.size());
+  writer.append(edges);
+  writer.close();
+  EdgeBatchReader reader(store, "s", codec(), 64);
+  EdgeList batch;
+  EdgeList got;
+  while (reader.next(batch)) {
+    EXPECT_LE(batch.size(), 64u);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(got, edges);
+  EXPECT_EQ(reader.edges_read(), edges.size());
+}
+
+TEST_P(StageCodecTest, FuzzRoundTrip) {
+  // Seeded pseudo-random edge lists with adversarial id distributions:
+  // every codec must reproduce the exact sequence through any store.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL + GetParam().size();
+  const auto next_u64 = [&state] {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  MemStageStore store;
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t count = next_u64() % 2000;
+    EdgeList edges;
+    edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Mix widths: shift by 0..63 to exercise every narrowing bucket.
+      const std::uint64_t u = next_u64() >> (next_u64() % 64);
+      const std::uint64_t v = next_u64() >> (next_u64() % 64);
+      edges.push_back({u, v});
+    }
+    const std::size_t shards = 1 + next_u64() % 5;
+    EdgeBatchWriter writer(store, "fuzz", codec(), shards, edges.size());
+    writer.append(edges);
+    writer.close();
+    EXPECT_EQ(read_all_edges(store, "fuzz", codec()), edges)
+        << "round " << round << " codec " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, StageCodecTest,
+                         ::testing::Values("TsvFast", "TsvGeneric", "Binary"),
+                         [](const auto& info) { return info.param; });
+
+TEST(StageFormatTest, ParsesKnownNames) {
+  EXPECT_EQ(parse_stage_format("tsv"), StageFormat::kTsv);
+  EXPECT_EQ(parse_stage_format("binary"), StageFormat::kBinary);
+  EXPECT_EQ(stage_format_name(StageFormat::kTsv), "tsv");
+  EXPECT_EQ(stage_format_name(StageFormat::kBinary), "binary");
+  EXPECT_EQ(&stage_codec(StageFormat::kTsv), &tsv_codec(Codec::kFast));
+  EXPECT_EQ(&stage_codec(StageFormat::kBinary), &binary_codec());
+}
+
+TEST(StageFormatTest, UnknownNameListsValidValues) {
+  try {
+    parse_stage_format("parquet");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parquet"), std::string::npos);
+    EXPECT_NE(what.find("tsv"), std::string::npos);
+    EXPECT_NE(what.find("binary"), std::string::npos);
+  }
+}
+
+TEST(BinaryCodecTest, TsvWritesIdenticalBytesViaCodecSeam) {
+  // The codec seam must not perturb the paper-faithful TSV layout: bytes
+  // written through EdgeBatchWriter match a hand-formatted stream.
+  MemStageStore store;
+  const EdgeList edges = {{1, 2}, {30, 40}, {500, 600}};
+  write_edge_shard(store, "s", "edges_00000.tsv", edges,
+                   tsv_codec(Codec::kFast));
+  std::string expected;
+  for (const auto& edge : edges) append_edge_fast(expected, edge);
+  const auto reader = store.open_read("s", "edges_00000.tsv");
+  std::string bytes;
+  for (;;) {
+    const auto chunk = reader->read_chunk();
+    if (chunk.empty()) break;
+    bytes.append(chunk);
+  }
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(BinaryCodecTest, BadMagicMentionsTsv) {
+  MemStageStore store;
+  {
+    const auto writer = store.open_write("s", "edges_00000.bin");
+    writer->write("1\t2\n3\t4\n");  // TSV bytes under a binary codec
+    writer->close();
+  }
+  try {
+    read_edge_shard(store, "s", "edges_00000.bin", binary_codec());
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("TSV"), std::string::npos);
+  }
+}
+
+TEST(BinaryCodecTest, TruncationsDetected) {
+  MemStageStore store;
+  const EdgeList edges = {{1, 2}, {3, 4}};
+  write_edge_shard(store, "s", "edges_00000.bin", edges, binary_codec());
+  std::string bytes;
+  {
+    const auto reader = store.open_read("s", "edges_00000.bin");
+    for (;;) {
+      const auto chunk = reader->read_chunk();
+      if (chunk.empty()) break;
+      bytes.append(chunk);
+    }
+  }
+  // Partial header, partial block header, and mid-column cuts all throw;
+  // a cut at the header boundary (valid empty shard) does not.
+  for (const std::size_t cut : {std::size_t{3}, binfmt::kHeaderBytes + 4,
+                                bytes.size() - 1}) {
+    const auto writer = store.open_write("s", "edges_00000.bin");
+    writer->write(std::string_view(bytes).substr(0, cut));
+    writer->close();
+    EXPECT_THROW(
+        read_edge_shard(store, "s", "edges_00000.bin", binary_codec()),
+        util::IoError)
+        << "cut at " << cut;
+  }
+  {
+    const auto writer = store.open_write("s", "edges_00000.bin");
+    writer->write(std::string_view(bytes).substr(0, binfmt::kHeaderBytes));
+    writer->close();
+  }
+  EXPECT_TRUE(
+      read_edge_shard(store, "s", "edges_00000.bin", binary_codec()).empty());
+}
+
+TEST(BinaryCodecTest, NarrowsSmallIds) {
+  // Scale-16-sized ids fit in two bytes per column: the shard must be far
+  // smaller than the 16 bytes/edge a naive u64 dump would need.
+  MemStageStore store;
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    edges.push_back({i % 65536, (i * 7) % 65536});
+  }
+  const std::uint64_t bytes = write_edge_shard(
+      store, "s", "edges_00000.bin", edges, binary_codec());
+  EXPECT_LT(bytes, edges.size() * 6);
+  EXPECT_EQ(read_edge_shard(store, "s", "edges_00000.bin", binary_codec()),
+            edges);
 }
 
 }  // namespace

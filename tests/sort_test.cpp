@@ -206,6 +206,31 @@ INSTANTIATE_TEST_SUITE_P(
                       64 * 1024 * 1024  // one run (degenerate case)
                       ));
 
+TEST(ExternalSortTest, RunsOverMemStoreWithBinaryCodec) {
+  // The store-based form must work over any StageStore with any stage
+  // codec: spill runs and the sorted output all live in the mem store.
+  gen::KroneckerParams params;
+  params.scale = 10;
+  const gen::KroneckerGenerator generator(params);
+  io::MemStageStore store;
+  io::write_generated_edges(store, "in", generator, 3,
+                            io::binary_codec());
+
+  ExternalSortConfig config;
+  config.memory_budget_bytes = 16 * 1024;  // force spills
+  config.output_shards = 2;
+  config.stage_codec = &io::binary_codec();
+  const auto stats = external_sort_stage(store, "in", "out", "tmp", config);
+  EXPECT_EQ(stats.edges, generator.num_edges());
+  EXPECT_GT(stats.initial_runs, 1u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_TRUE(store.list("tmp").empty());  // runs drained after the merge
+
+  EdgeList expected = generator.generate_all();
+  radix_sort(expected);
+  EXPECT_EQ(io::read_all_edges(store, "out", io::binary_codec()), expected);
+}
+
 TEST(ExternalSortTest, TinyFanInForcesCascades) {
   gen::KroneckerParams params;
   params.scale = 9;

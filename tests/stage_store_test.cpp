@@ -122,6 +122,16 @@ TEST_P(StoreContractTest, StageBytesSumsShards) {
   EXPECT_EQ(store_->stage_bytes("s"), 8u);
 }
 
+TEST_P(StoreContractTest, RemoveShardDropsOnlyThatShard) {
+  put("s", shard_name(0), "a\n");
+  put("s", shard_name(1), "b\n");
+  store_->remove_shard("s", shard_name(0));
+  const auto shards = store_->list("s");
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], shard_name(1));
+  store_->remove_shard("s", shard_name(0));  // absent shard is a no-op
+}
+
 TEST_P(StoreContractTest, BytesWrittenReported) {
   const auto writer = store_->open_write("s", shard_name(0));
   writer->write("hello\n");
@@ -232,6 +242,71 @@ TEST_P(StorageParityTest, MemAndDirProduceIdenticalStagesAndRanks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StorageParityTest,
+                         ::testing::Values("native", "parallel", "graphblas",
+                                           "arraylang", "dataframe"),
+                         [](const auto& info) { return info.param; });
+
+// ---- cross-backend codec x storage parity -----------------------------------
+
+class CodecParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CodecParityTest, EveryCodecAndStoreProducesIdenticalResults) {
+  // Every cell of {tsv, binary} x {dir, mem} must decode to the same stage
+  // record sequences (checksums are over decoded records, so they compare
+  // across encodings) and produce bitwise-identical ranks.
+  struct Cell {
+    std::string label;
+    core::StageChecksum s0;
+    core::StageChecksum s1;
+    std::vector<double> ranks;
+  };
+  std::vector<Cell> cells;
+  const auto backend = core::make_backend(GetParam());
+  for (const std::string format : {"tsv", "binary"}) {
+    for (const std::string storage : {"dir", "mem"}) {
+      core::PipelineConfig config;
+      config.scale = 8;
+      config.num_files = 2;
+      config.stage_format = format;
+      config.storage = storage;
+      util::TempDir work("prpb-codec-parity");
+      config.work_dir = work.path();
+      std::unique_ptr<StageStore> store;
+      if (storage == "dir") {
+        store = std::make_unique<DirStageStore>(work.path());
+      } else {
+        store = std::make_unique<MemStageStore>();
+      }
+      core::RunOptions options;
+      options.store = store.get();
+      const core::PipelineResult result =
+          core::run_pipeline(config, *backend, options);
+      EXPECT_EQ(result.stage_format, format);
+      EXPECT_EQ(result.storage, storage);
+      const StageCodec& codec = core::make_stage_codec(config);
+      cells.push_back(Cell{
+          format + "/" + storage,
+          core::stage_checksum(*store, core::stages::kStage0, codec),
+          core::stage_checksum(*store, core::stages::kStage1, codec),
+          result.ranks});
+    }
+  }
+  ASSERT_EQ(cells.size(), 4u);
+  const Cell& base = cells.front();
+  EXPECT_GT(base.s0.edges, 0u);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    EXPECT_EQ(cell.s0.multiset, base.s0.multiset) << cell.label;
+    EXPECT_EQ(cell.s0.sequence, base.s0.sequence) << cell.label;
+    EXPECT_EQ(cell.s0.edges, base.s0.edges) << cell.label;
+    EXPECT_EQ(cell.s1.multiset, base.s1.multiset) << cell.label;
+    EXPECT_EQ(cell.s1.sequence, base.s1.sequence) << cell.label;
+    EXPECT_EQ(cell.s1.edges, base.s1.edges) << cell.label;
+    EXPECT_EQ(cell.ranks, base.ranks) << cell.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, CodecParityTest,
                          ::testing::Values("native", "parallel", "graphblas",
                                            "arraylang", "dataframe"),
                          [](const auto& info) { return info.param; });
