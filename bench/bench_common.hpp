@@ -9,6 +9,7 @@
 // see EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "core/config.hpp"
 #include "core/runner.hpp"
 #include "io/file_stream.hpp"
+#include "obs/resource_sampler.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -38,6 +41,7 @@ struct SweepOptions {
   std::string generator = "kronecker";
   std::string storage = "dir";       ///< stage store kind: dir | mem
   std::string stage_format = "tsv";  ///< stage encoding: tsv | binary
+  std::string trace_out;  ///< when set, write a Chrome trace of the sweep
 };
 
 /// Standard CLI for figure benches. Returns false if --help was printed.
@@ -57,6 +61,8 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
                   "dir");
   args.add_option("stage-format", "stage encoding: tsv | binary", "tsv");
+  args.add_option("trace-out",
+                  "write a Chrome trace_event JSON trace of the sweep", "");
   if (!args.parse(argc, argv)) return false;
   options.min_scale = static_cast<int>(args.get_int("min-scale"));
   options.max_scale = static_cast<int>(args.get_int("max-scale"));
@@ -67,6 +73,7 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.generator = args.get("generator");
   options.storage = args.get("storage");
   options.stage_format = args.get("stage-format");
+  options.trace_out = args.get("trace-out");
   util::require(options.trials >= 1, "--trials must be >= 1");
   util::require(options.storage == "dir" || options.storage == "mem",
                 "--storage must be dir or mem");
@@ -131,14 +138,25 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
 inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
                                              int kernel) {
   std::vector<SeriesPoint> points;
+  // Tracing is opt-in (--trace-out); the resource sampler always runs so
+  // every cell line can report its peak RSS.
+  obs::TraceRecorder recorder(!options.trace_out.empty());
+  obs::Hooks hooks;
+  if (recorder.enabled()) hooks.trace = &recorder;
+  obs::ResourceSampler::Options sampler_options;
+  if (recorder.enabled()) sampler_options.trace = &recorder;
+  obs::ResourceSampler sampler(sampler_options);
+  sampler.start();
   for (int scale = options.min_scale; scale <= options.max_scale; ++scale) {
     // Shared untimed preparation per scale.
     util::TempDir work("prpb-fig");
     const core::PipelineConfig config = cell_config(work, options, scale);
     const auto store = core::make_stage_store(config);
     const auto context = [&](std::string in, std::string out) {
-      return core::KernelContext{config, *store, std::move(in),
-                                 std::move(out), core::stages::kTemp};
+      core::KernelContext ctx{config, *store, std::move(in),
+                              std::move(out), core::stages::kTemp};
+      ctx.hooks = hooks;
+      return ctx;
     };
     core::NativeBackend prep;
     if (kernel >= 1) prep.kernel0(context("", core::stages::kStage0));
@@ -153,6 +171,7 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
       std::uint64_t processed = config.num_edges();
       std::vector<double> timings;
       timings.reserve(options.trials);
+      sampler.reset_peak();
       for (int trial = 0; trial < options.trials; ++trial) {
         util::Stopwatch watch;
         switch (kernel) {
@@ -183,9 +202,22 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
                         seconds > 0
                             ? static_cast<double>(processed) / seconds
                             : 0.0});
-      std::fprintf(stderr, "  [fig] kernel%d %s scale %d: %.3fs\n", kernel,
-                   name.c_str(), scale, seconds);
+      // The background thread may not have sampled within a short cell, so
+      // fold in one synchronous reading before reporting the peak.
+      const std::uint64_t peak_rss =
+          std::max(sampler.peak_rss_bytes(),
+                   obs::ResourceSampler::sample_now().rss_bytes);
+      std::fprintf(stderr,
+                   "  [fig] kernel%d %s scale %d: %.3fs (peak RSS %.1f MB)\n",
+                   kernel, name.c_str(), scale, seconds,
+                   static_cast<double>(peak_rss) / (1024.0 * 1024.0));
     }
+  }
+  sampler.stop();
+  if (!options.trace_out.empty()) {
+    recorder.write_chrome_trace(options.trace_out);
+    std::fprintf(stderr, "  [fig] trace written to %s (%zu events)\n",
+                 options.trace_out.c_str(), recorder.event_count());
   }
   if (!options.csv_path.empty()) {
     std::string csv = "backend,scale,edges,seconds,edges_per_second\n";

@@ -7,6 +7,7 @@
 //   prpb --scale 14 --backend arraylang --generator ppl --files 8
 //   prpb --scale 10 --backend graphblas --validate
 //   prpb --scale 20 --backend native --memory-budget 16000000   # external sort
+//   prpb --scale 14 --backend parallel --trace-out trace.json   # Perfetto
 #include <cstdio>
 
 #include "core/backend.hpp"
@@ -14,6 +15,9 @@
 #include "core/runner.hpp"
 #include "core/validate.hpp"
 #include "io/file_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource_sampler.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -44,6 +48,11 @@ int main(int argc, char** argv) {
   args.add_option("memory-budget",
                   "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
   args.add_option("json", "write a machine-readable run report here", "");
+  args.add_option("trace-out",
+                  "write a Chrome trace_event JSON trace here "
+                  "(chrome://tracing, Perfetto)", "");
+  args.add_option("metrics-interval-ms",
+                  "resource-sampler period for trace counter tracks", "50");
   args.add_flag("validate", "run the dense eigenvector check (N <= 8192)");
   args.add_flag("sort-start-only", "kernel 1 orders by start vertex only");
   args.add_flag("verbose", "log kernel progress");
@@ -84,7 +93,38 @@ int main(int argc, char** argv) {
         util::human_count(config.num_edges()).c_str(), config.num_files,
         config.storage.c_str(), config.stage_format.c_str());
 
-    const core::PipelineResult result = core::run_pipeline(config, *backend);
+    // Observability: tracing (and the resource-counter tracks) only turn
+    // on when --trace-out is given; the metrics registry runs either way
+    // so the JSON report always carries typed metrics.
+    const std::string trace_out = args.get("trace-out");
+    obs::TraceRecorder recorder(!trace_out.empty());
+    obs::MetricsRegistry registry;
+    core::RunOptions run_options;
+    run_options.hooks.metrics = &registry;
+    std::optional<obs::ResourceSampler> sampler;
+    if (!trace_out.empty()) {
+      run_options.hooks.trace = &recorder;
+      obs::ResourceSampler::Options sampler_options;
+      sampler_options.interval_ms =
+          static_cast<int>(args.get_int("metrics-interval-ms"));
+      sampler_options.trace = &recorder;
+      sampler.emplace(sampler_options);
+      sampler->start();
+    }
+
+    const core::PipelineResult result =
+        core::run_pipeline(config, *backend, run_options);
+
+    if (sampler.has_value()) sampler->stop();
+    if (!trace_out.empty()) {
+      recorder.write_chrome_trace(trace_out);
+      std::printf("trace written to %s (%zu events, peak RSS %.1f MB)\n",
+                  trace_out.c_str(), recorder.event_count(),
+                  sampler.has_value()
+                      ? static_cast<double>(sampler->peak_rss_bytes()) /
+                            (1024.0 * 1024.0)
+                      : 0.0);
+    }
 
     util::TextTable table(
         {"kernel", "seconds", "edges/sec", "MB read", "MB written", "note"});

@@ -131,6 +131,8 @@ std::vector<double> ArrayLangBackend::kernel3(const KernelContext& ctx,
   const PipelineConfig& config = ctx.config;
   util::require(matrix.rows() == config.num_vertices(),
                 "kernel3: matrix size does not match N = 2^scale");
+  // No per-iteration telemetry here: the loop runs inside the interpreted
+  // script, which has no callback surface (k3_iterations stays empty).
   interp::Interpreter vm;
   vm.set("A", matrix);
   vm.set("N", static_cast<double>(matrix.rows()));

@@ -89,6 +89,7 @@ std::vector<double> DataFrameBackend::kernel3(const KernelContext& ctx,
   pr.iterations = config.iterations;
   pr.damping = config.damping;
   pr.seed = config.seed;
+  pr.observer = ctx.k3_observer();
   return sparse::pagerank(matrix, pr);
 }
 

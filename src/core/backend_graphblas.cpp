@@ -1,10 +1,13 @@
 #include "core/backend_graphblas.hpp"
 
+#include <cmath>
+
 #include "core/backend_native.hpp"
 #include "grb/ops.hpp"
 #include "io/edge_files.hpp"
 #include "sparse/pagerank.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace prpb::core {
 
@@ -20,7 +23,7 @@ void GraphBlasBackend::kernel1(const KernelContext& ctx) {
 
 sparse::CsrMatrix GraphBlasBackend::kernel2(const KernelContext& ctx) {
   const gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
+      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(), ctx.hooks);
   const std::uint64_t n = ctx.config.num_vertices();
 
   // A = GrB_Matrix_build(u, v, 1, plus-dup)
@@ -64,12 +67,31 @@ std::vector<double> GraphBlasBackend::kernel3(const KernelContext& ctx,
   grb::Vector r{sparse::pagerank_initial_vector(n, config.seed)};
   const double c = config.damping;
 
+  const sparse::IterationObserver observer = ctx.k3_observer();
+  std::vector<double> previous;
+  util::Stopwatch iter_watch;
   for (int it = 0; it < config.iterations; ++it) {
+    if (observer) {
+      previous = r.data();
+      iter_watch.restart();
+    }
     // r = c * (r vxm A) + (1-c)/N * reduce(r, plus)
     const double r_sum = grb::reduce<grb::Plus>(r);
     grb::Vector y = grb::vxm<grb::PlusTimes>(r, a);
     const double add = (1.0 - c) * r_sum / static_cast<double>(n);
     r = grb::apply(y, [c, add](double x) { return c * x + add; });
+
+    if (observer) {
+      sparse::IterationStats stats;
+      stats.iteration = it;
+      stats.seconds = iter_watch.seconds();
+      const std::vector<double>& current = r.data();
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        stats.residual_l1 += std::abs(current[i] - previous[i]);
+        stats.rank_sum += current[i];
+      }
+      observer(stats);
+    }
   }
   return r.data();
 }

@@ -19,7 +19,7 @@ void NativeBackend::kernel0(const KernelContext& ctx) {
   const auto generator = gen::make_generator(config.generator, config.scale,
                                              config.edge_factor, config.seed);
   io::write_generated_edges(ctx.store, ctx.out_stage, *generator,
-                            config.num_files, ctx.codec());
+                            config.num_files, ctx.codec(), ctx.hooks);
 }
 
 void NativeBackend::kernel1(const KernelContext& ctx) {
@@ -39,21 +39,37 @@ void NativeBackend::kernel1(const KernelContext& ctx) {
       ext.output_shards = config.num_files;
       ext.stage_codec = &ctx.codec();
       ext.key = config.sort_key;
+      ext.hooks = ctx.hooks;
       sort::external_sort_stage(ctx.store, ctx.in_stage, ctx.out_stage,
                                 ctx.temp_stage, ext);
       return;
     }
   }
-  gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
-  sort::radix_sort(edges, config.sort_key);
-  io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
-                      ctx.codec());
+  gen::EdgeList edges;
+  {
+    const obs::Span span = ctx.span("k1/read");
+    edges = io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
+                               ctx.hooks);
+  }
+  {
+    const obs::Span span = ctx.span("k1/radix_sort");
+    sort::radix_sort(edges, config.sort_key);
+  }
+  {
+    const obs::Span span = ctx.span("k1/write");
+    io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
+                        ctx.codec(), ctx.hooks);
+  }
 }
 
 sparse::CsrMatrix NativeBackend::kernel2(const KernelContext& ctx) {
-  const gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
+  gen::EdgeList edges;
+  {
+    const obs::Span span = ctx.span("k2/read");
+    edges = io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
+                               ctx.hooks);
+  }
+  const obs::Span span = ctx.span("k2/filter_edges");
   return sparse::filter_edges(edges, ctx.config.num_vertices(),
                               &filter_report_);
 }
@@ -67,6 +83,7 @@ std::vector<double> NativeBackend::kernel3(const KernelContext& ctx,
   pr.iterations = config.iterations;
   pr.damping = config.damping;
   pr.seed = config.seed;
+  pr.observer = ctx.k3_observer();
   return sparse::pagerank(matrix, pr);
 }
 

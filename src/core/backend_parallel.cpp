@@ -1,5 +1,7 @@
 #include "core/backend_parallel.hpp"
 
+#include <cmath>
+
 #include "gen/generator.hpp"
 #include "io/edge_batch.hpp"
 #include "io/edge_files.hpp"
@@ -10,6 +12,7 @@
 #include "sparse/pagerank.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
+#include "util/timer.hpp"
 
 namespace prpb::core {
 
@@ -28,7 +31,7 @@ void ParallelBackend::kernel0(const KernelContext& ctx) {
   for (std::size_t s = 0; s < config.num_files; ++s) {
     futures.push_back(pool.submit([&, s] {
       io::ShardWriter writer(ctx.store, ctx.out_stage,
-                             io::shard_name(s, codec), codec);
+                             io::shard_name(s, codec), codec, ctx.hooks);
       gen::EdgeList batch;
       constexpr std::uint64_t kBatch = io::kDefaultBatchEdges;
       for (std::uint64_t lo = bounds[s]; lo < bounds[s + 1]; lo += kBatch) {
@@ -46,12 +49,20 @@ void ParallelBackend::kernel0(const KernelContext& ctx) {
 
 void ParallelBackend::kernel1(const KernelContext& ctx) {
   const PipelineConfig& config = ctx.config;
-  gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec());
-  util::ThreadPool pool(threads_);
-  sort::parallel_merge_sort(edges, pool, config.sort_key);
+  gen::EdgeList edges;
+  {
+    const obs::Span span = ctx.span("k1/read");
+    edges = io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
+                               ctx.hooks);
+  }
+  {
+    const obs::Span span = ctx.span("k1/merge_sort");
+    util::ThreadPool pool(threads_);
+    sort::parallel_merge_sort(edges, pool, config.sort_key);
+  }
+  const obs::Span span = ctx.span("k1/write");
   io::write_edge_list(ctx.store, ctx.out_stage, edges, config.num_files,
-                      ctx.codec());
+                      ctx.codec(), ctx.hooks);
 }
 
 sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
@@ -66,8 +77,8 @@ sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
   futures.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     futures.push_back(pool.submit([&, i] {
-      parts[i] =
-          io::read_edge_shard(ctx.store, ctx.in_stage, shards[i], codec);
+      parts[i] = io::read_edge_shard(ctx.store, ctx.in_stage, shards[i],
+                                     codec, ctx.hooks);
     }));
   }
   for (auto& future : futures) future.get();
@@ -77,6 +88,7 @@ sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
     part.clear();
     part.shrink_to_fit();
   }
+  const obs::Span span = ctx.span("k2/filter_edges");
   return sparse::filter_edges(edges, ctx.config.num_vertices(), nullptr);
 }
 
@@ -101,7 +113,14 @@ std::vector<double> ParallelBackend::kernel3(const KernelContext& ctx,
   const auto n = static_cast<double>(matrix.rows());
 
   util::ThreadPool pool(threads_);
+  const sparse::IterationObserver observer = ctx.k3_observer();
+  std::vector<double> previous;
+  util::Stopwatch iter_watch;
   for (int it = 0; it < config.iterations; ++it) {
+    if (observer) {
+      previous = r;
+      iter_watch.restart();
+    }
     double r_sum = 0.0;
     for (const double x : r) r_sum += x;
     util::parallel_for_chunks(
@@ -117,6 +136,17 @@ std::vector<double> ParallelBackend::kernel3(const KernelContext& ctx,
         });
     const double add = (1.0 - c) * r_sum / n;
     for (std::size_t i = 0; i < r.size(); ++i) r[i] = c * y[i] + add;
+
+    if (observer) {
+      sparse::IterationStats stats;
+      stats.iteration = it;
+      stats.seconds = iter_watch.seconds();
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        stats.residual_l1 += std::abs(r[i] - previous[i]);
+        stats.rank_sum += r[i];
+      }
+      observer(stats);
+    }
   }
   return r;
 }

@@ -4,34 +4,28 @@
 // the harness decides where stages live (StageStore), what they are called
 // (the runner's stage-naming scheme), and what gets measured. Passing this
 // bundle instead of raw filesystem paths is what makes storage swappable
-// (dir vs. mem ablation) and per-kernel I/O observable.
+// (dir vs. mem ablation) and per-kernel I/O observable. Observability rides
+// along the same way: the runner threads an obs::Hooks bundle (trace
+// recorder + metrics registry) through the context, so kernels emit
+// attributed sub-spans and typed metrics without owning either.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/config.hpp"
 #include "io/stage_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sparse/pagerank.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 namespace prpb::core {
-
-/// Named-counter sink for kernel-side observations (sort strategy taken,
-/// filter statistics, ...). The runner folds the collected values into the
-/// run report. Keys repeat-add, so kernels can accumulate.
-class MetricsSink {
- public:
-  void add(const std::string& key, double value) { values_[key] += value; }
-  void set(const std::string& key, double value) { values_[key] = value; }
-  [[nodiscard]] const std::map<std::string, double>& values() const {
-    return values_;
-  }
-
- private:
-  std::map<std::string, double> values_;
-};
 
 struct KernelContext {
   const PipelineConfig& config;
@@ -43,10 +37,14 @@ struct KernelContext {
   std::string out_stage;
   /// Scratch stage for spills (external sort runs).
   std::string temp_stage;
-  /// Optional named-counter sink (may be null).
-  MetricsSink* metrics = nullptr;
+  /// Optional observability hooks (trace recorder, metrics registry);
+  /// both members may be null.
+  obs::Hooks hooks{};
+  /// When set, per-iteration kernel-3 telemetry is appended here (the
+  /// runner points this at the PipelineResult's k3_iterations).
+  std::vector<sparse::IterationStats>* k3_sink = nullptr;
   /// Optional log override; kernels log through log() below.
-  std::function<void(std::string_view)> logger;
+  std::function<void(std::string_view)> logger{};
 
   void log(const std::string& message) const {
     if (logger) {
@@ -56,8 +54,41 @@ struct KernelContext {
     }
   }
 
+  /// Accumulates into a named counter (no-op without a registry).
   void metric(const std::string& key, double value) const {
-    if (metrics != nullptr) metrics->add(key, value);
+    if (hooks.metrics != nullptr) hooks.metrics->counter(key).add(value);
+  }
+
+  /// Opens a sub-kernel span ("k1/radix_sort", ...). Inactive — a null
+  /// check, nothing more — when tracing is off.
+  [[nodiscard]] obs::Span span(const char* name) const {
+    return obs::Span(hooks.trace, name);
+  }
+
+  /// Per-iteration kernel-3 observer: appends to k3_sink and records a
+  /// "k3/iter" span per iteration. Empty (falsy) when neither telemetry
+  /// consumer is attached, so backends can skip the residual bookkeeping.
+  [[nodiscard]] sparse::IterationObserver k3_observer() const {
+    if (k3_sink == nullptr && !hooks.tracing()) return {};
+    auto* sink = k3_sink;
+    const obs::Hooks h = hooks;
+    return [sink, h](const sparse::IterationStats& stats) {
+      if (sink != nullptr) sink->push_back(stats);
+      if (h.tracing()) {
+        // The iteration just ended; back-date the span start by its
+        // duration so consecutive iterations tile without overlapping.
+        const std::uint64_t end = h.trace->now_us();
+        const auto dur = std::min(
+            static_cast<std::uint64_t>(stats.seconds * 1e6), end);
+        util::JsonWriter args;
+        args.begin_object();
+        args.field("iteration", static_cast<std::int64_t>(stats.iteration));
+        args.field("residual_l1", stats.residual_l1);
+        args.field("rank_sum", stats.rank_sum);
+        args.end_object();
+        h.trace->record_complete("k3/iter", end - dur, dur, args.str());
+      }
+    };
   }
 
   /// The stage codec this pipeline is configured with. `flavor` picks the

@@ -48,6 +48,8 @@ std::string run_report_json(const PipelineConfig& config,
     json.field("stage_format", result.stage_format);
   }
 
+  json.field("wall_seconds_total", result.wall_seconds_total);
+
   json.begin_object("kernels");
   kernel_object(json, "k0_generate", result.k0);
   kernel_object(json, "k1_sort", result.k1);
@@ -55,12 +57,19 @@ std::string run_report_json(const PipelineConfig& config,
   kernel_object(json, "k3_pagerank", result.k3);
   json.end_object();
 
-  if (!result.counters.empty()) {
-    json.begin_object("counters");
-    for (const auto& [name, value] : result.counters) {
-      json.field(name, value);
+  if (!result.metrics.empty()) result.metrics.write_json(json);
+
+  if (!result.k3_iterations.empty()) {
+    json.begin_array("k3_iterations");
+    for (const auto& it : result.k3_iterations) {
+      json.begin_object();
+      json.field("iteration", static_cast<std::int64_t>(it.iteration));
+      json.field("seconds", it.seconds);
+      json.field("residual_l1", it.residual_l1);
+      json.field("rank_sum", it.rank_sum);
+      json.end_object();
     }
-    json.end_object();
+    json.end_array();
   }
 
   json.begin_object("matrix");

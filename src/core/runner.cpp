@@ -1,7 +1,9 @@
 #include "core/runner.hpp"
 
 #include <memory>
+#include <optional>
 
+#include "io/traced_store.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -9,12 +11,24 @@ namespace prpb::core {
 
 namespace {
 
-/// Folds one counting-store delta into a kernel's metrics row.
-void fold_io(KernelMetrics& metrics, const io::StageIoCounters& delta) {
+/// Folds one counting-store delta into a kernel's metrics row and mirrors
+/// it into the run's registry, so the report's "metrics" object carries
+/// per-kernel stage traffic on every run (traced or not).
+void fold_io(KernelMetrics& metrics, const io::StageIoCounters& delta,
+             obs::MetricsRegistry& registry, const char* kernel) {
   metrics.bytes_read = delta.bytes_read;
   metrics.bytes_written = delta.bytes_written;
   metrics.files_read = delta.files_read;
   metrics.files_written = delta.files_written;
+  const std::string prefix(kernel);
+  registry.counter(prefix + "/bytes_read")
+      .add(static_cast<double>(delta.bytes_read));
+  registry.counter(prefix + "/bytes_written")
+      .add(static_cast<double>(delta.bytes_written));
+  registry.counter(prefix + "/shards_read")
+      .add(static_cast<double>(delta.files_read));
+  registry.counter(prefix + "/shards_written")
+      .add(static_cast<double>(delta.files_written));
 }
 
 /// Fails fast when a kernel's required input stage is absent — the barrier
@@ -42,7 +56,24 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     owned = make_stage_store(config);
     base = owned.get();
   }
-  io::CountingStageStore store(*base);
+  io::CountingStageStore counting(*base);
+
+  // Every run gets a metrics registry — the caller's when injected, a
+  // run-local one otherwise — so the result snapshot is always populated.
+  obs::MetricsRegistry local_registry;
+  obs::Hooks hooks = options.hooks;
+  if (hooks.metrics == nullptr) hooks.metrics = &local_registry;
+
+  // With tracing live, stack the tracing decorator outside the counting
+  // store: kernels then emit per-shard read/write spans and latency
+  // histograms for free, while byte accounting stays on the inner layer.
+  std::optional<io::TracedStageStore> traced;
+  io::StageStore* active = &counting;
+  if (hooks.tracing()) {
+    traced.emplace(counting, hooks);
+    active = &*traced;
+  }
+  io::StageStore& store = *active;
 
   PipelineResult result;
   result.backend = backend.name();
@@ -52,18 +83,18 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   result.num_edges = config.num_edges();
   const std::uint64_t m = config.num_edges();
 
-  MetricsSink sink;
+  util::Stopwatch wall;
+  obs::Span pipeline_span(hooks.trace, "pipeline");
+
   const auto context = [&](const char* in, const char* out) {
-    KernelContext ctx{config, store};
-    ctx.in_stage = in;
-    ctx.out_stage = out;
-    ctx.temp_stage = stages::kTemp;
-    ctx.metrics = &sink;
+    KernelContext ctx{config, store, in, out, stages::kTemp};
+    ctx.hooks = hooks;
+    ctx.k3_sink = &result.k3_iterations;
     return ctx;
   };
-  io::StageIoCounters mark = store.snapshot();
+  io::StageIoCounters mark = counting.snapshot();
   const auto io_delta = [&] {
-    const io::StageIoCounters now = store.snapshot();
+    const io::StageIoCounters now = counting.snapshot();
     const io::StageIoCounters delta = now - mark;
     mark = now;
     return delta;
@@ -73,11 +104,12 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   // measured: Figure 4 reports it for insight into write performance).
   if (options.run_kernel0) {
     const KernelContext ctx = context("", stages::kStage0);
+    obs::Span span(hooks.trace, "k0/generate");
     util::Stopwatch watch;
     backend.kernel0(ctx);
     result.k0.seconds = watch.seconds();
     result.k0.edges_processed = m;
-    fold_io(result.k0, io_delta());
+    fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
     util::log_info("kernel0[", backend.name(), "] ", result.k0.seconds, "s");
   } else {
     require_stage(store, stages::kStage0,
@@ -87,38 +119,43 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   // Kernel 1 — sort (timed; M edges).
   {
     const KernelContext ctx = context(stages::kStage0, stages::kStage1);
+    obs::Span span(hooks.trace, "k1/sort");
     util::Stopwatch watch;
     backend.kernel1(ctx);
     result.k1.seconds = watch.seconds();
     result.k1.edges_processed = m;
-    fold_io(result.k1, io_delta());
+    fold_io(result.k1, io_delta(), *hooks.metrics, "k1");
     util::log_info("kernel1[", backend.name(), "] ", result.k1.seconds, "s");
   }
 
   // Kernel 2 — filter (timed; M edges).
   {
     const KernelContext ctx = context(stages::kStage1, "");
+    obs::Span span(hooks.trace, "k2/filter");
     util::Stopwatch watch;
     result.matrix = backend.kernel2(ctx);
     result.k2.seconds = watch.seconds();
     result.k2.edges_processed = m;
-    fold_io(result.k2, io_delta());
+    fold_io(result.k2, io_delta(), *hooks.metrics, "k2");
     util::log_info("kernel2[", backend.name(), "] ", result.k2.seconds, "s");
   }
 
   // Kernel 3 — PageRank (timed; iterations · M edge traversals).
   {
     const KernelContext ctx = context("", "");
+    obs::Span span(hooks.trace, "k3/pagerank");
     util::Stopwatch watch;
     result.ranks = backend.kernel3(ctx, result.matrix);
     result.k3.seconds = watch.seconds();
     result.k3.edges_processed =
         static_cast<std::uint64_t>(config.iterations) * m;
-    fold_io(result.k3, io_delta());
+    fold_io(result.k3, io_delta(), *hooks.metrics, "k3");
     util::log_info("kernel3[", backend.name(), "] ", result.k3.seconds, "s");
   }
 
-  result.counters = sink.values();
+  pipeline_span.finish();
+  result.wall_seconds_total = wall.seconds();
+  result.metrics = hooks.metrics->snapshot();
   util::ensure(result.ranks.size() == config.num_vertices(),
                "pipeline: rank vector has wrong size");
   if (!options.keep_matrix) result.matrix = sparse::CsrMatrix();

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,7 +19,10 @@
 #include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/kernel_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/pagerank.hpp"
 #include "util/timer.hpp"
 
 namespace prpb::core {
@@ -66,8 +68,16 @@ struct PipelineResult {
   KernelMetrics k3;
   sparse::CsrMatrix matrix;     ///< kernel-2 output
   std::vector<double> ranks;    ///< kernel-3 output
-  /// Kernel-side named counters (MetricsSink contents).
-  std::map<std::string, double> counters;
+  /// End-to-end wall time of the run (same monotonic clock as the
+  /// per-kernel timings; covers everything between entry and return,
+  /// including the inter-kernel barriers).
+  double wall_seconds_total = 0.0;
+  /// Snapshot of the run's metrics registry (kernel counters, shard
+  /// latency and batch-size histograms, ...). Serialized under "metrics".
+  obs::MetricsSnapshot metrics;
+  /// Per-iteration kernel-3 telemetry (residual, rank-sum drift, ms per
+  /// iteration). Empty for backends that do not report it (arraylang).
+  std::vector<sparse::IterationStats> k3_iterations;
 };
 
 struct RunOptions {
@@ -76,6 +86,11 @@ struct RunOptions {
   /// Run against this store instead of building one from config.storage
   /// (not owned; lets tests and benches share or inspect stages).
   io::StageStore* store = nullptr;
+  /// Observability hooks threaded into every kernel and I/O layer. When
+  /// metrics is null the runner builds a run-local registry (the result
+  /// snapshot is populated either way); when trace is set and enabled,
+  /// stage I/O is additionally routed through a tracing store decorator.
+  obs::Hooks hooks;
 };
 
 /// Runs the full pipeline. Stages live in the configured store. Throws

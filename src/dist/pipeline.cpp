@@ -43,6 +43,19 @@ struct RankScratch {
   std::uint64_t k3_bytes = 0;
 };
 
+std::string rank_args(std::size_t rank) {
+  return "{\"rank\":" + std::to_string(rank) + "}";
+}
+
+/// Opens a communication-phase span tagged with the rank; inert when
+/// tracing is off.
+obs::Span comm_span(const obs::Hooks& hooks, const char* name,
+                    std::size_t rank) {
+  obs::Span span(hooks.trace, name);
+  if (span.active()) span.set_args(rank_args(rank));
+  return span;
+}
+
 }  // namespace
 
 DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
@@ -82,7 +95,11 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
                                         : io::tsv_codec(io::Codec::kFast);
       const std::string shard = io::shard_name(rank, codec);
       io::write_edge_shard(*staging, config.stage, shard, local, codec);
-      comm.barrier();
+      {
+        const obs::Span span =
+            comm_span(config.hooks, "dist/barrier_wait", rank);
+        comm.barrier();
+      }
       local = io::read_edge_shard(*staging, config.stage, shard, codec);
     }
 
@@ -95,7 +112,11 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
     local.clear();
     local.shrink_to_fit();
     const std::uint64_t bytes_before_k1 = comm.stats().bytes_sent;
-    gen::EdgeList owned = comm.alltoallv(std::move(outboxes));
+    gen::EdgeList owned;
+    {
+      const obs::Span span = comm_span(config.hooks, "dist/alltoallv", rank);
+      owned = comm.alltoallv(std::move(outboxes));
+    }
     scratch[rank].k1_bytes = comm.stats().bytes_sent - bytes_before_k1;
     sort::radix_sort(owned);
 
@@ -113,7 +134,10 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
 
     // "the in-degree info will need to be aggregated"
     std::vector<double> din = block.col_sums();
-    comm.allreduce_sum(din);
+    {
+      const obs::Span span = comm_span(config.hooks, "dist/allreduce", rank);
+      comm.allreduce_sum(din);
+    }
     const double max_din =
         din.empty() ? 0.0 : *std::max_element(din.begin(), din.end());
     std::vector<bool> mask(n, false);
@@ -145,7 +169,11 @@ DistResult run_distributed(const DistConfig& config, std::size_t ranks) {
         }
       }
       // "summed across all processors and broadcast back"
-      comm.allreduce_sum(y);
+      {
+        const obs::Span span =
+            comm_span(config.hooks, "dist/allreduce", rank);
+        comm.allreduce_sum(y);
+      }
       const double add = (1.0 - c) * r_sum / static_cast<double>(n);
       for (std::size_t i = 0; i < r.size(); ++i) r[i] = c * y[i] + add;
     }

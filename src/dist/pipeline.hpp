@@ -25,6 +25,7 @@
 #include "dist/comm.hpp"
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
+#include "obs/trace.hpp"
 #include "sparse/csr.hpp"
 
 namespace prpb::dist {
@@ -45,6 +46,10 @@ struct DistConfig {
   /// Stage encoding for the K0->K1 file barrier. Not owned (codecs are
   /// immutable singletons); null means TSV in the fast flavor.
   const io::StageCodec* stage_codec = nullptr;
+  /// Optional tracing hooks: every rank thread emits spans around its
+  /// communication waits ("dist/barrier_wait", "dist/alltoallv",
+  /// "dist/allreduce"), each tagged with the rank in its args.
+  obs::Hooks hooks;
 
   [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
   [[nodiscard]] std::uint64_t num_edges() const {

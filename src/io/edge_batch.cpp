@@ -4,20 +4,40 @@
 
 #include "io/edge_files.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace prpb::io {
+
+namespace {
+
+std::string shard_trace_args(const std::string& stage,
+                             const std::string& shard) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("stage", stage);
+  json.field("shard", shard);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
 
 // ---- EdgeBatchReader --------------------------------------------------------
 
 EdgeBatchReader::EdgeBatchReader(StageStore& store, std::string stage,
                                  const StageCodec& codec,
-                                 std::size_t batch_capacity)
+                                 std::size_t batch_capacity, obs::Hooks hooks)
     : store_(store),
       stage_(std::move(stage)),
       codec_(codec),
       capacity_(batch_capacity),
-      shards_(store.list(stage_)) {
+      shards_(store.list(stage_)),
+      decode_span_(hooks.trace, "codec/decode") {
   util::require(capacity_ >= 1, "EdgeBatchReader: batch capacity must be >= 1");
+  if (hooks.metrics != nullptr) {
+    batch_edges_ = &hooks.metrics->histogram("io/batch_edges",
+                                             obs::batch_size_buckets());
+  }
 }
 
 bool EdgeBatchReader::next(gen::EdgeList& batch) {
@@ -34,6 +54,9 @@ bool EdgeBatchReader::next(gen::EdgeList& batch) {
     if (!refill()) break;
   }
   edges_read_ += batch.size();
+  if (batch_edges_ != nullptr && !batch.empty()) {
+    batch_edges_->observe(static_cast<double>(batch.size()));
+  }
   return !batch.empty();
 }
 
@@ -48,12 +71,19 @@ bool EdgeBatchReader::refill() {
     }
     const auto chunk = reader_->read_chunk();
     if (chunk.empty()) {
+      decode_span_.begin();
       decoder_->finish(pending_, stage_ + "/" + shards_[shard_index_]);
+      decode_span_.end();
+      if (decode_span_.active()) {
+        decode_span_.flush(shard_trace_args(stage_, shards_[shard_index_]));
+      }
       reader_.reset();
       decoder_.reset();
       ++shard_index_;
     } else {
+      decode_span_.begin();
       decoder_->feed(chunk, pending_);
+      decode_span_.end();
     }
   }
   return true;
@@ -62,9 +92,12 @@ bool EdgeBatchReader::refill() {
 // ---- ShardWriter ------------------------------------------------------------
 
 ShardWriter::ShardWriter(StageStore& store, const std::string& stage,
-                         const std::string& shard, const StageCodec& codec)
+                         const std::string& shard, const StageCodec& codec,
+                         obs::Hooks hooks)
     : writer_(store.open_write(stage, shard)),
-      encoder_(codec.make_encoder()) {
+      encoder_(codec.make_encoder()),
+      encode_span_(hooks.trace, "codec/encode") {
+  if (encode_span_.active()) trace_args_ = shard_trace_args(stage, shard);
   encoder_->begin(*writer_);
 }
 
@@ -75,13 +108,17 @@ void ShardWriter::append(const gen::Edge& edge) {
 
 void ShardWriter::append(const gen::Edge* edges, std::size_t count) {
   flush_pending();
+  encode_span_.begin();
   encoder_->encode(*writer_, edges, count);
+  encode_span_.end();
   edges_ += count;
 }
 
 void ShardWriter::flush_pending() {
   if (pending_.empty()) return;
+  encode_span_.begin();
   encoder_->encode(*writer_, pending_.data(), pending_.size());
+  encode_span_.end();
   edges_ += pending_.size();
   pending_.clear();
 }
@@ -89,7 +126,10 @@ void ShardWriter::flush_pending() {
 void ShardWriter::close() {
   util::require(writer_ != nullptr, "ShardWriter: close() called twice");
   flush_pending();
+  encode_span_.begin();
   encoder_->finish(*writer_);
+  encode_span_.end();
+  encode_span_.flush(std::move(trace_args_));
   writer_->close();
   bytes_ = writer_->bytes_written();
   writer_.reset();
@@ -100,11 +140,12 @@ void ShardWriter::close() {
 
 EdgeBatchWriter::EdgeBatchWriter(StageStore& store, std::string stage,
                                  const StageCodec& codec, std::size_t shards,
-                                 std::uint64_t total_edges)
+                                 std::uint64_t total_edges, obs::Hooks hooks)
     : store_(store),
       stage_(std::move(stage)),
       codec_(codec),
-      bounds_(shard_boundaries(total_edges, shards)) {
+      bounds_(shard_boundaries(total_edges, shards)),
+      hooks_(hooks) {
   store_.clear_stage(stage_);
   open_shard();
 }
@@ -112,12 +153,18 @@ EdgeBatchWriter::EdgeBatchWriter(StageStore& store, std::string stage,
 void EdgeBatchWriter::open_shard() {
   writer_ = store_.open_write(stage_, shard_name(shard_, codec_));
   encoder_ = codec_.make_encoder();
+  encode_span_ = obs::AccumulatingSpan(hooks_.trace, "codec/encode");
   encoder_->begin(*writer_);
 }
 
 void EdgeBatchWriter::close_shard() {
   if (!writer_) return;
+  encode_span_.begin();
   encoder_->finish(*writer_);
+  encode_span_.end();
+  if (encode_span_.active()) {
+    encode_span_.flush(shard_trace_args(stage_, shard_name(shard_, codec_)));
+  }
   writer_->close();
   bytes_ += writer_->bytes_written();
   writer_.reset();
@@ -155,7 +202,9 @@ void EdgeBatchWriter::write_run(const gen::Edge* edges, std::size_t count) {
     const std::uint64_t room = bounds_[shard_ + 1] - written_;
     const auto take = static_cast<std::size_t>(
         std::min<std::uint64_t>(count, room));
+    encode_span_.begin();
     encoder_->encode(*writer_, edges, take);
+    encode_span_.end();
     edges += take;
     count -= take;
     written_ += take;

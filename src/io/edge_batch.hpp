@@ -12,6 +12,8 @@
 #include "gen/edge.hpp"
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace prpb::io {
 
@@ -23,9 +25,13 @@ inline constexpr std::size_t kDefaultBatchEdges = std::size_t{1} << 16;
 /// batches of decoded edges. Bounded memory regardless of stage size.
 class EdgeBatchReader {
  public:
+  /// With hooks attached, decode time is accumulated per shard and emitted
+  /// as one "codec/decode" event per shard, and every next() batch size
+  /// feeds the "io/batch_edges" histogram.
   EdgeBatchReader(StageStore& store, std::string stage,
                   const StageCodec& codec,
-                  std::size_t batch_capacity = kDefaultBatchEdges);
+                  std::size_t batch_capacity = kDefaultBatchEdges,
+                  obs::Hooks hooks = {});
 
   /// Clears `batch` and fills it with up to the configured capacity.
   /// Returns false once the stage is exhausted (batch left empty).
@@ -47,6 +53,8 @@ class EdgeBatchReader {
   gen::EdgeList pending_;
   std::size_t pending_pos_ = 0;
   std::uint64_t edges_read_ = 0;
+  obs::AccumulatingSpan decode_span_;
+  obs::Histogram* batch_edges_ = nullptr;  // null without metrics
 };
 
 /// Streams edges into one named shard. No boundary math — this is what
@@ -55,8 +63,11 @@ class EdgeBatchReader {
 /// binary codec never emits degenerate one-record blocks.
 class ShardWriter {
  public:
+  /// With hooks attached, encode time is accumulated and emitted as one
+  /// "codec/encode" event when the shard closes.
   ShardWriter(StageStore& store, const std::string& stage,
-              const std::string& shard, const StageCodec& codec);
+              const std::string& shard, const StageCodec& codec,
+              obs::Hooks hooks = {});
 
   void append(const gen::Edge& edge);
   void append(const gen::Edge* edges, std::size_t count);
@@ -77,6 +88,8 @@ class ShardWriter {
   gen::EdgeList pending_;
   std::uint64_t bytes_ = 0;
   std::uint64_t edges_ = 0;
+  obs::AccumulatingSpan encode_span_;
+  std::string trace_args_;  // pre-rendered shard args; empty when inert
 };
 
 /// Writes a declared number of edges into `shards` shards of a stage,
@@ -86,9 +99,11 @@ class ShardWriter {
 /// `total_edges` were appended.
 class EdgeBatchWriter {
  public:
+  /// With hooks attached, encode time is accumulated per output shard and
+  /// emitted as one "codec/encode" event per shard.
   EdgeBatchWriter(StageStore& store, std::string stage,
                   const StageCodec& codec, std::size_t shards,
-                  std::uint64_t total_edges);
+                  std::uint64_t total_edges, obs::Hooks hooks = {});
 
   void append(const gen::Edge& edge);
   void append(const gen::Edge* edges, std::size_t count);
@@ -116,6 +131,8 @@ class EdgeBatchWriter {
   gen::EdgeList pending_;
   std::uint64_t written_ = 0;
   std::uint64_t bytes_ = 0;
+  obs::Hooks hooks_;
+  obs::AccumulatingSpan encode_span_;  // re-armed per output shard
 };
 
 /// Writes one shard in a single call; returns bytes written.

@@ -6,6 +6,7 @@
 #include "io/file_stream.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
+#include "util/json.hpp"
 
 namespace prpb::io {
 
@@ -29,10 +30,10 @@ namespace {
 
 std::uint64_t write_edges_impl(
     StageStore& store, const std::string& stage, std::size_t shards,
-    const StageCodec& codec, std::uint64_t total,
+    const StageCodec& codec, std::uint64_t total, obs::Hooks hooks,
     const std::function<void(std::uint64_t, std::uint64_t, gen::EdgeList&)>&
         producer) {
-  EdgeBatchWriter writer(store, stage, codec, shards, total);
+  EdgeBatchWriter writer(store, stage, codec, shards, total, hooks);
   gen::EdgeList batch;
   for (std::uint64_t lo = 0; lo < total; lo += kDefaultBatchEdges) {
     const std::uint64_t hi =
@@ -45,33 +46,49 @@ std::uint64_t write_edges_impl(
   return writer.bytes_written();
 }
 
+std::string decode_trace_args(const std::string& label) {
+  return "{\"shard\":\"" + util::JsonWriter::escape(label) + "\"}";
+}
+
 gen::EdgeList read_shard_impl(StageReader& reader, const std::string& label,
-                              const StageCodec& codec) {
+                              const StageCodec& codec, obs::Hooks hooks) {
   gen::EdgeList edges;
   const auto decoder = codec.make_decoder();
+  obs::AccumulatingSpan span(hooks.trace, "codec/decode");
   for (;;) {
     const auto chunk = reader.read_chunk();
     if (chunk.empty()) break;
+    span.begin();
     decoder->feed(chunk, edges);
+    span.end();
   }
+  span.begin();
   decoder->finish(edges, label);
+  span.end();
+  if (span.active()) span.flush(decode_trace_args(label));
   return edges;
 }
 
 void stream_shard_impl(StageReader& reader, const std::string& label,
-                       const StageCodec& codec,
+                       const StageCodec& codec, obs::Hooks hooks,
                        const std::function<void(const gen::EdgeList&)>& sink) {
   gen::EdgeList batch;
   const auto decoder = codec.make_decoder();
+  obs::AccumulatingSpan span(hooks.trace, "codec/decode");
   for (;;) {
     const auto chunk = reader.read_chunk();
     if (chunk.empty()) break;
     batch.clear();
+    span.begin();
     decoder->feed(chunk, batch);
+    span.end();
     if (!batch.empty()) sink(batch);
   }
   batch.clear();
+  span.begin();
   decoder->finish(batch, label);
+  span.end();
+  if (span.active()) span.flush(decode_trace_args(label));
   if (!batch.empty()) sink(batch);
 }
 
@@ -86,9 +103,10 @@ std::uint64_t write_generated_edges(StageStore& store,
                                     const std::string& stage,
                                     const gen::EdgeGenerator& generator,
                                     std::size_t shards,
-                                    const StageCodec& codec) {
+                                    const StageCodec& codec,
+                                    obs::Hooks hooks) {
   return write_edges_impl(
-      store, stage, shards, codec, generator.num_edges(),
+      store, stage, shards, codec, generator.num_edges(), hooks,
       [&generator](std::uint64_t lo, std::uint64_t hi, gen::EdgeList& out) {
         generator.generate_range(lo, hi, out);
       });
@@ -96,8 +114,8 @@ std::uint64_t write_generated_edges(StageStore& store,
 
 std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
                               const gen::EdgeList& edges, std::size_t shards,
-                              const StageCodec& codec) {
-  EdgeBatchWriter writer(store, stage, codec, shards, edges.size());
+                              const StageCodec& codec, obs::Hooks hooks) {
+  EdgeBatchWriter writer(store, stage, codec, shards, edges.size(), hooks);
   writer.append(edges);
   writer.close();
   return writer.bytes_written();
@@ -105,16 +123,16 @@ std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
 
 gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
                               const std::string& shard,
-                              const StageCodec& codec) {
+                              const StageCodec& codec, obs::Hooks hooks) {
   const auto reader = store.open_read(stage, shard);
-  return read_shard_impl(*reader, stage + "/" + shard, codec);
+  return read_shard_impl(*reader, stage + "/" + shard, codec, hooks);
 }
 
 gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
-                             const StageCodec& codec) {
+                             const StageCodec& codec, obs::Hooks hooks) {
   gen::EdgeList edges;
   for (const auto& shard : store.list(stage)) {
-    auto part = read_edge_shard(store, stage, shard, codec);
+    auto part = read_edge_shard(store, stage, shard, codec, hooks);
     edges.insert(edges.end(), part.begin(), part.end());
   }
   return edges;
@@ -122,10 +140,11 @@ gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
 
 void stream_all_edges(StageStore& store, const std::string& stage,
                       const StageCodec& codec,
-                      const std::function<void(const gen::EdgeList&)>& sink) {
+                      const std::function<void(const gen::EdgeList&)>& sink,
+                      obs::Hooks hooks) {
   for (const auto& shard : store.list(stage)) {
     const auto reader = store.open_read(stage, shard);
-    stream_shard_impl(*reader, stage + "/" + shard, codec, sink);
+    stream_shard_impl(*reader, stage + "/" + shard, codec, hooks, sink);
   }
 }
 
@@ -191,7 +210,7 @@ std::uint64_t write_edge_list(const gen::EdgeList& edges, const fs::path& dir,
 
 gen::EdgeList read_edge_file(const fs::path& path, Codec codec) {
   FileReader reader(path);
-  return read_shard_impl(reader, path.string(), tsv_codec(codec));
+  return read_shard_impl(reader, path.string(), tsv_codec(codec), {});
 }
 
 gen::EdgeList read_all_edges(const fs::path& dir, Codec codec) {

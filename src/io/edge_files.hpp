@@ -20,6 +20,7 @@
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "io/tsv.hpp"
+#include "obs/trace.hpp"
 
 namespace prpb::io {
 
@@ -36,32 +37,34 @@ std::vector<std::uint64_t> shard_boundaries(std::uint64_t total,
 
 /// Writes all edges of `generator` into `shards` shards of `stage`
 /// (created if needed, cleared of stale shards first). Returns bytes
-/// written.
+/// written. The optional hooks attribute per-shard codec time in traces.
 std::uint64_t write_generated_edges(StageStore& store,
                                     const std::string& stage,
                                     const gen::EdgeGenerator& generator,
                                     std::size_t shards,
-                                    const StageCodec& codec);
+                                    const StageCodec& codec,
+                                    obs::Hooks hooks = {});
 
 /// Writes an in-memory edge list into `shards` shards of `stage`.
 std::uint64_t write_edge_list(StageStore& store, const std::string& stage,
                               const gen::EdgeList& edges, std::size_t shards,
-                              const StageCodec& codec);
+                              const StageCodec& codec, obs::Hooks hooks = {});
 
 /// Reads one shard of a stage fully.
 gen::EdgeList read_edge_shard(StageStore& store, const std::string& stage,
                               const std::string& shard,
-                              const StageCodec& codec);
+                              const StageCodec& codec, obs::Hooks hooks = {});
 
 /// Reads every shard of `stage` (sorted shard order) into one list.
 gen::EdgeList read_all_edges(StageStore& store, const std::string& stage,
-                             const StageCodec& codec);
+                             const StageCodec& codec, obs::Hooks hooks = {});
 
 /// Streams edges from every shard of `stage` in shard order, invoking
 /// `sink` with batches. Bounded memory regardless of stage size.
 void stream_all_edges(StageStore& store, const std::string& stage,
                       const StageCodec& codec,
-                      const std::function<void(const gen::EdgeList&)>& sink);
+                      const std::function<void(const gen::EdgeList&)>& sink,
+                      obs::Hooks hooks = {});
 
 /// Number of decoded records in the stage.
 std::uint64_t count_edges(StageStore& store, const std::string& stage,

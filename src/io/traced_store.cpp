@@ -1,0 +1,118 @@
+#include "io/traced_store.hpp"
+
+#include "util/json.hpp"
+
+namespace prpb::io {
+
+namespace {
+
+std::string shard_args(const std::string& stage, const std::string& shard) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("stage", stage);
+  json.field("shard", shard);
+  json.end_object();
+  return json.str();
+}
+
+/// Shared shard-span bookkeeping for the reader/writer wrappers: starts
+/// timing at open, records the span and the latency observation when the
+/// wrapper is destroyed (shard closed / abandoned).
+class ShardScope {
+ public:
+  ShardScope(obs::Hooks hooks, obs::Histogram* latency_ms, const char* name,
+             const std::string& stage, const std::string& shard)
+      : trace_(hooks.tracing() ? hooks.trace : nullptr),
+        latency_ms_(latency_ms),
+        name_(name) {
+    if (trace_ != nullptr) {
+      start_ = trace_->now_us();
+      args_ = shard_args(stage, shard);
+    }
+  }
+
+  ~ShardScope() {
+    std::uint64_t elapsed_us = 0;
+    if (trace_ != nullptr) {
+      const std::uint64_t end = trace_->now_us();
+      elapsed_us = end - start_;
+      trace_->record_complete(name_, start_, elapsed_us, std::move(args_));
+    }
+    if (latency_ms_ != nullptr) {
+      latency_ms_->observe(static_cast<double>(elapsed_us) / 1e3);
+    }
+  }
+
+ private:
+  obs::TraceRecorder* trace_;
+  obs::Histogram* latency_ms_;
+  const char* name_;
+  std::uint64_t start_ = 0;
+  std::string args_;
+};
+
+class TracedReader final : public StageReader {
+ public:
+  /// scope_ precedes inner_, so the span starts before the inner open
+  /// and covers open latency as well as the reads.
+  TracedReader(StageStore& store, obs::Hooks hooks,
+               obs::Histogram* latency_ms, const std::string& stage,
+               const std::string& shard)
+      : scope_(hooks, latency_ms, "store/read_shard", stage, shard),
+        inner_(store.open_read(stage, shard)) {}
+
+  std::string_view read_chunk() override { return inner_->read_chunk(); }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return inner_->bytes_read();
+  }
+
+ private:
+  ShardScope scope_;
+  std::unique_ptr<StageReader> inner_;
+};
+
+class TracedWriter final : public StageWriter {
+ public:
+  TracedWriter(StageStore& store, obs::Hooks hooks,
+               obs::Histogram* latency_ms, const std::string& stage,
+               const std::string& shard)
+      : scope_(hooks, latency_ms, "store/write_shard", stage, shard),
+        inner_(store.open_write(stage, shard)) {}
+
+  std::string& buffer() override { return inner_->buffer(); }
+  void maybe_flush() override { inner_->maybe_flush(); }
+  void close() override { inner_->close(); }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return inner_->bytes_written();
+  }
+
+ private:
+  ShardScope scope_;
+  std::unique_ptr<StageWriter> inner_;
+};
+
+}  // namespace
+
+TracedStageStore::TracedStageStore(StageStore& inner, obs::Hooks hooks)
+    : inner_(inner), hooks_(hooks) {
+  if (hooks_.metrics != nullptr) {
+    read_latency_ms_ = &hooks_.metrics->histogram(
+        "store/shard_read_ms", obs::latency_buckets_ms());
+    write_latency_ms_ = &hooks_.metrics->histogram(
+        "store/shard_write_ms", obs::latency_buckets_ms());
+  }
+}
+
+std::unique_ptr<StageReader> TracedStageStore::open_read(
+    const std::string& stage, const std::string& shard) {
+  return std::make_unique<TracedReader>(inner_, hooks_, read_latency_ms_,
+                                        stage, shard);
+}
+
+std::unique_ptr<StageWriter> TracedStageStore::open_write(
+    const std::string& stage, const std::string& shard) {
+  return std::make_unique<TracedWriter>(inner_, hooks_, write_latency_ms_,
+                                        stage, shard);
+}
+
+}  // namespace prpb::io

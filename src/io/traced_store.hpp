@@ -1,0 +1,63 @@
+// Tracing decorator for StageStore: every shard opened for reading or
+// writing becomes a span covering the shard's whole open→close lifetime
+// ("store/read_shard", "store/write_shard", args naming the stage and
+// shard), and its latency feeds the shard-latency histograms in the
+// metrics registry. The runner stacks it outside the counting store when
+// tracing is on, so kernels see attributed per-shard I/O without any
+// kernel code knowing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "io/stage_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace prpb::io {
+
+class TracedStageStore final : public StageStore {
+ public:
+  /// `inner` is not owned. Constructing with empty hooks is legal (the
+  /// decorator just forwards), but callers normally only stack it when
+  /// tracing is live.
+  TracedStageStore(StageStore& inner, obs::Hooks hooks);
+
+  [[nodiscard]] std::string kind() const override { return inner_.kind(); }
+  std::unique_ptr<StageReader> open_read(const std::string& stage,
+                                         const std::string& shard) override;
+  std::unique_ptr<StageWriter> open_write(const std::string& stage,
+                                          const std::string& shard) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& stage) const override {
+    return inner_.list(stage);
+  }
+  [[nodiscard]] bool exists(const std::string& stage) const override {
+    return inner_.exists(stage);
+  }
+  void clear_stage(const std::string& stage) override {
+    inner_.clear_stage(stage);
+  }
+  void remove(const std::string& stage) override { inner_.remove(stage); }
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override {
+    inner_.remove_shard(stage, shard);
+  }
+  [[nodiscard]] std::uint64_t stage_bytes(
+      const std::string& stage) const override {
+    return inner_.stage_bytes(stage);
+  }
+  [[nodiscard]] const std::filesystem::path* root_dir() const override {
+    return inner_.root_dir();
+  }
+
+  [[nodiscard]] const obs::Hooks& hooks() const { return hooks_; }
+
+ private:
+  StageStore& inner_;
+  obs::Hooks hooks_;
+  obs::Histogram* read_latency_ms_ = nullptr;   // null without metrics
+  obs::Histogram* write_latency_ms_ = nullptr;
+};
+
+}  // namespace prpb::io

@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prpb::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  util::require(!bounds_.empty(),
+                "histogram: needs at least one bucket bound");
+  util::require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram: bounds must be strictly increasing");
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  // First bound >= value; one past the end selects the overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::observe(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  return snap;
+}
+
+void MetricsSnapshot::write_json(util::JsonWriter& json,
+                                 const char* key) const {
+  json.begin_object(key);
+  if (!counters.empty()) {
+    json.begin_object("counters");
+    for (const auto& [name, value] : counters) json.field(name, value);
+    json.end_object();
+  }
+  if (!gauges.empty()) {
+    json.begin_object("gauges");
+    for (const auto& [name, value] : gauges) json.field(name, value);
+    json.end_object();
+  }
+  if (!histograms.empty()) {
+    json.begin_object("histograms");
+    for (const auto& [name, h] : histograms) {
+      json.begin_object(name);
+      json.begin_array("bounds");
+      for (const double b : h.bounds) json.value(b);
+      json.end_array();
+      json.begin_array("counts");
+      for (const std::uint64_t c : h.counts) {
+        json.value(static_cast<std::int64_t>(c));
+      }
+      json.end_array();
+      json.field("count", h.count);
+      json.field("sum", h.sum);
+      json.field("min", h.min);
+      json.field("max", h.max);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+std::string MetricsSnapshot::json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  write_json(json);
+  json.end_object();
+  const std::string document = json.str();
+  // Unwrap {"metrics":{...}} to the bare object.
+  const std::size_t open = document.find('{', 1);
+  return document.substr(open, document.size() - open - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+std::vector<double> latency_buckets_ms() {
+  std::vector<double> bounds;
+  for (double b = 0.25; b <= 8192.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> batch_size_buckets() {
+  std::vector<double> bounds;
+  for (double b = 64.0; b <= 4.0 * 1024.0 * 1024.0; b *= 4.0) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+}  // namespace prpb::obs

@@ -1,0 +1,135 @@
+// Typed metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// Supersedes the flat name→double counter map the pipeline result used to
+// carry: kernels and I/O layers record into a MetricsRegistry through the
+// KernelContext hooks, the runner snapshots it, and the run report
+// serializes the snapshot under "metrics". Instruments are created on
+// first use (registry-locked) and returned by reference; the instruments
+// themselves are lock-free, so threads of the parallel backend can hit
+// the same counter or histogram concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prpb::util {
+class JsonWriter;
+}
+
+namespace prpb::obs {
+
+/// Monotonically increasing sum. add() is atomic (CAS loop — portable
+/// across standard libraries without atomic<double>::fetch_add).
+class Counter {
+ public:
+  void add(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void increment() { add(1.0); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Copyable histogram state (also the serialized form).
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets; an implicit overflow
+  /// bucket follows, so counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;  ///< meaningful only when count > 0
+};
+
+/// Fixed-boundary histogram. observe() is lock-free: per-bucket atomic
+/// counters plus CAS-maintained sum/min/max.
+class Histogram {
+ public:
+  /// Bounds must be non-empty and strictly increasing (checked;
+  /// throws util::ConfigError).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Index of the bucket `value` lands in (bounds are inclusive upper
+  /// limits; values above the last bound go to the overflow bucket).
+  [[nodiscard]] std::size_t bucket_index(double value) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Full registry state at one point in time; what reports serialize.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Writes a keyed "metrics" object into the currently open JSON object.
+  void write_json(util::JsonWriter& json, const char* key = "metrics") const;
+  /// Standalone JSON object (the write_json payload at the root).
+  [[nodiscard]] std::string json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create; returned references stay valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create; `bounds` is used only on first creation — later
+  /// lookups under the same name return the existing instrument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Default latency buckets (milliseconds): 0.25 ms to ~8 s, doubling.
+std::vector<double> latency_buckets_ms();
+
+/// Default size buckets (record counts): 64 to 4 Mi, quadrupling.
+std::vector<double> batch_size_buckets();
+
+}  // namespace prpb::obs

@@ -1,0 +1,170 @@
+#include "obs/resource_sampler.hpp"
+
+#include <chrono>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace prpb::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+/// VmRSS from /proc/self/status, in bytes (0 on any parse failure).
+std::uint64_t read_rss_bytes() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  std::uint64_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", // NOLINT(cert-err34-c)
+                  reinterpret_cast<unsigned long long*>(&rss_kb));
+      break;
+    }
+  }
+  std::fclose(file);
+  return rss_kb * 1024;
+}
+
+/// read_bytes/write_bytes from /proc/self/io (zeros when unreadable —
+/// the file needs no privileges for self, but containers may mask it).
+void read_io_bytes(std::uint64_t& read_bytes, std::uint64_t& write_bytes) {
+  read_bytes = 0;
+  write_bytes = 0;
+  std::FILE* file = std::fopen("/proc/self/io", "r");
+  if (file == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "read_bytes: %llu", &value) == 1) {
+      read_bytes = value;
+    } else if (std::sscanf(line, "write_bytes: %llu", &value) == 1) {
+      write_bytes = value;
+    }
+  }
+  std::fclose(file);
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+ResourceSample ResourceSampler::sample_now() {
+  ResourceSample sample;
+#if defined(__linux__)
+  sample.rss_bytes = read_rss_bytes();
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    sample.cpu_user_s = static_cast<double>(usage.ru_utime.tv_sec) +
+                        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    sample.cpu_sys_s = static_cast<double>(usage.ru_stime.tv_sec) +
+                       static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    if (sample.rss_bytes == 0) {
+      // ru_maxrss (KiB on Linux) as a fallback when /proc is masked.
+      sample.rss_bytes =
+          static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+    }
+  }
+  read_io_bytes(sample.io_read_bytes, sample.io_write_bytes);
+#endif
+  return sample;
+}
+
+ResourceSampler::ResourceSampler(Options options)
+    : options_(options), start_time_(TraceRecorder::Clock::now()) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  start_time_ = TraceRecorder::Clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void ResourceSampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+}
+
+void ResourceSampler::run() {
+  take_sample();  // immediate first sample
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+    if (stop_requested_) break;
+    lock.unlock();
+    take_sample();
+    lock.lock();
+  }
+  lock.unlock();
+  take_sample();  // final sample so short runs still record an end state
+}
+
+void ResourceSampler::take_sample() {
+  ResourceSample sample = sample_now();
+  sample.uptime_s =
+      std::chrono::duration<double>(TraceRecorder::Clock::now() -
+                                    start_time_)
+          .count();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(sample);
+    if (sample.rss_bytes > peak_rss_) peak_rss_ = sample.rss_bytes;
+  }
+  if (options_.trace != nullptr && options_.trace->enabled()) {
+    constexpr double kMiB = 1024.0 * 1024.0;
+    options_.trace->record_counter(
+        "mem/rss_mb", static_cast<double>(sample.rss_bytes) / kMiB);
+    options_.trace->record_counter("cpu/user_s", sample.cpu_user_s);
+    options_.trace->record_counter("cpu/sys_s", sample.cpu_sys_s);
+    options_.trace->record_counter(
+        "io/read_mb", static_cast<double>(sample.io_read_bytes) / kMiB);
+    options_.trace->record_counter(
+        "io/write_mb", static_cast<double>(sample.io_write_bytes) / kMiB);
+  }
+}
+
+std::vector<ResourceSample> ResourceSampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::size_t ResourceSampler::sample_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+std::uint64_t ResourceSampler::peak_rss_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_rss_;
+}
+
+void ResourceSampler::reset_peak() {
+  const std::uint64_t now_rss = sample_now().rss_bytes;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  peak_rss_ = now_rss;
+}
+
+}  // namespace prpb::obs

@@ -1,0 +1,74 @@
+// Background resource sampler: RSS, user/sys CPU and /proc/self/io at a
+// configurable interval. Each sample lands in an in-memory ring and — when
+// a TraceRecorder is attached and enabled — as Chrome counter-track events
+// ("mem/rss_mb", "cpu/user_s", "cpu/sys_s", "io/read_mb", "io/write_mb"),
+// so resource usage lines up under the kernel spans in the trace viewer.
+//
+// Linux-only data sources (/proc, getrusage); on other platforms samples
+// are zero-filled so callers need no platform gates.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace prpb::obs {
+
+struct ResourceSample {
+  double uptime_s = 0.0;          ///< seconds since sampler start
+  std::uint64_t rss_bytes = 0;    ///< resident set size
+  double cpu_user_s = 0.0;        ///< process user CPU, cumulative
+  double cpu_sys_s = 0.0;         ///< process system CPU, cumulative
+  std::uint64_t io_read_bytes = 0;   ///< /proc/self/io read_bytes
+  std::uint64_t io_write_bytes = 0;  ///< /proc/self/io write_bytes
+};
+
+class ResourceSampler {
+ public:
+  struct Options {
+    int interval_ms = 50;
+    /// Counter events go here when set and enabled (not owned).
+    TraceRecorder* trace = nullptr;
+  };
+
+  explicit ResourceSampler(Options options);
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+  ~ResourceSampler();  ///< stops if still running
+
+  /// Takes an immediate first sample, then one per interval. No-op when
+  /// already running.
+  void start();
+  /// Takes a final sample and joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::vector<ResourceSample> samples() const;
+  [[nodiscard]] std::size_t sample_count() const;
+  /// Highest RSS seen since start (or the last reset_peak()).
+  [[nodiscard]] std::uint64_t peak_rss_bytes() const;
+  /// Restarts peak tracking — per-cell peaks in benchmark sweeps.
+  void reset_peak();
+
+  /// One synchronous reading of the current process (uptime_s = 0).
+  static ResourceSample sample_now();
+
+ private:
+  void run();
+  void take_sample();
+
+  Options options_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  TraceRecorder::Clock::time_point start_time_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<ResourceSample> samples_;
+  std::uint64_t peak_rss_ = 0;
+};
+
+}  // namespace prpb::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prpb::obs {
+
+std::uint64_t TraceRecorder::make_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t TraceRecorder::thread_id() {
+  // Dense ids per (recorder, thread): the thread caches the id it was
+  // assigned by this recorder; a different recorder re-assigns.
+  thread_local std::uint64_t cached_recorder_id = 0;
+  thread_local std::uint32_t cached_tid = 0;
+  if (cached_recorder_id != recorder_id_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cached_recorder_id = recorder_id_;
+    cached_tid = next_tid_++;
+  }
+  return cached_tid;
+}
+
+void TraceRecorder::record_complete(std::string name, std::uint64_t ts,
+                                    std::uint64_t dur, std::string args) {
+  if (!enabled()) return;
+  const std::uint32_t tid = thread_id();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      {std::move(name), 'X', ts, dur, tid, std::move(args)});
+}
+
+void TraceRecorder::record_counter(std::string name, double value) {
+  if (!enabled()) return;
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("value", value);
+  json.end_object();
+  const std::uint64_t ts = now_us();
+  const std::uint32_t tid = thread_id();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(name), 'C', ts, 0, tid, json.str()});
+}
+
+void TraceRecorder::record_instant(std::string name, std::string args) {
+  if (!enabled()) return;
+  const std::uint64_t ts = now_us();
+  const std::uint32_t tid = thread_id();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(name), 'i', ts, 0, tid, std::move(args)});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  // Chrome's trace_event format: every event carries pid/tid/ts (µs);
+  // complete events add dur; counters put the sampled value in args.
+  const std::vector<TraceEvent> snapshot = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : snapshot) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += util::JsonWriter::escape(event.name);
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    out += std::to_string(event.ts);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(event.dur);
+    }
+    if (!event.args.empty()) {
+      out += ",\"args\":";
+      out += event.args;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(
+    const std::filesystem::path& path) const {
+  // Plain ofstream: obs sits below the io library in the dependency
+  // order, so it cannot use the stage/file stream helpers.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw util::IoError("trace: cannot open " + path.string() +
+                        " for writing");
+  }
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.put('\n');
+  if (!out.good()) {
+    throw util::IoError("trace: failed writing " + path.string());
+  }
+}
+
+}  // namespace prpb::obs

@@ -95,6 +95,7 @@ ExternalSortStats external_sort_stage(io::StageStore& store,
   slice.reserve(slice_edges);
   auto spill_slice = [&] {
     if (slice.empty()) return;
+    obs::Span span(config.hooks.trace, "k1/sort/run_gen");
     radix_sort(slice, config.key);
     const std::string name = run_name(0, runs.size());
     io::BinaryRunWriter writer(store.open_write(temp_stage, name));
@@ -111,13 +112,15 @@ ExternalSortStats external_sort_stage(io::StageStore& store,
                            stats.edges += 1;
                            if (slice.size() >= slice_edges) spill_slice();
                          }
-                       });
+                       },
+                       config.hooks);
   spill_slice();
   stats.initial_runs = runs.size();
 
   // --- Phase 2: cascaded k-way merge ---------------------------------------
   std::size_t generation = 1;
   while (runs.size() > config.fan_in) {
+    obs::Span pass_span(config.hooks.trace, "k1/sort/merge_pass");
     std::vector<std::string> next;
     for (std::size_t lo = 0; lo < runs.size(); lo += config.fan_in) {
       const std::size_t hi = std::min(runs.size(), lo + config.fan_in);
@@ -139,8 +142,9 @@ ExternalSortStats external_sort_stage(io::StageStore& store,
   }
 
   // --- Final merge straight into the sharded output ------------------------
+  obs::Span final_span(config.hooks.trace, "k1/sort/final_merge");
   io::EdgeBatchWriter writer(store, out_stage, codec, config.output_shards,
-                             stats.edges);
+                             stats.edges, config.hooks);
   merge_runs(store, temp_stage, runs, config.key,
              [&writer](const gen::Edge& edge) { writer.append(edge); });
   writer.close();

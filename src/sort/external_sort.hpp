@@ -13,6 +13,7 @@
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
 #include "io/tsv.hpp"
+#include "obs/trace.hpp"
 #include "sort/edge_sort.hpp"
 
 namespace prpb::sort {
@@ -26,6 +27,9 @@ struct ExternalSortConfig {
   /// flavor (the historical behavior).
   const io::StageCodec* stage_codec = nullptr;
   SortKey key = SortKey::kStartEnd;
+  /// Optional tracing hooks: spans per spilled run ("k1/sort/run_gen"),
+  /// per cascade pass ("k1/sort/merge_pass") and for the final merge.
+  obs::Hooks hooks;
 
   void validate() const;
   [[nodiscard]] const io::StageCodec& resolved_codec() const {

@@ -4,6 +4,7 @@
 
 #include "rand/rng.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace prpb::sparse {
 
@@ -49,7 +50,13 @@ void pagerank_iterate(const CsrMatrix& a, std::vector<double>& r,
       dangling_template[i] = dout[i] == 0.0 ? 1.0 : 0.0;
   }
 
+  std::vector<double> previous;
+  util::Stopwatch iter_watch;
   for (int it = 0; it < config.iterations; ++it) {
+    if (config.observer) {
+      previous = r;
+      iter_watch.restart();
+    }
     double r_sum = 0.0;
     for (const double x : r) r_sum += x;
 
@@ -66,6 +73,17 @@ void pagerank_iterate(const CsrMatrix& a, std::vector<double>& r,
     // a = ones(1,N) .* (1-c) ./ N, i.e. the /N is included (appendix form).
     const double add = (1.0 - c) * r_sum / n + c * dangling_mass / n;
     for (std::size_t i = 0; i < r.size(); ++i) r[i] = c * y[i] + add;
+
+    if (config.observer) {
+      IterationStats stats;
+      stats.iteration = it;
+      stats.seconds = iter_watch.seconds();
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        stats.residual_l1 += std::abs(r[i] - previous[i]);
+        stats.rank_sum += r[i];
+      }
+      config.observer(stats);
+    }
   }
 }
 
@@ -88,6 +106,10 @@ ConvergenceResult pagerank_until_converged(const CsrMatrix& a,
 
   PageRankConfig step = config;
   step.iterations = 1;
+  // The convergence loop computes its own residual; running the observer on
+  // each single-iteration step would double the work and mislabel the
+  // iteration numbers, so drop it here.
+  step.observer = nullptr;
   std::vector<double> previous;
   for (int it = 0; it < max_iterations; ++it) {
     previous = result.ranks;

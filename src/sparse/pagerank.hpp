@@ -9,17 +9,35 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sparse/csr.hpp"
 
 namespace prpb::sparse {
 
+/// Per-iteration telemetry handed to PageRankConfig::observer. The residual
+/// is the L1 distance between successive rank vectors (the convergence
+/// criterion of the "real application" variant); rank_sum tracks the mass
+/// decay the paper's dangling-free update exhibits.
+struct IterationStats {
+  int iteration = 0;         ///< 0-based
+  double residual_l1 = 0.0;  ///< ||r_k - r_{k-1}||_1
+  double rank_sum = 0.0;     ///< sum(r_k)
+  double seconds = 0.0;      ///< wall time of this iteration
+};
+
+using IterationObserver = std::function<void(const IterationStats&)>;
+
 struct PageRankConfig {
   int iterations = 20;
   double damping = 0.85;  ///< c
   std::uint64_t seed = 20160205;
   bool redistribute_dangling = false;  ///< extension beyond the paper
+  /// Optional per-iteration callback. When set, the loop keeps a copy of
+  /// the previous vector to compute the residual — leave unset on hot
+  /// paths that don't need telemetry.
+  IterationObserver observer;
 
   void validate() const;
 };

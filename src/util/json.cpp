@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -162,6 +163,272 @@ void JsonWriter::value(std::int64_t number) {
 std::string JsonWriter::str() const {
   ensure(stack_.size() == 1, "JsonWriter: unclosed containers");
   return out_;
+}
+
+// ---- JsonValue parser -------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw IoError("json parse error at offset " + std::to_string(pos_) +
+                  ": " + why);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (pos_ >= text_.size() || text_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (depth_ > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kString;
+        value.string_ = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kBool;
+        if (consume_literal("true")) {
+          value.bool_ = true;
+        } else if (consume_literal("false")) {
+          value.bool_ = false;
+        } else {
+          fail("invalid literal");
+        }
+        return value;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kObject;
+    ++depth_;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      value.members_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kArray;
+    ++depth_;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      value.array_.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    --depth_;
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char ch = text_[pos_++];
+      code <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        code |= static_cast<unsigned>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        code |= static_cast<unsigned>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        code |= static_cast<unsigned>(ch - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    // UTF-8 encode the BMP code point; surrogate pairs are not combined
+    // (our writer never emits them — it escapes only control characters).
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    JsonValue value;
+    value.type_ = JsonValue::Type::kNumber;
+    value.number_ = parsed;
+    return value;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::boolean() const {
+  ensure(is_bool(), "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::number() const {
+  ensure(is_number(), "JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::string() const {
+  ensure(is_string(), "JsonValue: not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  ensure(is_array(), "JsonValue: not an array");
+  return array_;
+}
+
+const JsonValue::Members& JsonValue::members() const {
+  ensure(is_object(), "JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  ensure(value != nullptr,
+         "JsonValue: missing member '" + std::string(key) + "'");
+  return *value;
 }
 
 }  // namespace prpb::util

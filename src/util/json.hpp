@@ -1,11 +1,13 @@
-// Minimal JSON writer (no parsing) for machine-readable run reports.
-// Produces deterministic, correctly escaped output with no external
-// dependencies; nesting is validated at runtime.
+// Minimal JSON support for machine-readable run reports and traces:
+// JsonWriter produces deterministic, correctly escaped output, and
+// JsonValue is a small recursive-descent parser — enough to validate our
+// own reports and Chrome traces round-trip, with no external dependencies.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace prpb::util {
@@ -53,6 +55,52 @@ class JsonWriter {
   std::string out_;
   std::vector<Frame> stack_;
   std::vector<bool> has_items_;
+};
+
+/// Parsed JSON document node. Objects preserve member order (stored as a
+/// key/value sequence, not a map) so round-trip tests can compare against
+/// the writer's deterministic layout.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  /// Parses a complete document (one value, surrounded only by
+  /// whitespace). Throws IoError on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw InvariantError on type mismatch.
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& string() const;
+  [[nodiscard]] const Array& array() const;
+  [[nodiscard]] const Members& members() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws InvariantError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Members members_;
 };
 
 }  // namespace prpb::util

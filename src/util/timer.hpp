@@ -14,6 +14,9 @@ namespace prpb::util {
 class Stopwatch {
  public:
   using Clock = std::chrono::steady_clock;
+  // Every duration in reports and traces comes from this clock; a
+  // non-monotonic source would let NTP steps produce negative kernel times.
+  static_assert(Clock::is_steady, "Stopwatch requires a monotonic clock");
 
   Stopwatch() : start_(Clock::now()) {}
 

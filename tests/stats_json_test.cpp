@@ -1,12 +1,16 @@
-// Tests for util/stats (summaries, trend fits) and util/json + core/report
-// (machine-readable run reports).
+// Tests for util/stats (summaries, trend fits), util/json (writer and
+// parser), the obs metrics registry, and core/report (machine-readable run
+// reports).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/json.hpp"
@@ -148,6 +152,154 @@ TEST(JsonTest, ArrayOfStrings) {
   EXPECT_EQ(json.str(), R"(["a","b\"c"])");
 }
 
+// ---- json parser -------------------------------------------------------------------
+
+TEST(JsonParseTest, ScalarsAndContainers) {
+  const auto doc = util::JsonValue::parse(
+      R"({"name":"prpb","n":256,"rate":-2.5e3,"ok":true,"gone":null,)"
+      R"("list":[1,"two",false]})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").string(), "prpb");
+  EXPECT_DOUBLE_EQ(doc.at("n").number(), 256.0);
+  EXPECT_DOUBLE_EQ(doc.at("rate").number(), -2500.0);
+  EXPECT_TRUE(doc.at("ok").boolean());
+  EXPECT_TRUE(doc.at("gone").is_null());
+  const auto& list = doc.at("list").array();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[0].number(), 1.0);
+  EXPECT_EQ(list[1].string(), "two");
+  EXPECT_FALSE(list[2].boolean());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto doc = util::JsonValue::parse(R"(["a\"b\\c\nd","A"])");
+  EXPECT_EQ(doc.array()[0].string(), "a\"b\\c\nd");
+  EXPECT_EQ(doc.array()[1].string(), "A");
+}
+
+TEST(JsonParseTest, ObjectsPreserveMemberOrder) {
+  const auto doc = util::JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParseTest, MalformedInputThrows) {
+  for (const char* bad : {"", "{", "[1,]", "{\"k\":}", "tru", "1 2",
+                          "{\"k\" 1}", "\"unterminated"}) {
+    EXPECT_THROW(util::JsonValue::parse(bad), util::IoError) << bad;
+  }
+}
+
+TEST(JsonParseTest, AccessorsCheckTypes) {
+  const auto doc = util::JsonValue::parse("[1]");
+  EXPECT_THROW((void)doc.string(), util::InvariantError);
+  EXPECT_THROW((void)doc.at("k"), util::InvariantError);
+  EXPECT_EQ(doc.find("k"), nullptr);
+}
+
+TEST(JsonParseTest, WriterOutputRoundTrips) {
+  util::JsonWriter writer;
+  writer.begin_object();
+  writer.field("label", "a\"b\nc");
+  writer.begin_array("xs");
+  writer.value(1.5);
+  writer.value(std::int64_t{-3});
+  writer.end_array();
+  writer.end_object();
+  const auto doc = util::JsonValue::parse(writer.str());
+  EXPECT_EQ(doc.at("label").string(), "a\"b\nc");
+  EXPECT_DOUBLE_EQ(doc.at("xs").array()[0].number(), 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("xs").array()[1].number(), -3.0);
+}
+
+// ---- metrics registry --------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpper) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);  // bounds are inclusive upper limits
+  EXPECT_EQ(h.bucket_index(1.5), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.1), 3u);  // overflow bucket
+
+  for (const double v : {0.5, 1.0, 1.5, 4.0, 100.0}) h.observe(v);
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 107.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+}
+
+TEST(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW((obs::Histogram({})), util::ConfigError);
+  EXPECT_THROW((obs::Histogram({2.0, 1.0})), util::ConfigError);
+  EXPECT_THROW((obs::Histogram({1.0, 1.0})), util::ConfigError);
+}
+
+TEST(MetricsTest, CounterMergesAcrossThreads) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      auto& counter = registry.counter("edges");
+      auto& histogram =
+          registry.histogram("batch", obs::batch_size_buckets());
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        counter.add(1.0);
+        histogram.observe(128.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("edges"),
+                   static_cast<double>(kThreads * kAddsPerThread));
+  EXPECT_EQ(snap.histograms.at("batch").count,
+            static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.counter("k1/spills").add(3.0);
+  registry.gauge("mem/rss_mb").set(42.5);
+  auto& h = registry.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(100.0);
+
+  const auto doc = util::JsonValue::parse(registry.snapshot().json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("k1/spills").number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("mem/rss_mb").number(), 42.5);
+  const auto& lat = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(lat.at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(lat.at("sum").number(), 100.5);
+  const auto& counts = lat.at("counts").array();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(counts[1].number(), 0.0);
+  EXPECT_DOUBLE_EQ(counts[2].number(), 1.0);
+}
+
+TEST(MetricsTest, DefaultBucketLaddersAreStrictlyIncreasing) {
+  for (const auto& bounds :
+       {obs::latency_buckets_ms(), obs::batch_size_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
 // ---- run report --------------------------------------------------------------------
 
 TEST(ReportTest, ContainsAllSections) {
@@ -164,10 +316,37 @@ TEST(ReportTest, ContainsAllSections) {
         "\"k0_generate\"", "\"k1_sort\"", "\"k2_filter\"",
         "\"k3_pagerank\"", "\"rank_digest\"", "\"matrix_fingerprint\"",
         "\"num_edges\":2048", "\"storage\":\"dir\"", "\"bytes_read\"",
-        "\"bytes_written\"", "\"files_read\"", "\"files_written\""}) {
+        "\"bytes_written\"", "\"files_read\"", "\"files_written\"",
+        "\"wall_seconds_total\"", "\"metrics\"", "\"k3_iterations\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(json.find("eigen_check"), std::string::npos);  // not requested
+}
+
+TEST(ReportTest, WallClockCoversKernelsAndTelemetryParses) {
+  util::TempDir work("prpb-report");
+  core::PipelineConfig config;
+  config.scale = 7;
+  config.work_dir = work.path();
+  const auto backend = core::make_backend("native");
+  const auto result = core::run_pipeline(config, *backend);
+
+  // All five timings come off the same monotonic clock, so the end-to-end
+  // wall time bounds the per-kernel sum from above.
+  const double kernel_sum = result.k0.seconds + result.k1.seconds +
+                            result.k2.seconds + result.k3.seconds;
+  EXPECT_GE(result.wall_seconds_total, kernel_sum);
+
+  const auto doc =
+      util::JsonValue::parse(core::run_report_json(config, result));
+  EXPECT_GE(doc.at("wall_seconds_total").number(), kernel_sum);
+  const auto& iterations = doc.at("k3_iterations").array();
+  ASSERT_EQ(iterations.size(), static_cast<std::size_t>(config.iterations));
+  EXPECT_DOUBLE_EQ(iterations[0].at("iteration").number(), 0.0);
+  EXPECT_GE(iterations[0].at("residual_l1").number(), 0.0);
+  // Typed metrics replaced the flat counter map; the native path records
+  // at least its external-sort decision counter or shard I/O histograms.
+  EXPECT_TRUE(doc.at("metrics").is_object());
 }
 
 TEST(ReportTest, IncludesEigenCheckWhenGiven) {
