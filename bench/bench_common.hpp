@@ -25,6 +25,7 @@
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/fs.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -41,7 +42,9 @@ struct SweepOptions {
   std::string generator = "kronecker";
   std::string storage = "dir";       ///< stage store kind: dir | mem
   std::string stage_format = "tsv";  ///< stage encoding: tsv | binary
+  bool fast_path = false;  ///< run cells with the src/perf fast paths on
   std::string trace_out;  ///< when set, write a Chrome trace of the sweep
+  std::string json_path;  ///< when set, the series is also written as JSON
 };
 
 /// Standard CLI for figure benches. Returns false if --help was printed.
@@ -61,8 +64,13 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
                   "dir");
   args.add_option("stage-format", "stage encoding: tsv | binary", "tsv");
+  args.add_option("fast-path",
+                  "src/perf fast paths (radix sort, prefetch, blocked "
+                  "SpMV): on | off", "off");
   args.add_option("trace-out",
                   "write a Chrome trace_event JSON trace of the sweep", "");
+  args.add_option("json",
+                  "also write the series to this JSON file", "");
   if (!args.parse(argc, argv)) return false;
   options.min_scale = static_cast<int>(args.get_int("min-scale"));
   options.max_scale = static_cast<int>(args.get_int("max-scale"));
@@ -73,7 +81,12 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.generator = args.get("generator");
   options.storage = args.get("storage");
   options.stage_format = args.get("stage-format");
+  const std::string fast_path = args.get("fast-path");
+  util::require(fast_path == "on" || fast_path == "off",
+                "--fast-path must be 'on' or 'off'");
+  options.fast_path = fast_path == "on";
   options.trace_out = args.get("trace-out");
+  options.json_path = args.get("json");
   util::require(options.trials >= 1, "--trials must be >= 1");
   util::require(options.storage == "dir" || options.storage == "mem",
                 "--storage must be dir or mem");
@@ -96,12 +109,47 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
 
 /// One figure cell: a kernel measurement for (backend, scale).
 struct SeriesPoint {
+  int kernel = -1;  ///< 0-3, or -1 for whole-pipeline cells
   std::string backend;
   int scale = 0;
   std::uint64_t edges = 0;
   double seconds = 0;
   double edges_per_second = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  // Cell configuration labels, carried into machine-readable output.
+  std::string storage;
+  std::string stage_format;
+  bool fast_path = false;
 };
+
+/// Serializes sweep cells as the machine-readable kernel benchmark
+/// document ({"benchmark": "prpb-kernels", "cells": [...]}) consumed by
+/// BENCH_kernels.json readers.
+inline std::string kernels_json(const std::vector<SeriesPoint>& points) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("benchmark", "prpb-kernels");
+  json.begin_array("cells");
+  for (const auto& p : points) {
+    json.begin_object();
+    if (p.kernel >= 0) {
+      json.field("kernel", static_cast<std::int64_t>(p.kernel));
+    }
+    json.field("backend", p.backend);
+    json.field("scale", static_cast<std::int64_t>(p.scale));
+    json.field("edges", p.edges);
+    json.field("seconds", p.seconds);
+    json.field("edges_per_second", p.edges_per_second);
+    json.field("peak_rss_bytes", p.peak_rss_bytes);
+    json.field("storage", p.storage);
+    json.field("stage_format", p.stage_format);
+    json.field("fast_path", p.fast_path);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
 
 inline void print_series(const std::string& title,
                          const std::vector<SeriesPoint>& points) {
@@ -127,6 +175,7 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
   config.generator = options.generator;
   config.storage = options.storage;
   config.stage_format = options.stage_format;
+  config.fast_path = options.fast_path;
   config.work_dir = work.path();
   return config;
 }
@@ -198,15 +247,24 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
         processed *= static_cast<std::uint64_t>(config.iterations);
       }
       const double seconds = util::median(timings);
-      points.push_back({name, scale, config.num_edges(), seconds,
-                        seconds > 0
-                            ? static_cast<double>(processed) / seconds
-                            : 0.0});
       // The background thread may not have sampled within a short cell, so
       // fold in one synchronous reading before reporting the peak.
       const std::uint64_t peak_rss =
           std::max(sampler.peak_rss_bytes(),
                    obs::ResourceSampler::sample_now().rss_bytes);
+      SeriesPoint point;
+      point.kernel = kernel;
+      point.backend = name;
+      point.scale = scale;
+      point.edges = config.num_edges();
+      point.seconds = seconds;
+      point.edges_per_second =
+          seconds > 0 ? static_cast<double>(processed) / seconds : 0.0;
+      point.peak_rss_bytes = peak_rss;
+      point.storage = config.storage;
+      point.stage_format = config.stage_format;
+      point.fast_path = config.fast_path;
+      points.push_back(std::move(point));
       std::fprintf(stderr,
                    "  [fig] kernel%d %s scale %d: %.3fs (peak RSS %.1f MB)\n",
                    kernel, name.c_str(), scale, seconds,
@@ -227,6 +285,9 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
              "," + util::sci(p.edges_per_second) + "\n";
     }
     io::write_file(options.csv_path, csv);
+  }
+  if (!options.json_path.empty()) {
+    io::write_file(options.json_path, kernels_json(points) + "\n");
   }
   return points;
 }

@@ -1,0 +1,53 @@
+// Machine-readable per-kernel benchmark: every cell of
+// {kernel 0-3} x {backend} x {fast-path off|on} at each sweep scale, with
+// edges/sec, median seconds, and peak RSS, written as one JSON document
+// (BENCH_kernels.json). This is the artifact CI and the ablation docs
+// consume; the human-readable figure benches (bench_fig4..7) stay the
+// per-kernel narrative views.
+//
+//   bench_kernels --min-scale 16 --max-scale 16 \
+//       --backends native,parallel --json BENCH_kernels.json
+//
+// --fast-path is ignored here: both settings are always measured, since
+// the off/on delta is the point of the document.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prpb;
+
+  bench::SweepOptions options;
+  options.backends = {"native", "parallel"};
+  if (!bench::parse_sweep_options(
+          argc, argv, "bench_kernels",
+          "all kernels x backends x fast-path, as JSON", options)) {
+    return 0;
+  }
+  if (options.json_path.empty()) options.json_path = "BENCH_kernels.json";
+
+  try {
+    std::vector<bench::SeriesPoint> cells;
+    for (const bool fast : {false, true}) {
+      bench::SweepOptions cell_options = options;
+      cell_options.fast_path = fast;
+      cell_options.csv_path.clear();
+      cell_options.json_path.clear();
+      cell_options.trace_out.clear();
+      for (int kernel = 0; kernel <= 3; ++kernel) {
+        std::fprintf(stderr, "[bench_kernels] kernel %d, fast-path %s\n",
+                     kernel, fast ? "on" : "off");
+        const auto points = bench::sweep_kernel(cell_options, kernel);
+        cells.insert(cells.end(), points.begin(), points.end());
+      }
+    }
+
+    io::write_file(options.json_path, bench::kernels_json(cells) + "\n");
+    std::printf("wrote %zu cells to %s\n", cells.size(),
+                options.json_path.c_str());
+
+    bench::print_series("kernel cells (fast-path off, then on)", cells);
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "bench_kernels: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

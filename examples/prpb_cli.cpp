@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
                   "tsv");
   args.add_option("memory-budget",
                   "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
+  args.add_option("fast-path",
+                  "src/perf fast paths (radix sort, prefetch, blocked "
+                  "SpMV): on | off", "off");
   args.add_option("json", "write a machine-readable run report here", "");
   args.add_option("trace-out",
                   "write a Chrome trace_event JSON trace here "
@@ -72,6 +75,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("memory-budget"));
   config.storage = args.get("storage");
   config.stage_format = args.get("stage-format");
+  const std::string fast_path = args.get("fast-path");
+  util::require(fast_path == "on" || fast_path == "off",
+                "--fast-path must be 'on' or 'off'");
+  config.fast_path = fast_path == "on";
   if (args.get_flag("sort-start-only"))
     config.sort_key = sort::SortKey::kStart;
 
@@ -87,11 +94,12 @@ int main(int argc, char** argv) {
     const auto backend = core::make_backend(args.get("backend"));
     std::printf(
         "prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu "
-        "storage=%s stage-format=%s\n",
+        "storage=%s stage-format=%s fast-path=%s\n",
         backend->name().c_str(), config.generator.c_str(), config.scale,
         util::human_count(config.num_vertices()).c_str(),
         util::human_count(config.num_edges()).c_str(), config.num_files,
-        config.storage.c_str(), config.stage_format.c_str());
+        config.storage.c_str(), config.stage_format.c_str(),
+        config.fast_path ? "on" : "off");
 
     // Observability: tracing (and the resource-counter tracks) only turn
     // on when --trace-out is given; the metrics registry runs either way

@@ -5,6 +5,7 @@
 
 #include "gen/generator.hpp"
 #include "io/edge_files.hpp"
+#include "io/prefetch.hpp"
 #include "sort/external_sort.hpp"
 #include "sort/policy.hpp"
 #include "sparse/filter.hpp"
@@ -47,9 +48,14 @@ void NativeBackend::kernel1(const KernelContext& ctx) {
   }
   gen::EdgeList edges;
   {
+    // fast_path swaps in the prefetched reader: the same edge stream, with
+    // shard decode overlapped ahead of the append loop on a helper thread.
     const obs::Span span = ctx.span("k1/read");
-    edges = io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
-                               ctx.hooks);
+    edges = config.fast_path
+                ? io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
+                                                ctx.codec(), ctx.hooks)
+                : io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
+                                     ctx.hooks);
   }
   {
     const obs::Span span = ctx.span("k1/radix_sort");
@@ -66,8 +72,11 @@ sparse::CsrMatrix NativeBackend::kernel2(const KernelContext& ctx) {
   gen::EdgeList edges;
   {
     const obs::Span span = ctx.span("k2/read");
-    edges = io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
-                               ctx.hooks);
+    edges = ctx.config.fast_path
+                ? io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
+                                                ctx.codec(), ctx.hooks)
+                : io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
+                                     ctx.hooks);
   }
   const obs::Span span = ctx.span("k2/filter_edges");
   return sparse::filter_edges(edges, ctx.config.num_vertices(),

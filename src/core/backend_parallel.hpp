@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/backend.hpp"
+#include "util/threadpool.hpp"
 
 namespace prpb::core {
 
@@ -13,6 +15,11 @@ namespace prpb::core {
 /// output entry via the transposed matrix. Results are bit-identical to
 /// `native` for kernels 0-2 and fp-identical for kernel 3's additions
 /// within each output entry.
+///
+/// With config.fast_path set, kernels 1-3 switch to the src/perf
+/// implementations (radix partition sort, prefetched reads + parallel CSR
+/// build, cache-blocked SpMV) — same results, the reference paths remain
+/// selectable for ablation.
 class ParallelBackend final : public PipelineBackend {
  public:
   /// threads == 0 means hardware concurrency.
@@ -27,7 +34,13 @@ class ParallelBackend final : public PipelineBackend {
                               const sparse::CsrMatrix& matrix) override;
 
  private:
+  /// The worker pool, created on first use and reused across kernels —
+  /// per-kernel pool construction would pay thread spawn/join inside the
+  /// timed sections.
+  util::ThreadPool& pool();
+
   std::size_t threads_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace prpb::core

@@ -38,6 +38,11 @@ struct PipelineConfig {
   /// RAM budget for kernel 1; 0 means unlimited (always in-memory).
   /// When the in-memory sort would exceed it, the external sort runs.
   std::uint64_t memory_budget_bytes = 0;
+  /// Enables the src/perf fast paths: kernel 1's radix partition sort,
+  /// prefetched (decode-overlapped) stage reads, kernel 2's parallel CSR
+  /// build and kernel 3's cache-blocked SpMV. Results are bit-identical
+  /// to the reference paths; off by default for the ablation baseline.
+  bool fast_path = false;
 
   [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
   [[nodiscard]] std::uint64_t num_edges() const {

@@ -40,6 +40,7 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("num_edges", config.num_edges());
   json.field("storage", config.storage);
   json.field("stage_format", config.stage_format);
+  json.field("fast_path", config.fast_path);
   json.end_object();
 
   json.field("backend", result.backend);
@@ -47,6 +48,7 @@ std::string run_report_json(const PipelineConfig& config,
   if (!result.stage_format.empty()) {
     json.field("stage_format", result.stage_format);
   }
+  json.field("fast_path", result.fast_path);
 
   json.field("wall_seconds_total", result.wall_seconds_total);
 

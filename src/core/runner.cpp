@@ -36,8 +36,7 @@ void fold_io(KernelMetrics& metrics, const io::StageIoCounters& delta,
 /// meaningless if a later kernel silently starts from nothing.
 void require_stage(io::StageStore& store, const char* stage,
                    const std::string& why) {
-  if (!store.exists(stage) || store.list(stage).empty() ||
-      store.stage_bytes(stage) == 0) {
+  if (!store.exists(stage) || store.empty(stage)) {
     throw util::PipelineError("run_pipeline: stage '" + std::string(stage) +
                               "' is missing or empty (" + why + ")");
   }
@@ -79,6 +78,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   result.backend = backend.name();
   result.storage = store.kind();
   result.stage_format = config.stage_format;
+  result.fast_path = config.fast_path;
   result.num_vertices = config.num_vertices();
   result.num_edges = config.num_edges();
   const std::uint64_t m = config.num_edges();

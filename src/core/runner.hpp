@@ -60,6 +60,7 @@ struct PipelineResult {
   std::string backend;
   std::string storage;       ///< store kind the run used ("dir" | "mem")
   std::string stage_format;  ///< stage encoding ("tsv" | "binary")
+  bool fast_path = false;    ///< whether the src/perf fast paths were on
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
   KernelMetrics k0;  ///< untimed by the benchmark; measured for insight

@@ -1,0 +1,122 @@
+#include "io/prefetch.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prpb::io {
+
+namespace {
+
+/// Depth histogram bounds: the queue occupancy right after each enqueue,
+/// 1..16 (depths beyond 16 land in the overflow bucket).
+std::vector<double> depth_buckets() { return {1, 2, 4, 8, 16}; }
+
+}  // namespace
+
+ShardPrefetcher::ShardPrefetcher(StageStore& store, std::string stage,
+                                 const StageCodec& codec,
+                                 std::size_t batch_capacity, std::size_t depth,
+                                 obs::Hooks hooks)
+    : store_(store),
+      stage_(std::move(stage)),
+      codec_(codec),
+      capacity_(batch_capacity),
+      depth_(depth),
+      hooks_(hooks) {
+  util::require(depth_ >= 1, "ShardPrefetcher: queue depth must be >= 1");
+  producer_ = std::thread([this] { produce(); });
+}
+
+ShardPrefetcher::~ShardPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  not_full_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+void ShardPrefetcher::produce() {
+  obs::AccumulatingSpan busy(hooks_.trace, "io/prefetch");
+  obs::Histogram* depth_hist = nullptr;
+  if (hooks_.metrics != nullptr) {
+    depth_hist =
+        &hooks_.metrics->histogram("io/prefetch_depth", depth_buckets());
+  }
+  try {
+    EdgeBatchReader reader(store_, stage_, codec_, capacity_, hooks_);
+    gen::EdgeList batch;
+    for (;;) {
+      busy.begin();
+      const bool more = reader.next(batch);
+      busy.end();
+      if (!more) break;
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < depth_ || stop_; });
+      if (stop_) return;
+      queue_.push_back(std::move(batch));
+      if (depth_hist != nullptr) {
+        depth_hist->observe(static_cast<double>(queue_.size()));
+      }
+      lock.unlock();
+      not_empty_.notify_one();
+      batch = gen::EdgeList{};
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error_ = std::current_exception();
+  }
+  if (busy.active()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("stage", stage_);
+    json.end_object();
+    busy.flush(json.str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool ShardPrefetcher::next(gen::EdgeList& batch) {
+  batch.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !queue_.empty() || done_; });
+  if (queue_.empty()) {
+    // Producer finished: clean end of stage, or a captured failure.
+    if (error_ != nullptr) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;  // rethrow once; later calls report end of stage
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+    return false;
+  }
+  batch = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  edges_read_ += batch.size();
+  return true;
+}
+
+gen::EdgeList read_all_edges_prefetched(StageStore& store,
+                                        const std::string& stage,
+                                        const StageCodec& codec,
+                                        obs::Hooks hooks) {
+  ShardPrefetcher prefetcher(store, stage, codec, kDefaultBatchEdges,
+                             kDefaultPrefetchDepth, hooks);
+  gen::EdgeList edges;
+  gen::EdgeList batch;
+  while (prefetcher.next(batch)) {
+    edges.insert(edges.end(), batch.begin(), batch.end());
+  }
+  return edges;
+}
+
+}  // namespace prpb::io

@@ -1,0 +1,97 @@
+// Double-buffered shard prefetching.
+//
+// Every timed kernel alternates "decode shard bytes" with "compute on the
+// decoded edges"; on the reference paths those phases serialize, so the
+// CPU idles during decode and the storage idles during compute. The
+// ShardPrefetcher moves an EdgeBatchReader onto a producer thread feeding
+// a bounded batch queue, overlapping decode of shard i+1 with compute on
+// shard i. Batch order — and therefore edge order — is exactly the
+// reader's, so consumers see an identical stream.
+//
+// The queue depth is deliberately small (default 2, a classic double
+// buffer): one batch in flight to the consumer, one being decoded. With
+// hooks attached the producer's busy time becomes one "io/prefetch" span
+// per stage and every enqueue feeds the "io/prefetch_depth" histogram —
+// a full queue means decode is ahead (I/O-bound compute), an empty one
+// means compute is starved (decode-bound).
+//
+// A producer-side exception (corrupt shard, store failure) is captured and
+// rethrown from next() once the batches decoded before the failure have
+// been drained — the same prefix-then-throw behavior the inline reader
+// has. Destruction stops the producer and joins it, even mid-stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gen/edge.hpp"
+#include "io/edge_batch.hpp"
+#include "io/stage_codec.hpp"
+#include "io/stage_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace prpb::io {
+
+/// Queue depth used when callers do not pick one (double buffering).
+inline constexpr std::size_t kDefaultPrefetchDepth = 2;
+
+/// Streams a stage's shards as batches, decoded ahead of the consumer on
+/// a dedicated producer thread. Drop-in for EdgeBatchReader::next().
+class ShardPrefetcher {
+ public:
+  /// The store must support concurrent reads (all in-tree stores do).
+  /// Hooks are used from the producer thread; the recorder serializes.
+  ShardPrefetcher(StageStore& store, std::string stage,
+                  const StageCodec& codec,
+                  std::size_t batch_capacity = kDefaultBatchEdges,
+                  std::size_t depth = kDefaultPrefetchDepth,
+                  obs::Hooks hooks = {});
+  ShardPrefetcher(const ShardPrefetcher&) = delete;
+  ShardPrefetcher& operator=(const ShardPrefetcher&) = delete;
+  /// Stops the producer and joins it, discarding undrained batches.
+  ~ShardPrefetcher();
+
+  /// Moves the next decoded batch into `batch`. Returns false once the
+  /// stage is exhausted; rethrows a producer-side failure after the
+  /// batches decoded before it have been consumed.
+  bool next(gen::EdgeList& batch);
+
+  /// Edges handed to the consumer so far.
+  [[nodiscard]] std::uint64_t edges_read() const { return edges_read_; }
+
+ private:
+  void produce();
+
+  StageStore& store_;
+  std::string stage_;
+  const StageCodec& codec_;
+  std::size_t capacity_;
+  std::size_t depth_;
+  obs::Hooks hooks_;
+
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<gen::EdgeList> queue_;
+  bool done_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::uint64_t edges_read_ = 0;  // consumer-side only
+  std::thread producer_;          // last member: starts after state is ready
+};
+
+/// read_all_edges with the decode overlapped ahead of the append loop.
+/// Returns the identical edge list (same order, same contents).
+gen::EdgeList read_all_edges_prefetched(StageStore& store,
+                                        const std::string& stage,
+                                        const StageCodec& codec,
+                                        obs::Hooks hooks = {});
+
+}  // namespace prpb::io

@@ -60,6 +60,16 @@ std::uint64_t DirStageStore::stage_bytes(const std::string& stage) const {
   return exists(stage) ? util::dir_bytes(resolve(stage)) : 0;
 }
 
+bool DirStageStore::empty(const std::string& stage) const {
+  if (!exists(stage)) return true;
+  // Early-exit directory walk: one non-empty shard settles it, no need to
+  // stat (let alone sum) the whole stage the way stage_bytes() does.
+  for (const auto& entry : fs::directory_iterator(resolve(stage))) {
+    if (entry.is_regular_file() && entry.file_size() > 0) return false;
+  }
+  return true;
+}
+
 // ---- MemStageStore ---------------------------------------------------------
 
 namespace {
@@ -180,6 +190,16 @@ std::uint64_t MemStageStore::stage_bytes(const std::string& stage) const {
   std::uint64_t total = 0;
   for (const auto& [name, blob] : it->second) total += blob->size();
   return total;
+}
+
+bool MemStageStore::empty(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  if (it == stages_.end()) return true;
+  for (const auto& [name, blob] : it->second) {
+    if (!blob->empty()) return false;
+  }
+  return true;
 }
 
 // ---- CountingStageStore ----------------------------------------------------

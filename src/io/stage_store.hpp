@@ -60,6 +60,13 @@ class StageStore {
   /// Total payload bytes across all shards of a stage (0 when absent).
   [[nodiscard]] virtual std::uint64_t stage_bytes(
       const std::string& stage) const = 0;
+  /// True when the stage is absent or holds no payload bytes. The default
+  /// is a correct-but-costly probe; concrete stores override it with a
+  /// cheap check (a full list()/stage_bytes() sweep just to test emptiness
+  /// scans every shard).
+  [[nodiscard]] virtual bool empty(const std::string& stage) const {
+    return !exists(stage) || stage_bytes(stage) == 0;
+  }
 
   /// Filesystem root when stages are backed by directories, nullptr
   /// otherwise. Path-based subsystems (the external sort) use this to
@@ -92,6 +99,7 @@ class DirStageStore final : public StageStore {
                     const std::string& shard) override;
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override;
+  [[nodiscard]] bool empty(const std::string& stage) const override;
   [[nodiscard]] const std::filesystem::path* root_dir() const override {
     return root_.empty() ? nullptr : &root_;
   }
@@ -124,6 +132,7 @@ class MemStageStore final : public StageStore {
                     const std::string& shard) override;
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override;
+  [[nodiscard]] bool empty(const std::string& stage) const override;
 
  private:
   using Shard = std::shared_ptr<std::string>;
@@ -176,6 +185,9 @@ class CountingStageStore final : public StageStore {
   [[nodiscard]] std::uint64_t stage_bytes(
       const std::string& stage) const override {
     return inner_.stage_bytes(stage);
+  }
+  [[nodiscard]] bool empty(const std::string& stage) const override {
+    return inner_.empty(stage);
   }
   [[nodiscard]] const std::filesystem::path* root_dir() const override {
     return inner_.root_dir();

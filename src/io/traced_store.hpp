@@ -47,6 +47,9 @@ class TracedStageStore final : public StageStore {
       const std::string& stage) const override {
     return inner_.stage_bytes(stage);
   }
+  [[nodiscard]] bool empty(const std::string& stage) const override {
+    return inner_.empty(stage);
+  }
   [[nodiscard]] const std::filesystem::path* root_dir() const override {
     return inner_.root_dir();
   }

@@ -1,0 +1,177 @@
+#include "perf/csr_build.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace prpb::perf {
+
+namespace {
+
+std::vector<std::size_t> chunk_bounds(std::size_t total, std::size_t chunks) {
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t i = 0; i <= chunks; ++i) bounds[i] = total * i / chunks;
+  return bounds;
+}
+
+}  // namespace
+
+sparse::CsrMatrix build_csr_parallel(const gen::EdgeList& edges,
+                                     std::uint64_t rows, std::uint64_t cols,
+                                     util::ThreadPool& pool) {
+  // One task's partial degree array costs rows × 8 bytes; keep the total
+  // bounded by (roughly) the edge data itself, and fall back to the serial
+  // reference builder when there is no parallelism to buy with it.
+  std::size_t tasks = pool.size();
+  if (rows > 0) {
+    const std::size_t cap = std::max<std::size_t>(
+        1, (2 * edges.size() * sizeof(gen::Edge)) / (rows * 8) + 1);
+    tasks = std::min(tasks, cap);
+  }
+  if (tasks <= 1 || edges.size() < 4096) {
+    return sparse::CsrMatrix::from_edges(edges, rows, cols);
+  }
+
+  const std::vector<std::size_t> edge_bounds = chunk_bounds(edges.size(), tasks);
+  // Row ranges for the reduction/compaction passes (finer than tasks so
+  // skewed rows balance).
+  const std::size_t row_chunks =
+      std::max<std::size_t>(1, std::min<std::uint64_t>(rows, 4 * pool.size()));
+  const std::vector<std::size_t> row_bounds =
+      chunk_bounds(static_cast<std::size_t>(rows), row_chunks);
+
+  // Pass 1: per-task partial degree arrays (and endpoint validation).
+  std::vector<std::vector<std::uint64_t>> partial(tasks);
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        partial[t].assign(rows, 0);
+        for (std::size_t i = edge_bounds[t]; i < edge_bounds[t + 1]; ++i) {
+          const gen::Edge& edge = edges[i];
+          util::ensure(edge.u < rows && edge.v < cols,
+                       "build_csr_parallel: endpoint out of range");
+          ++partial[t][edge.u];
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  // Reduce: total degree per row, then turn the partials into per-(task,
+  // row) scatter cursors — partial[t][r] becomes the first slot task t may
+  // write in row r's segment, preserving input order across tasks.
+  std::vector<std::uint64_t> degree(rows, 0);
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(row_chunks);
+    for (std::size_t c = 0; c < row_chunks; ++c) {
+      futures.push_back(pool.submit([&, c] {
+        for (std::size_t r = row_bounds[c]; r < row_bounds[c + 1]; ++r) {
+          std::uint64_t total = 0;
+          for (std::size_t t = 0; t < tasks; ++t) total += partial[t][r];
+          degree[r] = total;
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  std::vector<std::uint64_t> starts(rows + 1, 0);
+  for (std::uint64_t r = 0; r < rows; ++r) starts[r + 1] = starts[r] + degree[r];
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(row_chunks);
+    for (std::size_t c = 0; c < row_chunks; ++c) {
+      futures.push_back(pool.submit([&, c] {
+        for (std::size_t r = row_bounds[c]; r < row_bounds[c + 1]; ++r) {
+          std::uint64_t cursor = starts[r];
+          for (std::size_t t = 0; t < tasks; ++t) {
+            const std::uint64_t count = partial[t][r];
+            partial[t][r] = cursor;
+            cursor += count;
+          }
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  // Pass 2: scatter end vertices into per-row segments. Tasks advance only
+  // their own cursors, and cursor ranges are disjoint by construction.
+  std::vector<std::uint64_t> cols_by_row(edges.size());
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        std::vector<std::uint64_t>& cursor = partial[t];
+        for (std::size_t i = edge_bounds[t]; i < edge_bounds[t + 1]; ++i) {
+          cols_by_row[cursor[edges[i].u]++] = edges[i].v;
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  partial.clear();
+  partial.shrink_to_fit();
+
+  // Pass 3: per-row sort + duplicate accumulation, compacted in place
+  // (writes never pass reads within a row segment), then one prefix scan
+  // over per-row nnz and a parallel copy into the final arrays.
+  std::vector<double> counts_by_pos(edges.size());
+  std::vector<std::uint64_t> row_nnz(rows, 0);
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(row_chunks);
+    for (std::size_t c = 0; c < row_chunks; ++c) {
+      futures.push_back(pool.submit([&, c] {
+        for (std::size_t r = row_bounds[c]; r < row_bounds[c + 1]; ++r) {
+          auto* lo = cols_by_row.data() + starts[r];
+          auto* hi = cols_by_row.data() + starts[r + 1];
+          std::sort(lo, hi);
+          std::uint64_t write = starts[r];
+          for (auto* p = lo; p != hi;) {
+            const std::uint64_t col = *p;
+            double count = 0;
+            while (p != hi && *p == col) {
+              count += 1.0;
+              ++p;
+            }
+            cols_by_row[write] = col;
+            counts_by_pos[write] = count;
+            ++write;
+          }
+          row_nnz[r] = write - starts[r];
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  std::vector<std::uint64_t> row_ptr(rows + 1, 0);
+  for (std::uint64_t r = 0; r < rows; ++r) row_ptr[r + 1] = row_ptr[r] + row_nnz[r];
+  const std::uint64_t nnz = row_ptr[rows];
+  std::vector<std::uint64_t> col_idx(nnz);
+  std::vector<double> values(nnz);
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(row_chunks);
+    for (std::size_t c = 0; c < row_chunks; ++c) {
+      futures.push_back(pool.submit([&, c] {
+        for (std::size_t r = row_bounds[c]; r < row_bounds[c + 1]; ++r) {
+          std::copy_n(cols_by_row.data() + starts[r], row_nnz[r],
+                      col_idx.data() + row_ptr[r]);
+          std::copy_n(counts_by_pos.data() + starts[r], row_nnz[r],
+                      values.data() + row_ptr[r]);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  return sparse::CsrMatrix::from_parts(rows, cols, std::move(row_ptr),
+                                       std::move(col_idx), std::move(values));
+}
+
+}  // namespace prpb::perf

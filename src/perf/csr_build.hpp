@@ -1,0 +1,34 @@
+// Parallel duplicate-accumulating CSR construction for kernel 2.
+//
+// Reproduces sparse::CsrMatrix::from_edges exactly — same row_ptr, same
+// sorted per-row columns, same accumulated counts (sums of 1.0, exact in
+// any association) — but splits every pass across a thread pool:
+//
+//   pass 1  per-task partial degree arrays over disjoint edge chunks
+//   reduce  row starts from the summed partials + per-(task, row) scatter
+//           cursors, both parallel over row ranges
+//   pass 2  parallel scatter of end vertices into per-row segments (each
+//           task owns disjoint cursor entries, so no atomics)
+//   pass 3  per-row sort + duplicate accumulation over row ranges
+//
+// The per-task degree arrays cost tasks × rows × 8 bytes; tasks are capped
+// so the reduction never outgrows the edge data it is indexing.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/edge.hpp"
+#include "sparse/csr.hpp"
+#include "util/threadpool.hpp"
+
+namespace prpb::perf {
+
+/// Builds the duplicate-accumulating adjacency matrix (u = row, v = col,
+/// each occurrence adds 1.0) in parallel over `pool`. Output is identical
+/// to sparse::CsrMatrix::from_edges. Throws InvariantError when an
+/// endpoint is out of range.
+sparse::CsrMatrix build_csr_parallel(const gen::EdgeList& edges,
+                                     std::uint64_t rows, std::uint64_t cols,
+                                     util::ThreadPool& pool);
+
+}  // namespace prpb::perf

@@ -1,0 +1,139 @@
+#include "perf/radix_partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <future>
+#include <vector>
+
+namespace prpb::perf {
+
+namespace {
+
+using Histogram = std::array<std::size_t, 256>;
+
+/// Near-equal contiguous chunk boundaries over [0, total).
+std::vector<std::size_t> chunk_bounds(std::size_t total, std::size_t chunks) {
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t i = 0; i <= chunks; ++i) bounds[i] = total * i / chunks;
+  return bounds;
+}
+
+/// Bitmask of byte positions (0..7) that vary across the selected field,
+/// reduced chunk-parallel (each chunk folds its own OR/AND).
+unsigned varying_bytes(const gen::EdgeList& edges,
+                       const std::vector<std::size_t>& bounds,
+                       util::ThreadPool& pool, bool use_v) {
+  const std::size_t chunks = bounds.size() - 1;
+  std::vector<std::uint64_t> ors(chunks, 0);
+  std::vector<std::uint64_t> ands(chunks, ~0ULL);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t t = 0; t < chunks; ++t) {
+    futures.push_back(pool.submit([&, t] {
+      std::uint64_t all_or = 0;
+      std::uint64_t all_and = ~0ULL;
+      for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        const std::uint64_t field = use_v ? edges[i].v : edges[i].u;
+        all_or |= field;
+        all_and &= field;
+      }
+      ors[t] = all_or;
+      ands[t] = all_and;
+    }));
+  }
+  for (auto& future : futures) future.get();
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~0ULL;
+  for (std::size_t t = 0; t < chunks; ++t) {
+    all_or |= ors[t];
+    all_and &= ands[t];
+  }
+  const std::uint64_t varying = all_or ^ all_and;
+  unsigned mask = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    if ((varying >> (8 * byte)) & 0xff) mask |= 1u << byte;
+  }
+  return mask;
+}
+
+/// One stable partition pass over byte `shift/8` of the selected field:
+/// parallel per-chunk histogram, serial bucket-major offset scan, parallel
+/// scatter into disjoint destination ranges. src -> dst.
+void partition_pass(const gen::EdgeList& src, gen::EdgeList& dst,
+                    const std::vector<std::size_t>& bounds,
+                    std::vector<Histogram>& hist, util::ThreadPool& pool,
+                    int shift, bool use_v) {
+  const std::size_t chunks = bounds.size() - 1;
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t t = 0; t < chunks; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        hist[t].fill(0);
+        for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          const std::uint64_t field = use_v ? src[i].v : src[i].u;
+          ++hist[t][(field >> shift) & 0xff];
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  // Exclusive scan, bucket-major then chunk order: chunk t's bucket-b run
+  // lands after every lower bucket and after bucket b of chunks < t, which
+  // is exactly the stable ordering. hist becomes the scatter cursor table.
+  std::size_t acc = 0;
+  for (int b = 0; b < 256; ++b) {
+    for (std::size_t t = 0; t < chunks; ++t) {
+      const std::size_t count = hist[t][static_cast<std::size_t>(b)];
+      hist[t][static_cast<std::size_t>(b)] = acc;
+      acc += count;
+    }
+  }
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t t = 0; t < chunks; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        Histogram& cursor = hist[t];
+        for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          const std::uint64_t field = use_v ? src[i].v : src[i].u;
+          dst[cursor[(field >> shift) & 0xff]++] = src[i];
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+}
+
+}  // namespace
+
+void radix_partition_sort(gen::EdgeList& edges, util::ThreadPool& pool,
+                          sort::SortKey key) {
+  if (edges.size() < 2) return;
+  // Chunks follow the pool width; tiny inputs collapse to one chunk so the
+  // per-pass bookkeeping never dominates.
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min(edges.size() / 4096 + 1, pool.size()));
+  const std::vector<std::size_t> bounds = chunk_bounds(edges.size(), chunks);
+  std::vector<Histogram> hist(chunks);
+  gen::EdgeList scratch(edges.size());
+  gen::EdgeList* src = &edges;
+  gen::EdgeList* dst = &scratch;
+
+  const auto field_passes = [&](bool use_v) {
+    const unsigned mask = varying_bytes(*src, bounds, pool, use_v);
+    for (int byte = 0; byte < 8; ++byte) {
+      if (!(mask & (1u << byte))) continue;  // constant byte: skip the pass
+      partition_pass(*src, *dst, bounds, hist, pool, 8 * byte, use_v);
+      std::swap(src, dst);
+    }
+  };
+  // LSD over the composite key: minor field (v) first when requested, then
+  // the major field (u); per-pass stability makes the composite ordering
+  // correct — identical semantics to the serial radix engine.
+  if (key == sort::SortKey::kStartEnd) field_passes(/*use_v=*/true);
+  field_passes(/*use_v=*/false);
+  if (src != &edges) edges.swap(scratch);
+}
+
+}  // namespace prpb::perf

@@ -1,0 +1,31 @@
+// Parallel out-of-place LSD radix partition sort for kernel 1.
+//
+// The benchmark only requires the edge stage to be ordered by start
+// vertex, so K1 does not need a comparison sort at all: a stable LSD
+// radix partition keyed on the start vertex (ties by end vertex when the
+// configured key asks for canonical output) produces a stage identical to
+// the comparison-sort path — the parity suite in tests/perf_test.cpp pins
+// byte-for-byte equality of the re-encoded shards.
+//
+// Each pass splits the input into per-task chunks, histograms the key
+// byte per chunk in parallel, computes bucket-major/chunk-minor scatter
+// offsets serially (256 × tasks entries, cache-resident), then scatters
+// in parallel: every task writes a disjoint destination range, so there
+// are no atomics on the hot path and input order is preserved within a
+// bucket (stability). Constant key bytes are skipped the same way the
+// serial radix engine skips them.
+#pragma once
+
+#include "gen/edge.hpp"
+#include "sort/edge_sort.hpp"
+#include "util/threadpool.hpp"
+
+namespace prpb::perf {
+
+/// Sorts `edges` in place (via a single out-of-place scratch buffer)
+/// with the LSD radix partition over `pool`. Stable; output is identical
+/// to sort::parallel_merge_sort / std::stable_sort under the same key.
+void radix_partition_sort(gen::EdgeList& edges, util::ThreadPool& pool,
+                          sort::SortKey key = sort::SortKey::kStartEnd);
+
+}  // namespace prpb::perf

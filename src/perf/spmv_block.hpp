@@ -1,0 +1,41 @@
+// Cache-blocked transposed SpMV for kernel 3.
+//
+// The parallel backend computes y = r·A as y[j] = Σ Aᵀ(j,i)·r[i]; at large
+// scales the rank vector r no longer fits in cache and the column-indexed
+// gather r[Aᵀ.col_idx[k]] misses on nearly every edge. Blocking the i
+// (source-vertex) axis keeps one block of r cache-resident while every
+// output row consumes its entries falling in that block, advancing a
+// per-row cursor — O(nnz + blocks·rows) work, no atomics.
+//
+// Floating-point parity: within each output row the terms are accumulated
+// strictly in increasing-i order onto y[j], which is the exact addition
+// sequence of the unblocked loop — the fast path is bit-identical to the
+// reference (pinned by tests/perf_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/threadpool.hpp"
+
+namespace prpb::perf {
+
+/// Default i-block width: 2^15 doubles of r = 256 KiB, about half a
+/// typical L2, leaving room for the streamed CSR arrays.
+inline constexpr std::uint64_t kDefaultSpmvBlockCols = std::uint64_t{1} << 15;
+
+/// Below this many source vertices (2^18 doubles = 2 MiB) the rank vector
+/// is cache-resident anyway and per-row cursors only add overhead; callers
+/// should pass block_cols >= r.size() there to get the single-block loop.
+inline constexpr std::uint64_t kSpmvBlockMinCols = std::uint64_t{1} << 18;
+
+/// Computes y[j] = Σ at(j,i) · r[i] for every row j of `at`, blocked over
+/// the i axis. `r` must have at.cols() entries; `y` is assigned (resized)
+/// to at.rows(). Bit-identical to the straightforward per-row loop.
+void transposed_spmv_blocked(const sparse::CsrMatrix& at,
+                             const std::vector<double>& r,
+                             std::vector<double>& y, util::ThreadPool& pool,
+                             std::uint64_t block_cols = kDefaultSpmvBlockCols);
+
+}  // namespace prpb::perf

@@ -85,6 +85,25 @@ CsrMatrix CsrMatrix::from_triplets(const std::vector<std::uint64_t>& row,
   return m;
 }
 
+CsrMatrix CsrMatrix::from_parts(std::uint64_t rows, std::uint64_t cols,
+                                std::vector<std::uint64_t> row_ptr,
+                                std::vector<std::uint64_t> col_idx,
+                                std::vector<double> values) {
+  util::require(row_ptr.size() == rows + 1,
+                "from_parts: row_ptr must have rows+1 entries");
+  util::require(col_idx.size() == values.size(),
+                "from_parts: col_idx/values lengths must match");
+  util::require(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+                "from_parts: row_ptr must span [0, nnz]");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 double CsrMatrix::value_sum() const {
   double acc = 0;
   for (const double v : values_) acc += v;

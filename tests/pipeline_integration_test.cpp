@@ -92,6 +92,29 @@ TEST_P(BackendPipelineTest, MemStorageMatchesDirStorage) {
   EXPECT_EQ(on_dir.ranks, in_mem.ranks);
 }
 
+TEST_P(BackendPipelineTest, FastPathIsBitIdentical) {
+  // --fast-path swaps in the src/perf implementations (radix partition,
+  // prefetched reads, parallel CSR build, blocked SpMV); every result —
+  // stage bytes, matrix, ranks — must be exactly the reference's.
+  util::TempDir work_ref("prpb-integ");
+  util::TempDir work_fast("prpb-integ");
+  const PipelineConfig config_ref = config_for(work_ref);
+  PipelineConfig config_fast = config_for(work_fast);
+  config_fast.fast_path = true;
+
+  const PipelineResult reference = run_backend(GetParam(), config_ref);
+  const PipelineResult fast = run_backend(GetParam(), config_fast);
+  EXPECT_FALSE(reference.fast_path);
+  EXPECT_TRUE(fast.fast_path);
+  EXPECT_EQ(io::read_all_edges(config_ref.work_dir / stages::kStage1,
+                               io::Codec::kFast),
+            io::read_all_edges(config_fast.work_dir / stages::kStage1,
+                               io::Codec::kFast))
+      << "kernel 1 stage differs under fast-path";
+  EXPECT_TRUE(reference.matrix.approx_equal(fast.matrix, 0.0));
+  EXPECT_EQ(reference.ranks, fast.ranks);
+}
+
 TEST_P(BackendPipelineTest, MatrixMatchesNative) {
   util::TempDir work_native("prpb-integ");
   util::TempDir work_other("prpb-integ");

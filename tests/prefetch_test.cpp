@@ -1,0 +1,151 @@
+// Tests for the shard prefetcher: the prefetched stream must be the exact
+// edge stream the inline reader produces (both codecs), shutdown must not
+// hang mid-stage, and producer-side failures must surface on the consumer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "gen/kronecker.hpp"
+#include "io/edge_batch.hpp"
+#include "io/edge_files.hpp"
+#include "io/prefetch.hpp"
+#include "io/stage_codec.hpp"
+#include "io/stage_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace prpb::io {
+namespace {
+
+gen::EdgeList sample_edges(int scale = 10) {
+  gen::KroneckerParams params;
+  params.scale = scale;
+  return gen::KroneckerGenerator(params).generate_all();
+}
+
+class PrefetchCodecTest : public ::testing::TestWithParam<const StageCodec*> {};
+
+TEST_P(PrefetchCodecTest, StreamsSameEdgesAsInlineReader) {
+  const StageCodec& codec = *GetParam();
+  MemStageStore store;
+  const gen::EdgeList edges = sample_edges();
+  write_edge_list(store, "stage", edges, 5, codec);
+
+  const gen::EdgeList prefetched =
+      read_all_edges_prefetched(store, "stage", codec);
+  EXPECT_EQ(prefetched, read_all_edges(store, "stage", codec));
+  EXPECT_EQ(prefetched, edges);
+}
+
+TEST_P(PrefetchCodecTest, SmallBatchAndDeepQueueStillExact) {
+  const StageCodec& codec = *GetParam();
+  MemStageStore store;
+  const gen::EdgeList edges = sample_edges();
+  write_edge_list(store, "stage", edges, 3, codec);
+
+  ShardPrefetcher prefetcher(store, "stage", codec, /*batch_capacity=*/100,
+                             /*depth=*/7);
+  gen::EdgeList collected;
+  gen::EdgeList batch;
+  while (prefetcher.next(batch)) {
+    EXPECT_LE(batch.size(), 100u);
+    collected.insert(collected.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(collected, edges);
+  EXPECT_EQ(prefetcher.edges_read(), edges.size());
+  // Exhausted streams keep reporting end-of-stage.
+  EXPECT_FALSE(prefetcher.next(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, PrefetchCodecTest,
+    ::testing::Values(&tsv_codec(Codec::kFast), &binary_codec()),
+    [](const ::testing::TestParamInfo<const StageCodec*>& info) {
+      return std::string(info.param->name());
+    });
+
+TEST(PrefetchTest, EmptyStageEndsImmediately) {
+  MemStageStore store;
+  store.clear_stage("stage");  // exists, zero shards
+  ShardPrefetcher prefetcher(store, "stage", tsv_codec(Codec::kFast));
+  gen::EdgeList batch;
+  EXPECT_FALSE(prefetcher.next(batch));
+}
+
+TEST(PrefetchTest, DestructionMidStreamDoesNotHang) {
+  // Depth 1 queue on a multi-shard stage: the producer is certainly parked
+  // on the not_full wait when the consumer abandons the stream.
+  MemStageStore store;
+  const StageCodec& codec = tsv_codec(Codec::kFast);
+  write_edge_list(store, "stage", sample_edges(12), 8, codec);
+  ShardPrefetcher prefetcher(store, "stage", codec, /*batch_capacity=*/64,
+                             /*depth=*/1);
+  gen::EdgeList batch;
+  ASSERT_TRUE(prefetcher.next(batch));
+  // Destructor must stop the parked producer and join it.
+}
+
+TEST(PrefetchTest, CorruptShardPropagatesAfterGoodPrefix) {
+  MemStageStore store;
+  const StageCodec& codec = tsv_codec(Codec::kFast);
+  const gen::EdgeList edges = sample_edges();
+  write_edge_list(store, "stage", edges, 4, codec);
+  // Add a garbage shard sorting last; the prefix shards stay readable.
+  {
+    auto writer = store.open_write("stage", "zzz_corrupt.tsv");
+    writer->buffer() = "not\tan\tedge\nrow\n";
+    writer->close();
+  }
+  ShardPrefetcher prefetcher(store, "stage", codec);
+  gen::EdgeList collected;
+  gen::EdgeList batch;
+  EXPECT_THROW(
+      {
+        while (prefetcher.next(batch)) {
+          collected.insert(collected.end(), batch.begin(), batch.end());
+        }
+      },
+      util::Error);
+  // Everything decoded before the corrupt shard was delivered in order.
+  ASSERT_LE(collected.size(), edges.size());
+  EXPECT_EQ(0, std::memcmp(collected.data(), edges.data(),
+                           collected.size() * sizeof(gen::Edge)));
+  // After the throw the stream is over, not wedged.
+  EXPECT_FALSE(prefetcher.next(batch));
+}
+
+TEST(PrefetchTest, MissingStageThrowsOnConsumer) {
+  MemStageStore store;
+  ShardPrefetcher prefetcher(store, "no_such_stage", tsv_codec(Codec::kFast));
+  gen::EdgeList batch;
+  EXPECT_THROW((void)prefetcher.next(batch), util::Error);
+}
+
+TEST(PrefetchTest, RecordsDepthHistogramAndSpan) {
+  MemStageStore store;
+  const StageCodec& codec = tsv_codec(Codec::kFast);
+  write_edge_list(store, "stage", sample_edges(), 4, codec);
+
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  obs::Hooks hooks{&recorder, &registry};
+  const gen::EdgeList prefetched =
+      read_all_edges_prefetched(store, "stage", codec, hooks);
+  EXPECT_FALSE(prefetched.empty());
+
+  const auto metrics = registry.snapshot();
+  const auto depth = metrics.histograms.find("io/prefetch_depth");
+  ASSERT_NE(depth, metrics.histograms.end());
+  EXPECT_GT(depth->second.count, 0u);
+
+  bool saw_span = false;
+  for (const auto& event : recorder.events()) {
+    if (event.name == "io/prefetch") saw_span = true;
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+}  // namespace
+}  // namespace prpb::io
