@@ -1,0 +1,148 @@
+// Ablation: what the resilience layers cost when nothing goes wrong — the
+// pass-through tax of the fault-injecting store, the digest layer's
+// checksum-on-write overhead, checkpoint commit/validate latency, and the
+// end-to-end pipeline gap between a bare run and a checkpointed one. The
+// interesting result is the ratio, not the absolute numbers: checkpointing
+// re-reads every committed stage once, so its cost tracks stage bytes, not
+// kernel compute.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/inject.hpp"
+#include "fault/plan.hpp"
+#include "gen/kronecker.hpp"
+#include "io/edge_files.hpp"
+#include "io/stage_store.hpp"
+#include "io/tsv.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace prpb;
+
+gen::EdgeList sample_edges(int scale) {
+  gen::KroneckerParams params;
+  params.scale = scale;
+  return gen::KroneckerGenerator(params).generate_all();
+}
+
+// ---- store decoration tax ---------------------------------------------------
+// Arg 0 selects the stack: 0 = bare MemStageStore, 1 = + fault store with a
+// never-matching plan, 2 = + digest layer. Same writes each way, so the
+// deltas are the per-layer overhead on the hot write path.
+
+void BM_WriteThroughResilienceStack(benchmark::State& state) {
+  const gen::EdgeList edges = sample_edges(14);
+  io::MemStageStore base;
+  std::unique_ptr<fault::FaultInjectingStageStore> faulty;
+  std::unique_ptr<fault::ShardDigestStore> digests;
+  io::StageStore* store = &base;
+  const int stack = static_cast<int>(state.range(0));
+  if (stack >= 1) {
+    // A plan for a stage the benchmark never touches: every operation
+    // still pays the rule-matching check, but nothing fires.
+    faulty = std::make_unique<fault::FaultInjectingStageStore>(
+        *store, fault::FaultPlan::parse("read_error@never#1", 7));
+    store = faulty.get();
+  }
+  if (stack >= 2) {
+    digests = std::make_unique<fault::ShardDigestStore>(*store);
+    store = digests.get();
+  }
+  for (auto _ : state) {
+    io::write_edge_list(*store, "k0_edges", edges, 4,
+                        io::tsv_codec(io::Codec::kFast));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+  state.SetLabel(stack == 0 ? "bare" : stack == 1 ? "+fault" : "+fault+digest");
+}
+
+BENCHMARK(BM_WriteThroughResilienceStack)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- checkpoint commit + validate -------------------------------------------
+// Commit re-reads the stage to verify the as-written digests; validate
+// re-reads it again against the manifest. Both scale with stage bytes.
+
+void BM_CheckpointCommit(benchmark::State& state) {
+  const gen::EdgeList edges = sample_edges(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    io::MemStageStore base;
+    fault::ShardDigestStore digests(base);
+    fault::CheckpointManager checkpoints(digests, digests, 1, "tsv");
+    io::write_edge_list(digests, "k0_edges", edges, 4,
+                        io::tsv_codec(io::Codec::kFast));
+    state.ResumeTiming();
+    checkpoints.commit("k0_edges");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+void BM_CheckpointValidate(benchmark::State& state) {
+  const gen::EdgeList edges = sample_edges(static_cast<int>(state.range(0)));
+  io::MemStageStore base;
+  fault::ShardDigestStore digests(base);
+  fault::CheckpointManager checkpoints(digests, digests, 1, "tsv");
+  io::write_edge_list(digests, "k0_edges", edges, 4,
+                      io::tsv_codec(io::Codec::kFast));
+  checkpoints.commit("k0_edges");
+  for (auto _ : state) {
+    const fault::ManifestCheck check = checkpoints.validate("k0_edges");
+    benchmark::DoNotOptimize(check.status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_CheckpointCommit)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointValidate)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- end-to-end pipeline tax ------------------------------------------------
+// Arg 0: 0 = bare run, 1 = checkpointed run, 2 = checkpointed run that
+// also absorbs one transient write fault with a retry (the recovery cost).
+
+void BM_PipelineResilience(benchmark::State& state) {
+  core::PipelineConfig config;
+  config.scale = 12;
+  config.num_files = 2;
+  config.storage = "mem";
+  const auto backend = core::make_backend("native");
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    io::MemStageStore store;
+    core::RunOptions options;
+    options.store = &store;
+    options.checkpoint = mode >= 1;
+    if (mode >= 2) {
+      options.fault_plan =
+          fault::FaultPlan::parse("torn_write@k1_sorted#1", 11);
+      options.retry.max_attempts = 3;
+      options.retry.base_delay_ms = 0.0;
+    }
+    const core::PipelineResult result =
+        core::run_pipeline(config, *backend, options);
+    benchmark::DoNotOptimize(result.ranks.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(config.num_edges()) * state.iterations());
+  state.SetLabel(mode == 0   ? "bare"
+                 : mode == 1 ? "checkpoint"
+                             : "checkpoint+retry");
+}
+
+BENCHMARK(BM_PipelineResilience)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/validate.hpp"
+#include "fault/plan.hpp"
 #include "io/file_stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource_sampler.hpp"
@@ -50,12 +51,31 @@ int main(int argc, char** argv) {
   args.add_option("fast-path",
                   "src/perf fast paths (radix sort, prefetch, blocked "
                   "SpMV): on | off", "off");
+  args.add_option("faults",
+                  "fault-injection plan, e.g. "
+                  "'read_error@k1_sorted#2;bit_flip@k0_edges' "
+                  "(kinds: read_error short_read write_error torn_write "
+                  "truncate bit_flip)", "");
+  args.add_option("fault-seed",
+                  "seed for fault triggers and retry jitter (0 = --seed)",
+                  "0");
+  args.add_option("retry-max",
+                  "kernel attempts on transient I/O faults (1 = no retry)",
+                  "1");
+  args.add_option("retry-backoff-ms",
+                  "base backoff before a retry; doubles per attempt", "1");
   args.add_option("json", "write a machine-readable run report here", "");
   args.add_option("trace-out",
                   "write a Chrome trace_event JSON trace here "
                   "(chrome://tracing, Perfetto)", "");
   args.add_option("metrics-interval-ms",
                   "resource-sampler period for trace counter tracks", "50");
+  args.add_flag("checkpoint",
+                "verify each stage against as-written digests and persist "
+                "checkpoint manifests");
+  args.add_flag("resume",
+                "skip kernels whose checkpoints validate (implies "
+                "--checkpoint; requires --work-dir)");
   args.add_flag("validate", "run the dense eigenvector check (N <= 8192)");
   args.add_flag("sort-start-only", "kernel 1 orders by start vertex only");
   args.add_flag("verbose", "log kernel progress");
@@ -109,6 +129,22 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry registry;
     core::RunOptions run_options;
     run_options.hooks.metrics = &registry;
+
+    // Resilience: fault injection, retries, checkpoints and resume.
+    std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(args.get_int("fault-seed"));
+    if (fault_seed == 0) fault_seed = config.seed;
+    run_options.fault_plan =
+        fault::FaultPlan::parse(args.get("faults"), fault_seed);
+    run_options.retry.max_attempts =
+        static_cast<int>(args.get_int("retry-max"));
+    run_options.retry.base_delay_ms = args.get_double("retry-backoff-ms");
+    run_options.retry.seed = fault_seed;
+    run_options.checkpoint = args.get_flag("checkpoint");
+    run_options.resume = args.get_flag("resume");
+    util::require(!run_options.resume || !args.get("work-dir").empty(),
+                  "--resume requires --work-dir (a fresh temp dir has "
+                  "nothing to resume from)");
     std::optional<obs::ResourceSampler> sampler;
     if (!trace_out.empty()) {
       run_options.hooks.trace = &recorder;
@@ -154,6 +190,17 @@ int main(int argc, char** argv) {
                    mb(result.k3.bytes_read), mb(result.k3.bytes_written),
                    std::to_string(config.iterations) + " iterations"});
     std::printf("\n%s", table.str().c_str());
+
+    if (!result.fault_plan.empty() || result.checkpointing ||
+        result.retry_max_attempts > 1) {
+      std::printf(
+          "\nresilience: faults injected=%llu, attempts k0..k3=%d/%d/%d/%d, "
+          "checkpointing=%s, resumed k0=%s k1=%s\n",
+          (unsigned long long)result.faults_injected, result.k0.attempts,
+          result.k1.attempts, result.k2.attempts, result.k3.attempts,
+          result.checkpointing ? "on" : "off",
+          result.k0.resumed ? "yes" : "no", result.k1.resumed ? "yes" : "no");
+    }
 
     std::printf("\nkernel-2 matrix: %llu x %llu, nnz = %llu\n",
                 (unsigned long long)result.matrix.rows(),

@@ -41,6 +41,27 @@ const io::StageCodec& make_stage_codec(const PipelineConfig& config,
   return io::stage_codec(io::parse_stage_format(config.stage_format), flavor);
 }
 
+std::uint64_t stage_config_fingerprint(const PipelineConfig& config) {
+  // FNV-1a over a canonical rendering of every stage-determining knob.
+  // Presentation knobs (storage tier, work_dir, observability) are
+  // deliberately excluded: the same stages are resumable wherever they
+  // physically live.
+  const std::string canon =
+      "scale=" + std::to_string(config.scale) +
+      ";edge_factor=" + std::to_string(config.edge_factor) +
+      ";seed=" + std::to_string(config.seed) +
+      ";generator=" + config.generator +
+      ";num_files=" + std::to_string(config.num_files) +
+      ";stage_format=" + config.stage_format +
+      ";sort_key=" + std::to_string(static_cast<int>(config.sort_key));
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : canon) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 RunSize run_size(int scale, int edge_factor) {
   util::require(scale >= 1 && scale <= 40, "run_size: scale in [1, 40]");
   RunSize size;

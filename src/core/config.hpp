@@ -63,6 +63,12 @@ std::unique_ptr<io::StageStore> make_stage_store(const PipelineConfig& config);
 const io::StageCodec& make_stage_codec(const PipelineConfig& config,
                                        io::Codec flavor = io::Codec::kFast);
 
+/// Fingerprint of every configuration parameter that determines stage
+/// bytes (scale, edge factor, seed, generator, shard count, stage format,
+/// sort key). Checkpoint manifests record it so --resume never reuses
+/// stages produced under a different configuration.
+std::uint64_t stage_config_fingerprint(const PipelineConfig& config);
+
 /// Table II row: the benchmark run-size bookkeeping for one scale.
 struct RunSize {
   int scale = 0;

@@ -16,6 +16,8 @@ void kernel_object(util::JsonWriter& json, const char* name,
   json.field("bytes_written", metrics.bytes_written);
   json.field("files_read", metrics.files_read);
   json.field("files_written", metrics.files_written);
+  json.field("attempts", static_cast<std::int64_t>(metrics.attempts));
+  json.field("resumed", metrics.resumed);
   json.end_object();
 }
 }  // namespace
@@ -51,6 +53,15 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("fast_path", result.fast_path);
 
   json.field("wall_seconds_total", result.wall_seconds_total);
+
+  json.begin_object("resilience");
+  json.field("fault_plan", result.fault_plan);
+  json.field("retry_max_attempts",
+             static_cast<std::int64_t>(result.retry_max_attempts));
+  json.field("checkpointing", result.checkpointing);
+  json.field("faults_injected", result.faults_injected);
+  json.field("resumed", result.k0.resumed || result.k1.resumed);
+  json.end_object();
 
   json.begin_object("kernels");
   kernel_object(json, "k0_generate", result.k0);

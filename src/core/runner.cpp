@@ -3,6 +3,8 @@
 #include <memory>
 #include <optional>
 
+#include "fault/checkpoint.hpp"
+#include "fault/inject.hpp"
 #include "io/traced_store.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -37,8 +39,9 @@ void fold_io(KernelMetrics& metrics, const io::StageIoCounters& delta,
 void require_stage(io::StageStore& store, const char* stage,
                    const std::string& why) {
   if (!store.exists(stage) || store.empty(stage)) {
-    throw util::PipelineError("run_pipeline: stage '" + std::string(stage) +
-                              "' is missing or empty (" + why + ")");
+    throw util::PipelineError("run_pipeline: " +
+                              io::shard_context(store.kind(), stage) +
+                              " is missing or empty (" + why + ")");
   }
 }
 
@@ -55,7 +58,6 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     owned = make_stage_store(config);
     base = owned.get();
   }
-  io::CountingStageStore counting(*base);
 
   // Every run gets a metrics registry — the caller's when injected, a
   // run-local one otherwise — so the result snapshot is always populated.
@@ -63,9 +65,24 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   obs::Hooks hooks = options.hooks;
   if (hooks.metrics == nullptr) hooks.metrics = &local_registry;
 
-  // With tracing live, stack the tracing decorator outside the counting
-  // store: kernels then emit per-shard read/write spans and latency
-  // histograms for free, while byte accounting stays on the inner layer.
+  // Storage decorator stack, innermost first. The fault injector sits
+  // directly on the base store (it simulates the medium itself); the
+  // digest layer sits above it so as-written fingerprints describe what
+  // kernels intended before any injected corruption; counting and tracing
+  // stay outermost so kernel I/O accounting covers retried attempts too.
+  std::optional<fault::FaultInjectingStageStore> faulty;
+  io::StageStore* lower = base;
+  if (!options.fault_plan.empty()) {
+    faulty.emplace(*base, options.fault_plan, hooks);
+    lower = &*faulty;
+  }
+  const bool checkpointing = options.checkpoint || options.resume;
+  std::optional<fault::ShardDigestStore> digests;
+  if (checkpointing) {
+    digests.emplace(*lower);
+    lower = &*digests;
+  }
+  io::CountingStageStore counting(*lower);
   std::optional<io::TracedStageStore> traced;
   io::StageStore* active = &counting;
   if (hooks.tracing()) {
@@ -73,6 +90,19 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     active = &*traced;
   }
   io::StageStore& store = *active;
+
+  // Checkpoint verification reads go through the digest store, so they
+  // traverse the (possibly faulty) layers below without perturbing the
+  // per-kernel I/O counters above.
+  std::optional<fault::CheckpointManager> checkpoints;
+  if (checkpointing) {
+    checkpoints.emplace(*digests, *digests, stage_config_fingerprint(config),
+                        config.stage_format);
+  }
+
+  fault::RetryPolicy retry = options.retry;
+  retry.max_attempts = std::max(1, retry.max_attempts);
+  if (retry.seed == 0) retry.seed = config.seed;
 
   PipelineResult result;
   result.backend = backend.name();
@@ -100,13 +130,73 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     return delta;
   };
 
+  // Runs one kernel attempt loop. Transient I/O faults consume a retry
+  // (after clearing the kernel's partial output and spill scratch, so a
+  // re-run starts from a clean slate); every other error — ConfigError,
+  // detected corruption, invariant violations — rethrows immediately.
+  const auto with_retry = [&](const char* kernel, KernelMetrics& metrics,
+                              const char* out_stage, const auto& body) {
+    for (int attempt = 1;; ++attempt) {
+      metrics.attempts = attempt;
+      try {
+        body();
+        return;
+      } catch (const std::exception& error) {
+        if (attempt >= retry.max_attempts || !fault::is_retryable(error)) {
+          throw;
+        }
+        hooks.metrics->counter(std::string(kernel) + "/retries").increment();
+        util::log_info(kernel, "[", backend.name(), "] attempt ", attempt,
+                       " hit a transient fault (", error.what(),
+                       "); retrying");
+        if (out_stage != nullptr && *out_stage != '\0') {
+          store.clear_stage(out_stage);
+          if (checkpoints) checkpoints->invalidate(out_stage);
+        }
+        store.remove(stages::kTemp);
+        obs::Span backoff(hooks.trace, "fault/retry");
+        fault::backoff_sleep(retry.delay_ms(attempt));
+      }
+    }
+  };
+
+  // Resume: a stage whose persisted manifest validates against this
+  // configuration is complete, and its kernel is skipped. Validation stops
+  // at the first missing/invalid stage — everything from there re-runs.
+  bool skip_k0 = false;
+  bool skip_k1 = false;
+  if (options.resume) {
+    const fault::ManifestCheck check0 = checkpoints->validate(stages::kStage0);
+    if (check0.valid()) {
+      skip_k0 = true;
+      const fault::ManifestCheck check1 =
+          checkpoints->validate(stages::kStage1);
+      if (check1.valid()) {
+        skip_k1 = true;
+      } else {
+        util::log_info("resume: kernel1 re-runs (", check1.reason, ")");
+      }
+    } else {
+      util::log_info("resume: pipeline restarts from kernel0 (", check0.reason,
+                     ")");
+    }
+  }
+
   // Kernel 0 — generate + write (untimed by the benchmark definition, but
   // measured: Figure 4 reports it for insight into write performance).
-  if (options.run_kernel0) {
-    const KernelContext ctx = context("", stages::kStage0);
+  if (skip_k0) {
+    result.k0.resumed = true;
+    require_stage(store, stages::kStage0, "resumed from its checkpoint");
+    util::log_info("kernel0[", backend.name(), "] resumed from checkpoint");
+  } else if (options.run_kernel0) {
+    if (checkpoints) checkpoints->invalidate(stages::kStage0);
     obs::Span span(hooks.trace, "k0/generate");
     util::Stopwatch watch;
-    backend.kernel0(ctx);
+    with_retry("k0", result.k0, stages::kStage0, [&] {
+      const KernelContext ctx = context("", stages::kStage0);
+      backend.kernel0(ctx);
+      if (checkpoints) checkpoints->commit(stages::kStage0);
+    });
     result.k0.seconds = watch.seconds();
     result.k0.edges_processed = m;
     fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
@@ -117,23 +207,34 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   }
 
   // Kernel 1 — sort (timed; M edges).
-  {
-    const KernelContext ctx = context(stages::kStage0, stages::kStage1);
+  if (skip_k1) {
+    result.k1.resumed = true;
+    require_stage(store, stages::kStage1, "resumed from its checkpoint");
+    util::log_info("kernel1[", backend.name(), "] resumed from checkpoint");
+  } else {
+    if (checkpoints) checkpoints->invalidate(stages::kStage1);
     obs::Span span(hooks.trace, "k1/sort");
     util::Stopwatch watch;
-    backend.kernel1(ctx);
+    with_retry("k1", result.k1, stages::kStage1, [&] {
+      const KernelContext ctx = context(stages::kStage0, stages::kStage1);
+      backend.kernel1(ctx);
+      if (checkpoints) checkpoints->commit(stages::kStage1);
+    });
     result.k1.seconds = watch.seconds();
     result.k1.edges_processed = m;
     fold_io(result.k1, io_delta(), *hooks.metrics, "k1");
     util::log_info("kernel1[", backend.name(), "] ", result.k1.seconds, "s");
   }
 
-  // Kernel 2 — filter (timed; M edges).
+  // Kernel 2 — filter (timed; M edges). Output is in-memory, so a retry
+  // only has spill scratch to clean up.
   {
-    const KernelContext ctx = context(stages::kStage1, "");
     obs::Span span(hooks.trace, "k2/filter");
     util::Stopwatch watch;
-    result.matrix = backend.kernel2(ctx);
+    with_retry("k2", result.k2, "", [&] {
+      const KernelContext ctx = context(stages::kStage1, "");
+      result.matrix = backend.kernel2(ctx);
+    });
     result.k2.seconds = watch.seconds();
     result.k2.edges_processed = m;
     fold_io(result.k2, io_delta(), *hooks.metrics, "k2");
@@ -142,10 +243,13 @@ PipelineResult run_pipeline(const PipelineConfig& config,
 
   // Kernel 3 — PageRank (timed; iterations · M edge traversals).
   {
-    const KernelContext ctx = context("", "");
     obs::Span span(hooks.trace, "k3/pagerank");
     util::Stopwatch watch;
-    result.ranks = backend.kernel3(ctx, result.matrix);
+    with_retry("k3", result.k3, "", [&] {
+      result.k3_iterations.clear();  // drop telemetry of a failed attempt
+      const KernelContext ctx = context("", "");
+      result.ranks = backend.kernel3(ctx, result.matrix);
+    });
     result.k3.seconds = watch.seconds();
     result.k3.edges_processed =
         static_cast<std::uint64_t>(config.iterations) * m;
@@ -155,6 +259,10 @@ PipelineResult run_pipeline(const PipelineConfig& config,
 
   pipeline_span.finish();
   result.wall_seconds_total = wall.seconds();
+  result.fault_plan = options.fault_plan.str();
+  result.retry_max_attempts = retry.max_attempts;
+  result.checkpointing = checkpointing;
+  if (faulty) result.faults_injected = faulty->stats().total;
   result.metrics = hooks.metrics->snapshot();
   util::ensure(result.ranks.size() == config.num_vertices(),
                "pipeline: rank vector has wrong size");

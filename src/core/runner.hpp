@@ -19,6 +19,8 @@
 #include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/kernel_context.hpp"
+#include "fault/plan.hpp"
+#include "fault/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sparse/csr.hpp"
@@ -48,6 +50,11 @@ struct KernelMetrics {
   std::uint64_t bytes_written = 0;
   std::uint64_t files_read = 0;     ///< shards opened for reading
   std::uint64_t files_written = 0;  ///< shards opened for writing
+  /// Execution attempts this kernel took (1 = first try succeeded; > 1
+  /// means transient I/O faults were absorbed by the retry policy).
+  int attempts = 1;
+  /// True when --resume validated the kernel's checkpoint and skipped it.
+  bool resumed = false;
 
   [[nodiscard]] double edges_per_second() const {
     if (edges_processed == 0) return 0.0;
@@ -79,6 +86,11 @@ struct PipelineResult {
   /// Per-iteration kernel-3 telemetry (residual, rank-sum drift, ms per
   /// iteration). Empty for backends that do not report it (arraylang).
   std::vector<sparse::IterationStats> k3_iterations;
+  // Resilience summary (serialized under "resilience" in the run report).
+  std::string fault_plan;         ///< canonical injected-fault plan ("" = none)
+  int retry_max_attempts = 1;     ///< kernel attempt budget the run used
+  bool checkpointing = false;     ///< stage manifests verified and persisted
+  std::uint64_t faults_injected = 0;  ///< faults the injector actually fired
 };
 
 struct RunOptions {
@@ -92,6 +104,21 @@ struct RunOptions {
   /// snapshot is populated either way); when trace is set and enabled,
   /// stage I/O is additionally routed through a tracing store decorator.
   obs::Hooks hooks;
+  /// Non-empty: wrap the store in a FaultInjectingStageStore interpreting
+  /// this plan (deterministic from plan.seed).
+  fault::FaultPlan fault_plan;
+  /// Kernel retry budget for transient I/O faults. max_attempts <= 1
+  /// disables retries; seed 0 inherits config.seed for the backoff jitter.
+  fault::RetryPolicy retry;
+  /// Verify each completed stage against its as-written digests and
+  /// persist a checkpoint manifest (silent corruption surfaces as
+  /// util::CorruptionError at the stage barrier instead of as wrong
+  /// answers downstream).
+  bool checkpoint = false;
+  /// Skip kernels whose persisted checkpoint manifests validate against
+  /// this configuration (implies checkpoint). Kernels re-run from the
+  /// first missing or invalid stage.
+  bool resume = false;
 };
 
 /// Runs the full pipeline. Stages live in the configured store. Throws

@@ -1,0 +1,167 @@
+// Checkpoint manifests — the pipeline's stage-completion records and the
+// detector for silent storage corruption.
+//
+// ShardDigestStore sits *above* the fault layer in the runner's decorator
+// stack and fingerprints every shard as the kernel writes it, so its
+// digests describe what the kernel intended to store. After a kernel
+// completes, CheckpointManager::commit() reads the stage back through the
+// (possibly faulty) storage, compares stored bytes against the as-written
+// digests — any torn write, truncation or bit flip surfaces as
+// util::CorruptionError, never as a wrong answer downstream — and then
+// persists a manifest shard under the reserved "_checkpoints" stage:
+//
+//   { "version": 1, "stage": "k1_sorted", "codec": "tsv",
+//     "config_fingerprint": "0x…",
+//     "shards": [ {"name": "edges_00000.tsv", "bytes": N, "digest": "0x…"} ] }
+//
+// --resume replays validate(): a stage whose manifest exists, matches the
+// config fingerprint and re-hashes cleanly is complete and its kernel is
+// skipped; the first missing/invalid stage is where execution restarts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/stage_store.hpp"
+
+namespace prpb::fault {
+
+/// Stage name reserved for checkpoint manifests.
+inline constexpr const char* kCheckpointStage = "_checkpoints";
+
+/// Streaming FNV-1a 64 over shard payload bytes.
+class ByteHash {
+ public:
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+struct ShardRecord {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const ShardRecord&) const = default;
+};
+
+struct StageManifest {
+  int version = 1;
+  std::string stage;
+  std::string codec;
+  std::uint64_t config_fingerprint = 0;
+  std::vector<ShardRecord> shards;
+
+  [[nodiscard]] std::string json() const;
+  /// Throws util::IoError on malformed input.
+  static StageManifest parse(std::string_view text);
+};
+
+/// Decorator recording an as-written ShardRecord for every shard written
+/// through it. Reads forward untouched. Thread-safe (shard records are
+/// registered under a mutex at close; payload hashing is per-writer).
+class ShardDigestStore final : public io::StageStore {
+ public:
+  explicit ShardDigestStore(io::StageStore& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string kind() const override { return inner_.kind(); }
+  std::unique_ptr<io::StageReader> open_read(const std::string& stage,
+                                             const std::string& shard) override {
+    return inner_.open_read(stage, shard);
+  }
+  std::unique_ptr<io::StageWriter> open_write(
+      const std::string& stage, const std::string& shard) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& stage) const override {
+    return inner_.list(stage);
+  }
+  [[nodiscard]] bool exists(const std::string& stage) const override {
+    return inner_.exists(stage);
+  }
+  void clear_stage(const std::string& stage) override;
+  void remove(const std::string& stage) override;
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override;
+  [[nodiscard]] std::uint64_t stage_bytes(
+      const std::string& stage) const override {
+    return inner_.stage_bytes(stage);
+  }
+  [[nodiscard]] bool empty(const std::string& stage) const override {
+    return inner_.empty(stage);
+  }
+  [[nodiscard]] const std::filesystem::path* root_dir() const override {
+    return inner_.root_dir();
+  }
+
+  /// As-written records for a stage, in shard-name order.
+  [[nodiscard]] std::vector<ShardRecord> written(
+      const std::string& stage) const;
+
+ private:
+  void record(const std::string& stage, ShardRecord rec);
+
+  io::StageStore& inner_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::map<std::string, ShardRecord>> records_;
+};
+
+enum class ManifestStatus { kValid, kMissing, kMismatch };
+
+struct ManifestCheck {
+  ManifestStatus status = ManifestStatus::kMissing;
+  std::string reason;  ///< human-readable, empty when valid
+
+  [[nodiscard]] bool valid() const { return status == ManifestStatus::kValid; }
+};
+
+class CheckpointManager {
+ public:
+  /// `store` is the layer manifests and read-back verification go through
+  /// (the digest store itself, so reads traverse the fault layer below);
+  /// `digests` supplies the as-written records. Neither is owned.
+  CheckpointManager(io::StageStore& store, const ShardDigestStore& digests,
+                    std::uint64_t config_fingerprint, std::string codec_name)
+      : store_(store), digests_(digests),
+        config_fingerprint_(config_fingerprint),
+        codec_name_(std::move(codec_name)) {}
+
+  /// Verifies the stage's stored bytes against the as-written digests and
+  /// persists its manifest. Throws util::CorruptionError when storage
+  /// diverges from what the kernel wrote (torn write, truncation, bit
+  /// flip), with the offending shard named.
+  void commit(const std::string& stage);
+
+  /// Validates a stage against its persisted manifest (the resume path).
+  /// Never throws for invalid data — a corrupt or missing manifest means
+  /// "not resumable", reported in the ManifestCheck.
+  [[nodiscard]] ManifestCheck validate(const std::string& stage) const;
+
+  /// Drops a persisted manifest (no-op when absent). The runner calls this
+  /// before re-running a kernel so a killed re-run cannot resume from the
+  /// stale manifest of the previous attempt.
+  void invalidate(const std::string& stage);
+
+ private:
+  /// Re-reads one shard through the store, returning its stored record.
+  [[nodiscard]] ShardRecord read_back(const std::string& stage,
+                                      const std::string& shard) const;
+
+  io::StageStore& store_;
+  const ShardDigestStore& digests_;
+  std::uint64_t config_fingerprint_;
+  std::string codec_name_;
+};
+
+}  // namespace prpb::fault

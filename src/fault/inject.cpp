@@ -1,0 +1,202 @@
+#include "fault/inject.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prpb::fault {
+
+namespace {
+
+std::string fault_message(const char* what, const std::string& kind,
+                          const std::string& stage, const std::string& shard) {
+  return io::shard_context(kind, stage, shard) + ": injected " + what;
+}
+
+/// Serves a prefix of the shard, then fails: the first read_chunk() call
+/// that would cross the cut point returns the bytes up to it, and the call
+/// after that throws. The cut lands strictly inside the shard's first
+/// chunk whenever the shard is non-empty, so downstream always sees a
+/// short, errored transfer rather than a clean EOF.
+class ShortReadReader final : public io::StageReader {
+ public:
+  ShortReadReader(std::unique_ptr<io::StageReader> inner, std::uint64_t draw,
+                  std::string message)
+      : inner_(std::move(inner)), draw_(draw), message_(std::move(message)) {}
+
+  std::string_view read_chunk() override {
+    if (failed_) throw util::TransientIoError(message_);
+    std::string_view chunk = inner_->read_chunk();
+    failed_ = true;
+    if (chunk.size() <= 1) {
+      // Nothing to meaningfully truncate; fail the transfer outright. An
+      // empty chunk must never be returned here — callers read it as a
+      // clean EOF and would not observe the fault at all.
+      throw util::TransientIoError(message_);
+    }
+    // Strict non-empty prefix: the consumer gets data, then the error.
+    return chunk.substr(0, 1 + draw_ % (chunk.size() - 1));
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return inner_->bytes_read();
+  }
+
+ private:
+  std::unique_ptr<io::StageReader> inner_;
+  std::uint64_t draw_;
+  std::string message_;
+  bool failed_ = false;
+};
+
+/// Buffers the whole shard, then commits a mutated image at close():
+/// a prefix (torn/truncate), or the full bytes with one flipped byte
+/// (bit_flip). Torn writes additionally throw after committing, like a
+/// crash the caller observes; the silent kinds return normally.
+class MutatingWriter final : public io::StageWriter {
+ public:
+  MutatingWriter(std::unique_ptr<io::StageWriter> inner, FaultKind fault,
+                 std::uint64_t draw, std::string message)
+      : inner_(std::move(inner)), fault_(fault), draw_(draw),
+        message_(std::move(message)) {}
+  ~MutatingWriter() override {
+    try {
+      close();
+    } catch (...) {
+      // destructor must not throw (mirrors CountingWriter)
+    }
+  }
+
+  std::string& buffer() override { return staged_; }
+  void maybe_flush() override {}  // keep buffering until close
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    std::string image = std::move(staged_);
+    staged_.clear();
+    bool tear = false;
+    if (fault_ == FaultKind::kTornWrite || fault_ == FaultKind::kTruncate) {
+      tear = fault_ == FaultKind::kTornWrite;
+      if (!image.empty()) {
+        // Keep a strict prefix: at least 0, at most size-1 bytes.
+        image.resize(draw_ % image.size());
+      }
+    } else if (fault_ == FaultKind::kBitFlip && !image.empty()) {
+      const std::size_t pos = draw_ % image.size();
+      const char mask =
+          static_cast<char>(1u << ((draw_ >> 32) % 8u));
+      image[pos] = static_cast<char>(image[pos] ^ mask);
+    }
+    inner_->write(image);
+    inner_->close();
+    committed_ = image.size();
+    if (tear) throw util::TransientIoError(message_);
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return closed_ ? committed_ : staged_.size();
+  }
+
+ private:
+  std::unique_ptr<io::StageWriter> inner_;
+  FaultKind fault_;
+  std::uint64_t draw_;
+  std::string message_;
+  std::string staged_;
+  std::uint64_t committed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+FaultInjectingStageStore::FaultInjectingStageStore(io::StageStore& inner,
+                                                   FaultPlan plan,
+                                                   obs::Hooks hooks)
+    : inner_(inner), plan_(std::move(plan)), hooks_(hooks), rng_(plan_.seed),
+      matches_(plan_.rules.size(), 0), fires_(plan_.rules.size(), 0) {}
+
+std::size_t FaultInjectingStageStore::decide(bool read_op,
+                                             const std::string& stage,
+                                             const std::string& shard,
+                                             std::uint64_t& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (is_read_kind(rule.kind) != read_op || !rule.matches(stage)) continue;
+    const std::uint64_t match = ++matches_[i];
+    if (fires_[i] >= rule.max_fires) continue;
+    const bool fire =
+        rule.nth != 0 ? match == rule.nth
+                      : rng_.uniform(i, match) < rule.probability;
+    if (!fire) continue;
+    ++fires_[i];
+    // Independent draw for the fault payload (cut point, flip position).
+    payload = rng_.at(0x70a1u ^ i, match);
+    note_injected(rule, stage, shard);
+    return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void FaultInjectingStageStore::note_injected(const FaultRule& rule,
+                                             const std::string& stage,
+                                             const std::string& shard) {
+  const std::string name = fault_kind_name(rule.kind);
+  stats_.total += 1;
+  stats_.by_kind[name] += 1;
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->counter("fault/injected/" + name).increment();
+  }
+  if (hooks_.tracing()) {
+    util::JsonWriter args;
+    args.begin_object();
+    args.field("kind", name);
+    args.field("stage", stage);
+    args.field("shard", shard);
+    args.end_object();
+    hooks_.trace->record_instant("fault/injected", args.str());
+  }
+}
+
+std::unique_ptr<io::StageReader> FaultInjectingStageStore::open_read(
+    const std::string& stage, const std::string& shard) {
+  std::uint64_t payload = 0;
+  const std::size_t rule = decide(true, stage, shard, payload);
+  if (rule == static_cast<std::size_t>(-1)) {
+    return inner_.open_read(stage, shard);
+  }
+  const FaultKind fault = plan_.rules[rule].kind;
+  if (fault == FaultKind::kReadError) {
+    throw util::TransientIoError(
+        fault_message("read error", kind(), stage, shard));
+  }
+  return std::make_unique<ShortReadReader>(
+      inner_.open_read(stage, shard), payload,
+      fault_message("short read", kind(), stage, shard));
+}
+
+std::unique_ptr<io::StageWriter> FaultInjectingStageStore::open_write(
+    const std::string& stage, const std::string& shard) {
+  std::uint64_t payload = 0;
+  const std::size_t rule = decide(false, stage, shard, payload);
+  if (rule == static_cast<std::size_t>(-1)) {
+    return inner_.open_write(stage, shard);
+  }
+  const FaultKind fault = plan_.rules[rule].kind;
+  if (fault == FaultKind::kWriteError) {
+    throw util::TransientIoError(
+        fault_message("write error", kind(), stage, shard));
+  }
+  return std::make_unique<MutatingWriter>(
+      inner_.open_write(stage, shard), fault, payload,
+      fault_message("torn write", kind(), stage, shard));
+}
+
+FaultStats FaultInjectingStageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace prpb::fault

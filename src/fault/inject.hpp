@@ -1,0 +1,101 @@
+// FaultInjectingStageStore — a StageStore decorator that simulates a
+// misbehaving storage medium underneath the pipeline. It evaluates a
+// FaultPlan against every shard open and, when a rule fires, injects the
+// corresponding fault:
+//
+//   read_error   open_read throws TransientIoError
+//   short_read   the reader serves a truncated prefix of the shard, then
+//                throws TransientIoError (an interrupted transfer)
+//   write_error  open_write throws TransientIoError
+//   torn_write   close() commits only a prefix of the bytes, then throws
+//                TransientIoError (a crash mid-write)
+//   truncate     close() silently commits a truncated shard
+//   bit_flip     close() silently commits the shard with one byte flipped
+//
+// The silent kinds model corruption no error path reports; catching them
+// is the checkpoint layer's job (fault/checkpoint.hpp). All decisions and
+// payload positions derive from CounterRng(plan.seed) and per-rule match
+// counters, so a given (plan, seed, op sequence) reproduces exactly.
+// Thread-safe: concurrent shard opens from the parallel backend serialize
+// on one mutex around rule evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "io/stage_store.hpp"
+#include "obs/trace.hpp"
+#include "rand/rng.hpp"
+
+namespace prpb::fault {
+
+/// Tally of injected faults, by kind-name ("read_error", ...).
+struct FaultStats {
+  std::uint64_t total = 0;
+  std::map<std::string, std::uint64_t> by_kind;
+};
+
+class FaultInjectingStageStore final : public io::StageStore {
+ public:
+  /// `inner` is not owned. With hooks attached, every injected fault is
+  /// recorded as a "fault/injected" instant event and counted under
+  /// "fault/injected/<kind>" in the metrics registry.
+  FaultInjectingStageStore(io::StageStore& inner, FaultPlan plan,
+                           obs::Hooks hooks = {});
+
+  [[nodiscard]] std::string kind() const override { return inner_.kind(); }
+  std::unique_ptr<io::StageReader> open_read(const std::string& stage,
+                                             const std::string& shard) override;
+  std::unique_ptr<io::StageWriter> open_write(
+      const std::string& stage, const std::string& shard) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& stage) const override {
+    return inner_.list(stage);
+  }
+  [[nodiscard]] bool exists(const std::string& stage) const override {
+    return inner_.exists(stage);
+  }
+  void clear_stage(const std::string& stage) override {
+    inner_.clear_stage(stage);
+  }
+  void remove(const std::string& stage) override { inner_.remove(stage); }
+  void remove_shard(const std::string& stage,
+                    const std::string& shard) override {
+    inner_.remove_shard(stage, shard);
+  }
+  [[nodiscard]] std::uint64_t stage_bytes(
+      const std::string& stage) const override {
+    return inner_.stage_bytes(stage);
+  }
+  [[nodiscard]] bool empty(const std::string& stage) const override {
+    return inner_.empty(stage);
+  }
+  [[nodiscard]] const std::filesystem::path* root_dir() const override {
+    return inner_.root_dir();
+  }
+
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  /// Index of the plan rule firing for this op, or npos. `payload` is the
+  /// deterministic 64-bit draw the fault's byte positions derive from.
+  std::size_t decide(bool read_op, const std::string& stage,
+                     const std::string& shard, std::uint64_t& payload);
+  void note_injected(const FaultRule& rule, const std::string& stage,
+                     const std::string& shard);
+
+  io::StageStore& inner_;
+  FaultPlan plan_;
+  obs::Hooks hooks_;
+  rnd::CounterRng rng_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> matches_;  ///< per-rule matching-op count
+  std::vector<std::uint64_t> fires_;    ///< per-rule injected count
+  FaultStats stats_;
+};
+
+}  // namespace prpb::fault

@@ -1,0 +1,72 @@
+// FaultPlan — a declarative, fully deterministic description of which
+// storage faults to inject where. Plans are parsed from a compact spec
+// string (the CLI's --faults flag) and interpreted by
+// FaultInjectingStageStore; given the same plan, seed and operation
+// sequence, the injected faults are bit-for-bit reproducible.
+//
+// Grammar (rules separated by ';' or ','):
+//
+//   rule   := kind filter*
+//   kind   := read_error | short_read | write_error | torn_write
+//           | truncate   | bit_flip
+//   filter := '@' stage      limit to one stage name (default: any stage)
+//           | '#' n          fire on the n-th matching operation (1-based)
+//           | ':p=' prob     fire each matching operation with probability
+//                            prob, decided by CounterRng(seed)
+//           | '*' m          fire at most m times
+//
+// Defaults: a rule without '#' or ':p=' behaves as '#1'; counted rules
+// fire once, probabilistic rules fire without limit unless '*' caps them.
+// Examples:
+//   "read_error@k1_sorted#2"        2nd read-open of k1_sorted errors
+//   "torn_write@k0_edges"           1st k0_edges shard write is torn
+//   "short_read:p=0.01*4"           1% of reads truncated, at most 4
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prpb::fault {
+
+enum class FaultKind {
+  kReadError,   ///< open_read throws TransientIoError
+  kShortRead,   ///< reader serves a truncated prefix, then throws
+  kWriteError,  ///< open_write throws TransientIoError
+  kTornWrite,   ///< close() commits a prefix of the bytes, then throws
+  kTruncate,    ///< close() silently commits a truncated shard
+  kBitFlip,     ///< close() silently commits one flipped byte
+};
+
+/// True for kinds that act on read operations (the rest act on writes).
+[[nodiscard]] bool is_read_kind(FaultKind kind);
+/// Spec-grammar name ("read_error", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kReadError;
+  std::string stage;          ///< empty = match any stage
+  std::uint64_t nth = 1;      ///< 1-based op trigger; 0 = probabilistic
+  double probability = 0.0;   ///< used when nth == 0
+  std::uint64_t max_fires = 1;
+
+  [[nodiscard]] bool matches(const std::string& op_stage) const {
+    return stage.empty() || stage == op_stage;
+  }
+  [[nodiscard]] std::string str() const;  ///< canonical spec form
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< drives probabilistic triggers and payloads
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+  /// Canonical spec string ("" for an empty plan), recorded in reports.
+  [[nodiscard]] std::string str() const;
+
+  /// Parses a spec string. Throws util::ConfigError (with the grammar
+  /// summary) on malformed input. An empty spec yields an empty plan.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
+};
+
+}  // namespace prpb::fault

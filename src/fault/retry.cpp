@@ -1,0 +1,32 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "rand/rng.hpp"
+#include "util/error.hpp"
+
+namespace prpb::fault {
+
+double RetryPolicy::delay_ms(int attempt) const {
+  if (attempt < 1 || base_delay_ms <= 0.0) return 0.0;
+  double delay = base_delay_ms;
+  for (int i = 1; i < attempt && delay < max_delay_ms; ++i) delay *= 2.0;
+  delay = std::min(delay, max_delay_ms);
+  const double jitter =
+      0.5 + 0.5 * rnd::CounterRng(seed).uniform(0x7e747279u,  // "retry"
+                                                static_cast<std::uint64_t>(attempt));
+  return delay * jitter;
+}
+
+bool is_retryable(const std::exception& error) {
+  return dynamic_cast<const util::TransientIoError*>(&error) != nullptr;
+}
+
+void backoff_sleep(double delay_ms) {
+  if (delay_ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+}  // namespace prpb::fault

@@ -1,0 +1,37 @@
+// RetryPolicy — bounded retries with exponential backoff and
+// deterministic jitter. The runner wraps each kernel attempt in this
+// policy: transient I/O faults (util::TransientIoError) are retried after
+// clearing the kernel's partial output; everything else — ConfigError,
+// detected corruption, invariant violations — is permanent and rethrows
+// immediately. Jitter derives from CounterRng(seed), so two runs with the
+// same seed back off identically (the benchmark stays reproducible even
+// through its failure handling).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace prpb::fault {
+
+struct RetryPolicy {
+  int max_attempts = 1;         ///< 1 = no retry
+  double base_delay_ms = 1.0;   ///< first backoff; doubles per attempt
+  double max_delay_ms = 2000.0; ///< backoff ceiling before jitter
+  std::uint64_t seed = 0;       ///< jitter stream
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff before retry number `attempt` (1-based: the delay after the
+  /// first failed attempt is delay_ms(1)). Exponential with the jitter
+  /// factor in [0.5, 1.0) drawn deterministically from (seed, attempt).
+  [[nodiscard]] double delay_ms(int attempt) const;
+};
+
+/// True exactly for util::TransientIoError — the single retryable type.
+[[nodiscard]] bool is_retryable(const std::exception& error);
+
+/// Blocks for `delay_ms` milliseconds (no-op for values <= 0).
+void backoff_sleep(double delay_ms);
+
+}  // namespace prpb::fault

@@ -284,6 +284,13 @@ Value Interpreter::eval_call(const Expr& expr) {
     runtime_error(expr.line, "unknown function '" + expr.text + "'");
   try {
     return it->second(args, *this);
+  } catch (const util::TransientIoError& e) {
+    // Keep the retryable type: the pipeline runner's retry loop dispatches
+    // on it, so a transient stage-store fault inside a builtin must not
+    // degrade into a permanent plain Error.
+    throw util::TransientIoError(
+        "arraylang runtime error (line " + std::to_string(expr.line) +
+        "): " + e.what() + " in call to '" + expr.text + "'");
   } catch (const util::Error& e) {
     runtime_error(expr.line, std::string(e.what()) + " in call to '" +
                                  expr.text + "'");

@@ -17,11 +17,38 @@ std::string shard_name(std::size_t index) {
   return name;
 }
 
+std::string shard_context(const std::string& kind, const std::string& stage,
+                          const std::string& shard) {
+  std::string out = "stage '" + stage + "'";
+  if (!shard.empty()) {
+    out += " shard '" + shard + "'";
+    // "edges_00003.tsv" → "(index 3)"; shard names without a digit run
+    // (manifests, spill runs with other schemes) just omit the clause.
+    const std::size_t first = shard.find_first_of("0123456789");
+    if (first != std::string::npos) {
+      std::size_t last = first;
+      while (last < shard.size() && shard[last] >= '0' && shard[last] <= '9') {
+        ++last;
+      }
+      std::size_t lead = first;
+      while (lead + 1 < last && shard[lead] == '0') ++lead;
+      out += " (index " + shard.substr(lead, last - lead) + ")";
+    }
+  }
+  out += " [store " + kind + "]";
+  return out;
+}
+
 // ---- DirStageStore ---------------------------------------------------------
 
 std::unique_ptr<StageReader> DirStageStore::open_read(
     const std::string& stage, const std::string& shard) {
-  return std::make_unique<FileReader>(resolve(stage) / shard);
+  const fs::path path = resolve(stage) / shard;
+  if (!fs::is_regular_file(path)) {
+    throw util::IoError(shard_context(kind(), stage, shard) +
+                        ": no such shard (" + path.string() + ")");
+  }
+  return std::make_unique<FileReader>(path);
 }
 
 std::unique_ptr<StageWriter> DirStageStore::open_write(
@@ -136,10 +163,10 @@ std::unique_ptr<StageReader> MemStageStore::open_read(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto stage_it = stages_.find(stage);
   util::io_require(stage_it != stages_.end(),
-                   "mem store: no such stage: " + stage);
+                   shard_context(kind(), stage, shard) + ": no such stage");
   const auto shard_it = stage_it->second.find(shard);
   util::io_require(shard_it != stage_it->second.end(),
-                   "mem store: no such shard: " + stage + "/" + shard);
+                   shard_context(kind(), stage, shard) + ": no such shard");
   return std::make_unique<MemReader>(shard_it->second);
 }
 
@@ -154,7 +181,8 @@ std::unique_ptr<StageWriter> MemStageStore::open_write(
 std::vector<std::string> MemStageStore::list(const std::string& stage) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = stages_.find(stage);
-  util::io_require(it != stages_.end(), "mem store: no such stage: " + stage);
+  util::io_require(it != stages_.end(),
+                   shard_context(kind(), stage) + ": no such stage");
   std::vector<std::string> names;
   names.reserve(it->second.size());
   for (const auto& [name, blob] : it->second) names.push_back(name);

@@ -30,6 +30,16 @@ namespace prpb::io {
 /// Canonical shard file name for shard `index` of a stage ("edges_00042.tsv").
 std::string shard_name(std::size_t index);
 
+/// Canonical error-context prefix for stage/shard diagnostics:
+///   "stage 'k1_sorted' shard 'edges_00003.tsv' (index 3) [store dir]"
+/// Every store implementation (and the runner's stage checks) phrases its
+/// errors through this so failures always name the stage, the shard and
+/// the storage kind, whatever layer they surface from. The index clause is
+/// derived from the shard name's digit run and omitted when absent; the
+/// shard clause is omitted when `shard` is empty.
+std::string shard_context(const std::string& kind, const std::string& stage,
+                          const std::string& shard = {});
+
 class StageStore {
  public:
   virtual ~StageStore() = default;

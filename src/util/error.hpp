@@ -25,6 +25,24 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Raised for I/O failures that are expected to succeed when retried
+/// (interrupted transfers, injected transient faults). The runner's
+/// RetryPolicy treats exactly this type as retryable; every other error is
+/// permanent.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
+/// Raised when stored stage bytes provably diverge from what was written
+/// (torn write, truncated shard, bit rot detected by checkpoint
+/// validation). Permanent within a run: recovery is re-running the
+/// producing kernel, e.g. via --resume.
+class CorruptionError : public IoError {
+ public:
+  explicit CorruptionError(const std::string& what) : IoError(what) {}
+};
+
 /// Raised when a kernel's mathematical pre/post-condition is violated.
 class InvariantError : public Error {
  public:

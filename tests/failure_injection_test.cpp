@@ -1,12 +1,19 @@
-// Failure injection: corrupted stages, missing inputs, and malformed data
-// must surface as typed errors at the kernel boundary — never as silent
-// wrong answers or crashes.
+// Failure injection: storage faults, corrupted stages, missing inputs and
+// malformed data must surface as typed errors (or be absorbed by the retry
+// policy) at the kernel boundary — never as silent wrong answers or
+// crashes. The matrix tests drive every backend × stage format through the
+// deterministic FaultInjectingStageStore.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
+#include <tuple>
 
 #include "core/backend.hpp"
+#include "core/checksum.hpp"
+#include "core/report.hpp"
 #include "core/runner.hpp"
+#include "fault/plan.hpp"
 #include "io/edge_files.hpp"
 #include "io/file_stream.hpp"
 #include "io/stage_store.hpp"
@@ -25,6 +32,255 @@ PipelineConfig config_in(const util::TempDir& work) {
   config.work_dir = work.path();
   return config;
 }
+
+PipelineConfig mem_config(const std::string& format) {
+  PipelineConfig config;
+  config.scale = 8;
+  config.num_files = 2;
+  config.storage = "mem";
+  config.stage_format = format;
+  return config;
+}
+
+int total_attempts(const PipelineResult& result) {
+  return result.k0.attempts + result.k1.attempts + result.k2.attempts +
+         result.k3.attempts;
+}
+
+double total_retry_count(const PipelineResult& result) {
+  double total = 0.0;
+  for (const auto& [name, value] : result.metrics.counters) {
+    if (name.size() > 8 && name.compare(name.size() - 8, 8, "/retries") == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+// ---- fault matrix: every backend × stage format × fault kind ---------------
+
+using MatrixParam = std::tuple<std::string, std::string, std::string>;
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const std::string plan = std::get<2>(info.param);
+  std::string kind = plan.substr(0, plan.find_first_of("@#:*"));
+  return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" + kind;
+}
+
+/// Transient faults (I/O errors, interrupted transfers, torn writes) are
+/// absorbed by the retry policy: the run completes with bit-identical
+/// ranks and reports exactly one consumed retry.
+class RetryableFaultTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(RetryableFaultTest, RetryAbsorbsFaultWithIdenticalRanks) {
+  const auto& [backend_name, format, plan] = GetParam();
+  const PipelineConfig config = mem_config(format);
+  const auto backend = make_backend(backend_name);
+
+  const PipelineResult clean = run_pipeline(config, *backend);
+
+  RunOptions faulted;
+  faulted.fault_plan = fault::FaultPlan::parse(plan, 1234);
+  faulted.retry.max_attempts = 4;
+  faulted.retry.base_delay_ms = 0.0;  // tests never sleep
+  const PipelineResult result = run_pipeline(config, *backend, faulted);
+
+  EXPECT_EQ(result.ranks, clean.ranks);  // bit-identical, not just close
+  EXPECT_EQ(rank_digest(result.ranks), rank_digest(clean.ranks));
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(total_attempts(result), 5) << "exactly one kernel retried once";
+  EXPECT_EQ(total_retry_count(result), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, RetryableFaultTest,
+    ::testing::Combine(::testing::Values("native", "parallel", "graphblas",
+                                         "arraylang", "dataframe"),
+                       ::testing::Values("tsv", "binary"),
+                       ::testing::Values("read_error@k0_edges",
+                                         "short_read@k0_edges",
+                                         "write_error@k1_sorted",
+                                         "torn_write@k1_sorted")),
+    matrix_name);
+
+/// Silent corruption (truncation, bit rot) cannot be retried away — the
+/// checkpoint barrier detects it and fails the run with a typed error
+/// before any downstream kernel can compute a wrong answer.
+class CorruptionFaultTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(CorruptionFaultTest, CheckpointBarrierDetectsSilentCorruption) {
+  const auto& [backend_name, format, plan] = GetParam();
+  const PipelineConfig config = mem_config(format);
+  const auto backend = make_backend(backend_name);
+
+  RunOptions options;
+  options.fault_plan = fault::FaultPlan::parse(plan, 99);
+  options.checkpoint = true;
+  options.retry.max_attempts = 3;  // retries must NOT mask corruption
+  options.retry.base_delay_ms = 0.0;
+  EXPECT_THROW(run_pipeline(config, *backend, options),
+               util::CorruptionError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CorruptionFaultTest,
+    ::testing::Combine(::testing::Values("native", "parallel", "graphblas",
+                                         "arraylang", "dataframe"),
+                       ::testing::Values("tsv", "binary"),
+                       ::testing::Values("truncate@k1_sorted",
+                                         "bit_flip@k1_sorted")),
+    matrix_name);
+
+TEST(RetryBudgetTest, ExhaustedRetriesRethrowTheTransientFault) {
+  const PipelineConfig config = mem_config("tsv");
+  const auto backend = make_backend("native");
+  RunOptions options;
+  // Fires on every read of stage0 — no budget can outlast it.
+  options.fault_plan =
+      fault::FaultPlan::parse("read_error@k0_edges:p=1.0*1000", 5);
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_ms = 0.0;
+  EXPECT_THROW(run_pipeline(config, *backend, options),
+               util::TransientIoError);
+}
+
+TEST(RetryBudgetTest, NoRetryPolicyFailsOnFirstTransientFault) {
+  const PipelineConfig config = mem_config("tsv");
+  const auto backend = make_backend("native");
+  RunOptions options;
+  options.fault_plan = fault::FaultPlan::parse("read_error@k0_edges", 5);
+  EXPECT_THROW(run_pipeline(config, *backend, options),
+               util::TransientIoError);
+}
+
+TEST(RetryBudgetTest, ReportCarriesResilienceFields) {
+  const PipelineConfig config = mem_config("tsv");
+  const auto backend = make_backend("native");
+  RunOptions options;
+  options.fault_plan = fault::FaultPlan::parse("torn_write@k1_sorted", 7);
+  options.retry.max_attempts = 2;
+  options.retry.base_delay_ms = 0.0;
+  options.checkpoint = true;
+  const PipelineResult result = run_pipeline(config, *backend, options);
+  EXPECT_EQ(result.k1.attempts, 2);
+  EXPECT_EQ(result.fault_plan, "torn_write@k1_sorted");
+  EXPECT_TRUE(result.checkpointing);
+  const std::string report = run_report_json(config, result, std::nullopt);
+  EXPECT_NE(report.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(report.find("\"fault_plan\":\"torn_write@k1_sorted\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"faults_injected\":1"), std::string::npos);
+}
+
+// ---- checkpoint / resume ----------------------------------------------------
+
+TEST(ResumeTest, ResumeSkipsCheckpointedKernelsWithIdenticalRanks) {
+  util::TempDir work("prpb-resume");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+
+  util::TempDir clean_work("prpb-resume-clean");
+  PipelineConfig clean_config = config;
+  clean_config.work_dir = clean_work.path();
+  const PipelineResult clean = run_pipeline(clean_config, *backend);
+
+  // Run 1 dies in kernel 2: reads of k1_sorted are (1) commit read-back of
+  // shard 0, (2) commit read-back of shard 1, (3) kernel 2's first read —
+  // so '#3' injects after both stages are checkpointed, like a crash
+  // mid-K2.
+  RunOptions failing;
+  failing.checkpoint = true;
+  failing.fault_plan = fault::FaultPlan::parse("read_error@k1_sorted#3", 7);
+  EXPECT_THROW(run_pipeline(config, *backend, failing),
+               util::TransientIoError);
+
+  // Run 2 resumes: both stages validate, K0/K1 are skipped, and the final
+  // ranks are bit-identical to a clean run.
+  RunOptions resume;
+  resume.resume = true;
+  const PipelineResult result = run_pipeline(config, *backend, resume);
+  EXPECT_TRUE(result.k0.resumed);
+  EXPECT_TRUE(result.k1.resumed);
+  EXPECT_EQ(result.k0.attempts, 1);
+  EXPECT_EQ(result.ranks, clean.ranks);
+  EXPECT_EQ(matrix_fingerprint(result.matrix), matrix_fingerprint(clean.matrix));
+}
+
+TEST(ResumeTest, ResumeWithNothingCheckpointedRunsEverything) {
+  util::TempDir work("prpb-resume");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  RunOptions resume;
+  resume.resume = true;
+  const PipelineResult result = run_pipeline(config, *backend, resume);
+  EXPECT_FALSE(result.k0.resumed);
+  EXPECT_FALSE(result.k1.resumed);
+  EXPECT_EQ(result.ranks.size(), config.num_vertices());
+}
+
+TEST(ResumeTest, ConfigChangeInvalidatesCheckpoints) {
+  util::TempDir work("prpb-resume");
+  PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  RunOptions checkpointed;
+  checkpointed.checkpoint = true;
+  (void)run_pipeline(config, *backend, checkpointed);
+
+  config.seed += 1;  // stages under this seed are different data
+  RunOptions resume;
+  resume.resume = true;
+  const PipelineResult result = run_pipeline(config, *backend, resume);
+  EXPECT_FALSE(result.k0.resumed);
+  EXPECT_FALSE(result.k1.resumed);
+  EXPECT_EQ(result.ranks.size(), config.num_vertices());
+}
+
+TEST(ResumeTest, TamperedStageIsReRunNotTrusted) {
+  util::TempDir work("prpb-resume");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  RunOptions checkpointed;
+  checkpointed.checkpoint = true;
+  const PipelineResult clean = run_pipeline(config, *backend, checkpointed);
+
+  // Flip one byte of a checkpointed stage-0 shard behind the manifest's
+  // back. Resume must notice, re-run from kernel 0, and still converge to
+  // the correct answer.
+  const fs::path shard =
+      fs::path(config.work_dir) / stages::kStage0 / io::shard_name(0);
+  std::string bytes = io::read_file(shard);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x04;
+  io::write_file(shard, bytes);
+
+  RunOptions resume;
+  resume.resume = true;
+  const PipelineResult result = run_pipeline(config, *backend, resume);
+  EXPECT_FALSE(result.k0.resumed);
+  EXPECT_EQ(result.ranks, clean.ranks);
+}
+
+// ---- error-message shape ----------------------------------------------------
+
+TEST(FailureMessageTest, MissingStageNamesStageAndStoreKind) {
+  util::TempDir work("prpb-fail");
+  const PipelineConfig config = config_in(work);
+  const auto backend = make_backend("native");
+  RunOptions options;
+  options.run_kernel0 = false;  // stage0 never materialized
+  try {
+    (void)run_pipeline(config, *backend, options);
+    FAIL() << "expected PipelineError";
+  } catch (const util::PipelineError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stage 'k0_edges'"), std::string::npos) << what;
+    EXPECT_NE(what.find("[store dir]"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing or empty"), std::string::npos) << what;
+  }
+}
+
+// ---- legacy corruption scenarios (direct-kernel harness) -------------------
 
 /// Direct-kernel harness: the store and stage names run_pipeline would use.
 struct Harness {
