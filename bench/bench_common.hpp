@@ -40,6 +40,11 @@ struct SweepOptions {
   int trials = 1;        ///< repeated timings per cell; median is reported
   std::string csv_path;  ///< when set, the series is also written as CSV
   std::string generator = "kronecker";
+  std::string source = "generator";  ///< kernel-0 graph source
+  std::string input_path;            ///< external edge-list file
+  /// Kernel-3 algorithms to sweep (each gets its own cell). Binaries
+  /// preset their own default; --algorithms overrides.
+  std::vector<std::string> algorithms = {"pagerank"};
   std::string storage = "dir";       ///< stage store kind: dir | mem
   std::string stage_format = "tsv";  ///< stage encoding: tsv | binary
   bool fast_path = false;  ///< run cells with the src/perf fast paths on
@@ -61,6 +66,13 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("trials", "timings per cell (median reported)", "1");
   args.add_option("csv", "also write the series to this CSV file", "");
   args.add_option("generator", "kronecker|bter|ppl", "kronecker");
+  args.add_option("source", "graph source: generator | external", "generator");
+  args.add_option("input",
+                  "external edge-list file; implies --source external", "");
+  args.add_option("algorithms",
+                  "comma-separated kernel-3 algorithms "
+                  "(pagerank,pagerank_dopt,bfs,cc); default depends on the "
+                  "binary", "");
   args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
                   "dir");
   args.add_option("stage-format", "stage encoding: tsv | binary", "tsv");
@@ -79,6 +91,14 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.trials = static_cast<int>(args.get_int("trials"));
   options.csv_path = args.get("csv");
   options.generator = args.get("generator");
+  options.source = args.get("source");
+  options.input_path = args.get("input");
+  if (!options.input_path.empty() && options.source == "generator") {
+    options.source = "external";
+  }
+  if (!args.get("algorithms").empty()) {
+    options.algorithms = core::parse_algorithm_list(args.get("algorithms"));
+  }
   options.storage = args.get("storage");
   options.stage_format = args.get("stage-format");
   const std::string fast_path = args.get("fast-path");
@@ -120,6 +140,8 @@ struct SeriesPoint {
   std::string storage;
   std::string stage_format;
   bool fast_path = false;
+  std::string source;     ///< graph source the cell ran on
+  std::string algorithm;  ///< kernel-3 cells: the algorithm measured
 };
 
 /// Serializes sweep cells as the machine-readable kernel benchmark
@@ -144,6 +166,8 @@ inline std::string kernels_json(const std::vector<SeriesPoint>& points) {
     json.field("storage", p.storage);
     json.field("stage_format", p.stage_format);
     json.field("fast_path", p.fast_path);
+    json.field("source", p.source.empty() ? "generator" : p.source);
+    if (!p.algorithm.empty()) json.field("algorithm", p.algorithm);
     json.end_object();
   }
   json.end_array();
@@ -173,6 +197,9 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
   config.num_files = options.num_files;
   config.seed = options.seed;
   config.generator = options.generator;
+  config.source = options.source;
+  config.input_path = options.input_path;
+  config.algorithms = options.algorithms;
   config.storage = options.storage;
   config.stage_format = options.stage_format;
   config.fast_path = options.fast_path;
@@ -183,9 +210,13 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
 /// Runs one kernel for every (backend, scale) sweep cell and returns the
 /// figure series. Earlier pipeline stages are prepared untimed with the
 /// native backend — legal because every backend produces identical stages
-/// (enforced by the integration tests).
-inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
-                                             int kernel) {
+/// (enforced by the integration tests). Kernel-3 cells measure `algorithm`
+/// (the paper's fixed PageRank by default). External sources ignore the
+/// scale axis: the input file determines the graph, so exactly one pass
+/// runs, labeled with min_scale.
+inline std::vector<SeriesPoint> sweep_kernel(
+    const SweepOptions& options, int kernel,
+    const std::string& algorithm = "pagerank") {
   std::vector<SeriesPoint> points;
   // Tracing is opt-in (--trace-out); the resource sampler always runs so
   // every cell line can report its peak RSS.
@@ -199,7 +230,7 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
   for (int scale = options.min_scale; scale <= options.max_scale; ++scale) {
     // Shared untimed preparation per scale.
     util::TempDir work("prpb-fig");
-    const core::PipelineConfig config = cell_config(work, options, scale);
+    core::PipelineConfig config = cell_config(work, options, scale);
     const auto store = core::make_stage_store(config);
     const auto context = [&](std::string in, std::string out) {
       core::KernelContext ctx{config, *store, std::move(in),
@@ -208,7 +239,18 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
       return ctx;
     };
     core::NativeBackend prep;
-    if (kernel >= 1) prep.kernel0(context("", core::stages::kStage0));
+    if (kernel >= 1) {
+      if (config.source == "external") {
+        const auto graph_source = core::make_graph_source(config);
+        const core::GraphSummary graph =
+            graph_source->materialize(context("", core::stages::kStage0),
+                                      prep);
+        config.external_vertices = graph.vertices;
+        config.external_edges = graph.edges;
+      } else {
+        prep.kernel0(context("", core::stages::kStage0));
+      }
+    }
     if (kernel >= 2)
       prep.kernel1(context(core::stages::kStage0, core::stages::kStage1));
     sparse::CsrMatrix matrix;
@@ -217,15 +259,24 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
 
     for (const auto& name : options.backends) {
       const auto backend = core::make_backend(name);
-      std::uint64_t processed = config.num_edges();
       std::vector<double> timings;
       timings.reserve(options.trials);
+      std::uint64_t k3_work = 0;
       sampler.reset_peak();
       for (int trial = 0; trial < options.trials; ++trial) {
         util::Stopwatch watch;
         switch (kernel) {
           case 0:
-            backend->kernel0(context("", "trial_k0"));
+            if (config.source == "external") {
+              const auto graph_source = core::make_graph_source(config);
+              const core::GraphSummary graph =
+                  graph_source->materialize(context("", "trial_k0"),
+                                            *backend);
+              config.external_vertices = graph.vertices;
+              config.external_edges = graph.edges;
+            } else {
+              backend->kernel0(context("", "trial_k0"));
+            }
             break;
           case 1:
             backend->kernel1(context(core::stages::kStage0, "trial_k1"));
@@ -233,9 +284,12 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
           case 2:
             (void)backend->kernel2(context(core::stages::kStage1, ""));
             break;
-          case 3:
-            (void)backend->kernel3(context("", ""), matrix);
+          case 3: {
+            const core::AlgorithmResult out =
+                backend->run_algorithm(context("", ""), matrix, algorithm);
+            k3_work = out.work_edges;
             break;
+          }
           default:
             throw util::ConfigError("sweep_kernel: kernel must be 0-3");
         }
@@ -243,9 +297,8 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
         store->remove("trial_k0");
         store->remove("trial_k1");
       }
-      if (kernel == 3) {
-        processed *= static_cast<std::uint64_t>(config.iterations);
-      }
+      std::uint64_t processed = config.num_edges();
+      if (kernel == 3) processed = k3_work;
       const double seconds = util::median(timings);
       // The background thread may not have sampled within a short cell, so
       // fold in one synchronous reading before reporting the peak.
@@ -264,12 +317,19 @@ inline std::vector<SeriesPoint> sweep_kernel(const SweepOptions& options,
       point.storage = config.storage;
       point.stage_format = config.stage_format;
       point.fast_path = config.fast_path;
+      point.source = config.source;
+      if (kernel == 3) point.algorithm = algorithm;
       points.push_back(std::move(point));
       std::fprintf(stderr,
-                   "  [fig] kernel%d %s scale %d: %.3fs (peak RSS %.1f MB)\n",
-                   kernel, name.c_str(), scale, seconds,
+                   "  [fig] kernel%d%s%s %s scale %d: %.3fs (peak RSS "
+                   "%.1f MB)\n",
+                   kernel, kernel == 3 ? "/" : "",
+                   kernel == 3 ? algorithm.c_str() : "", name.c_str(), scale,
+                   seconds,
                    static_cast<double>(peak_rss) / (1024.0 * 1024.0));
     }
+    // The input file fixes the graph; more scales would repeat the cell.
+    if (config.source == "external") break;
   }
   sampler.stop();
   if (!options.trace_out.empty()) {

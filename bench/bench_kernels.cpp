@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
 
   bench::SweepOptions options;
   options.backends = {"native", "parallel"};
+  options.algorithms = core::algorithm_names();
   if (!bench::parse_sweep_options(
           argc, argv, "bench_kernels",
-          "all kernels x backends x fast-path, as JSON", options)) {
+          "all kernels x backends x fast-path (x algorithm for kernel 3), "
+          "as JSON", options)) {
     return 0;
   }
   if (options.json_path.empty()) options.json_path = "BENCH_kernels.json";
@@ -32,10 +34,16 @@ int main(int argc, char** argv) {
       cell_options.csv_path.clear();
       cell_options.json_path.clear();
       cell_options.trace_out.clear();
-      for (int kernel = 0; kernel <= 3; ++kernel) {
+      for (int kernel = 0; kernel <= 2; ++kernel) {
         std::fprintf(stderr, "[bench_kernels] kernel %d, fast-path %s\n",
                      kernel, fast ? "on" : "off");
         const auto points = bench::sweep_kernel(cell_options, kernel);
+        cells.insert(cells.end(), points.begin(), points.end());
+      }
+      for (const auto& algorithm : cell_options.algorithms) {
+        std::fprintf(stderr, "[bench_kernels] kernel 3/%s, fast-path %s\n",
+                     algorithm.c_str(), fast ? "on" : "off");
+        const auto points = bench::sweep_kernel(cell_options, 3, algorithm);
         cells.insert(cells.end(), points.begin(), points.end());
       }
     }

@@ -34,6 +34,15 @@ int main(int argc, char** argv) {
   args.add_option("backend",
                   "native|parallel|graphblas|arraylang|dataframe", "native");
   args.add_option("generator", "kronecker|bter|ppl", "kronecker");
+  args.add_option("source",
+                  "kernel-0 graph source: generator (the paper's K0) | "
+                  "external (ingest --input)", "generator");
+  args.add_option("input",
+                  "external graph file: SNAP-style .txt/.tsv/.csv edge list "
+                  "or .mtx; implies --source external", "");
+  args.add_option("algorithm",
+                  "comma-separated kernel-3 algorithms: "
+                  "pagerank,pagerank_dopt,bfs,cc", "pagerank");
   args.add_option("files", "shard files per stage", "1");
   args.add_option("iterations", "PageRank iterations", "20");
   args.add_option("damping", "PageRank damping factor c", "0.85");
@@ -87,6 +96,11 @@ int main(int argc, char** argv) {
   config.scale = static_cast<int>(args.get_int("scale"));
   config.edge_factor = static_cast<int>(args.get_int("edge-factor"));
   config.generator = args.get("generator");
+  config.source = args.get("source");
+  if (!args.get("input").empty()) {
+    config.input_path = args.get("input");
+    if (config.source == "generator") config.source = "external";
+  }
   config.num_files = static_cast<std::size_t>(args.get_int("files"));
   config.iterations = static_cast<int>(args.get_int("iterations"));
   config.damping = args.get_double("damping");
@@ -111,15 +125,31 @@ int main(int argc, char** argv) {
   }
 
   try {
+    config.algorithms = core::parse_algorithm_list(args.get("algorithm"));
     const auto backend = core::make_backend(args.get("backend"));
-    std::printf(
-        "prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) files=%zu "
-        "storage=%s stage-format=%s fast-path=%s\n",
-        backend->name().c_str(), config.generator.c_str(), config.scale,
-        util::human_count(config.num_vertices()).c_str(),
-        util::human_count(config.num_edges()).c_str(), config.num_files,
-        config.storage.c_str(), config.stage_format.c_str(),
-        config.fast_path ? "on" : "off");
+    std::string algorithms;
+    for (const auto& algorithm : config.algorithms) {
+      if (!algorithms.empty()) algorithms += ",";
+      algorithms += algorithm;
+    }
+    if (config.source == "external") {
+      std::printf(
+          "prpb: backend=%s source=external input=%s algorithms=%s "
+          "files=%zu storage=%s stage-format=%s fast-path=%s\n",
+          backend->name().c_str(), config.input_path.string().c_str(),
+          algorithms.c_str(), config.num_files, config.storage.c_str(),
+          config.stage_format.c_str(), config.fast_path ? "on" : "off");
+    } else {
+      std::printf(
+          "prpb: backend=%s generator=%s scale=%d (N=%s, M=%s) "
+          "algorithms=%s files=%zu storage=%s stage-format=%s "
+          "fast-path=%s\n",
+          backend->name().c_str(), config.generator.c_str(), config.scale,
+          util::human_count(config.num_vertices()).c_str(),
+          util::human_count(config.num_edges()).c_str(), algorithms.c_str(),
+          config.num_files, config.storage.c_str(),
+          config.stage_format.c_str(), config.fast_path ? "on" : "off");
+    }
 
     // Observability: tracing (and the resource-counter tracks) only turn
     // on when --trace-out is given; the metrics registry runs either way
@@ -185,11 +215,42 @@ int main(int argc, char** argv) {
     table.add_row({"K2 filter", util::fixed(result.k2.seconds, 4),
                    util::sci(result.k2.edges_per_second()),
                    mb(result.k2.bytes_read), mb(result.k2.bytes_written), ""});
-    table.add_row({"K3 pagerank", util::fixed(result.k3.seconds, 4),
-                   util::sci(result.k3.edges_per_second()),
-                   mb(result.k3.bytes_read), mb(result.k3.bytes_written),
-                   std::to_string(config.iterations) + " iterations"});
+    for (const core::AlgorithmRun& run : result.algorithms) {
+      std::string note = run.output.implementation;
+      if (run.output.has_ranks()) {
+        note += ", " + std::to_string(run.output.iterations) + " iterations";
+      } else if (!run.output.levels.empty()) {
+        note += ", depth " + std::to_string(run.output.iterations) +
+                " from v" + std::to_string(run.output.bfs_source);
+      }
+      table.add_row({"K3 " + run.output.algorithm,
+                     util::fixed(run.metrics.seconds, 4),
+                     util::sci(run.metrics.edges_per_second()),
+                     mb(run.metrics.bytes_read),
+                     mb(run.metrics.bytes_written), note});
+    }
     std::printf("\n%s", table.str().c_str());
+
+    if (result.graph.source == "external") {
+      std::printf(
+          "\nexternal graph: %llu vertices, %llu edges (%s%s), "
+          "out-degree max=%llu mean=%.2f gini=%.3f top1%%=%.3f\n",
+          (unsigned long long)result.graph.vertices,
+          (unsigned long long)result.graph.edges,
+          result.graph.input_format.c_str(),
+          result.graph.identity_remap ? "" : ", remapped vertex ids",
+          (unsigned long long)result.graph.out_degree_skew.max_degree,
+          result.graph.out_degree_skew.mean_degree,
+          result.graph.out_degree_skew.gini,
+          result.graph.out_degree_skew.top1pct_mass);
+    }
+
+    std::printf("\nalgorithm checksums:");
+    for (const core::AlgorithmRun& run : result.algorithms) {
+      std::printf(" %s=%s", run.output.algorithm.c_str(),
+                  run.output.checksum.c_str());
+    }
+    std::printf("\n");
 
     if (!result.fault_plan.empty() || result.checkpointing ||
         result.retry_max_attempts > 1) {
@@ -209,8 +270,10 @@ int main(int argc, char** argv) {
 
     std::optional<core::EigenCheck> check;
     if (args.get_flag("validate")) {
-      util::require(config.num_vertices() <= 8192,
-                    "--validate requires scale <= 13");
+      util::require(!result.ranks.empty(),
+                    "--validate needs the pagerank algorithm in --algorithm");
+      util::require(result.num_vertices <= 8192,
+                    "--validate requires N <= 8192 (scale <= 13)");
       check = core::validate_against_eigenvector(
           result.matrix, result.ranks, config.damping, 1e-6);
       std::printf("eigenvector check: %s (max |diff| = %.2e, %d solver "

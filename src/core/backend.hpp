@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/algorithm.hpp"
 #include "core/config.hpp"
 #include "core/kernel_context.hpp"
 #include "sparse/csr.hpp"
@@ -53,6 +54,17 @@ class PipelineBackend {
   /// Kernel 3: fixed-iteration PageRank on the kernel-2 matrix.
   virtual std::vector<double> kernel3(const KernelContext& ctx,
                                       const sparse::CsrMatrix& matrix) = 0;
+
+  /// Kernel-3 algorithm stage: run one canonical algorithm (see
+  /// core/algorithm.hpp) over the kernel-2 matrix. The base implementation
+  /// routes "pagerank" through kernel3() — so the paper's fixed pipeline
+  /// stays bit-identical per backend — and every other algorithm through
+  /// the shared sparse/ reference implementations (the documented fallback,
+  /// bit-identical across backends by construction). Backends whose niche
+  /// has a native formulation (e.g. graphblas) override per algorithm.
+  virtual AlgorithmResult run_algorithm(const KernelContext& ctx,
+                                        const sparse::CsrMatrix& matrix,
+                                        const std::string& algorithm);
 };
 
 /// Factory. Known names: native, parallel, graphblas, arraylang, dataframe.

@@ -3,8 +3,11 @@
 #include <cmath>
 
 #include "core/backend_native.hpp"
+#include "core/checksum.hpp"
+#include "grb/algorithms.hpp"
 #include "grb/ops.hpp"
 #include "io/edge_files.hpp"
+#include "sparse/algorithms.hpp"
 #include "sparse/pagerank.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -94,6 +97,39 @@ std::vector<double> GraphBlasBackend::kernel3(const KernelContext& ctx,
     }
   }
   return r.data();
+}
+
+AlgorithmResult GraphBlasBackend::run_algorithm(
+    const KernelContext& ctx, const sparse::CsrMatrix& matrix,
+    const std::string& algorithm) {
+  if (algorithm == "bfs" && matrix.rows() > 0) {
+    AlgorithmResult result;
+    result.algorithm = algorithm;
+    result.implementation = "grb-vxm";
+    result.bfs_source = sparse::bfs_default_source(matrix);
+    const grb::Matrix a{matrix};
+    result.levels = grb::bfs_levels(a, result.bfs_source);
+    std::int64_t depth = 0;
+    for (const std::int64_t level : result.levels) {
+      if (level > depth) depth = level;
+    }
+    result.iterations = static_cast<int>(depth);
+    result.work_edges = matrix.nnz();
+    result.checksum = algorithm_checksum(result);
+    return result;
+  }
+  if (algorithm == "cc") {
+    AlgorithmResult result;
+    result.algorithm = algorithm;
+    result.implementation = "grb-vxm";
+    const grb::Matrix a{matrix};
+    result.labels = grb::connected_components(a);
+    result.iterations = 1;
+    result.work_edges = matrix.nnz();
+    result.checksum = algorithm_checksum(result);
+    return result;
+  }
+  return PipelineBackend::run_algorithm(ctx, matrix, algorithm);
 }
 
 }  // namespace prpb::core

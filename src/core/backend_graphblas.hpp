@@ -17,6 +17,14 @@ class GraphBlasBackend final : public PipelineBackend {
   sparse::CsrMatrix kernel2(const KernelContext& ctx) override;
   std::vector<double> kernel3(const KernelContext& ctx,
                               const sparse::CsrMatrix& matrix) override;
+
+  /// BFS and CC run through their canonical GraphBLAS formulations
+  /// (grb/algorithms: or-and vxm frontier expansion, min-select label
+  /// propagation). Both produce the same exact integer outputs as the
+  /// shared reference fallbacks — pinned by the cross-backend tests.
+  AlgorithmResult run_algorithm(const KernelContext& ctx,
+                                const sparse::CsrMatrix& matrix,
+                                const std::string& algorithm) override;
 };
 
 }  // namespace prpb::core

@@ -85,6 +85,29 @@ std::uint64_t rank_digest(const std::vector<double>& ranks, double quantum) {
   return acc;
 }
 
+std::uint64_t levels_digest(const std::vector<std::int64_t>& levels) {
+  std::uint64_t acc = mix_pair(0xb5f5ca11ULL, levels.size());
+  for (const std::int64_t level : levels) {
+    acc = mix_pair(acc, static_cast<std::uint64_t>(level));
+  }
+  return acc;
+}
+
+std::uint64_t labels_digest(const std::vector<std::uint64_t>& labels) {
+  std::uint64_t acc = mix_pair(0xcc1abe15ULL, labels.size());
+  for (const std::uint64_t label : labels) acc = mix_pair(acc, label);
+  return acc;
+}
+
+std::string algorithm_checksum(const AlgorithmResult& result) {
+  if (!result.ranks.empty()) return digest_hex(rank_digest(result.ranks));
+  if (!result.levels.empty()) {
+    return digest_hex(
+        mix_pair(levels_digest(result.levels), result.bfs_source));
+  }
+  return digest_hex(labels_digest(result.labels));
+}
+
 std::string digest_hex(std::uint64_t digest) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",

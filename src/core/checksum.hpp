@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/algorithm.hpp"
 #include "gen/edge.hpp"
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
@@ -53,6 +54,19 @@ std::uint64_t matrix_fingerprint(const sparse::CsrMatrix& a,
 /// Rank digest: L1-normalize, quantize to `quantum`, hash.
 std::uint64_t rank_digest(const std::vector<double>& ranks,
                           double quantum = 1e-9);
+
+/// BFS-level digest: exact (integer levels admit no tolerance), order- and
+/// length-sensitive — any correct BFS over the same matrix matches.
+std::uint64_t levels_digest(const std::vector<std::int64_t>& levels);
+
+/// CC-label digest: exact over the canonical min-vertex-id labeling.
+std::uint64_t labels_digest(const std::vector<std::uint64_t>& labels);
+
+/// Canonical digest of one algorithm-stage output (hex): rank_digest for
+/// the pagerank family, levels_digest for bfs (mixed with the source
+/// vertex), labels_digest for cc. This is the value cross-backend identity
+/// is asserted on.
+std::string algorithm_checksum(const AlgorithmResult& result);
 
 /// Formats a digest as fixed-width hex for reports.
 std::string digest_hex(std::uint64_t digest);

@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include "core/algorithm.hpp"
 #include "util/error.hpp"
 
 namespace prpb::core {
@@ -15,6 +16,30 @@ void PipelineConfig::validate() const {
   util::require(generator == "kronecker" || generator == "bter" ||
                     generator == "ppl",
                 "pipeline: generator must be kronecker|bter|ppl");
+  if (source != "generator" && source != "external") {
+    throw util::ConfigError("pipeline: unknown source '" + source +
+                            "' (valid values: generator, external)");
+  }
+  if (source == "external") {
+    util::require(!input_path.empty(),
+                  "pipeline: the external source requires an input path "
+                  "(--input <edge-list file>)");
+  } else {
+    util::require(input_path.empty(),
+                  "pipeline: an input path requires source = external");
+  }
+  util::require(!algorithms.empty(), "pipeline: algorithm list is empty");
+  for (const auto& algorithm : algorithms) {
+    if (!is_algorithm_name(algorithm)) {
+      std::string valid;
+      for (const auto& known : algorithm_names()) {
+        if (!valid.empty()) valid += ", ";
+        valid += known;
+      }
+      throw util::ConfigError("pipeline: unknown algorithm '" + algorithm +
+                              "' (valid values: " + valid + ")");
+    }
+  }
   if (storage != "dir" && storage != "mem") {
     throw util::ConfigError("pipeline: unknown storage '" + storage +
                             "' (valid values: dir, mem)");
@@ -46,7 +71,7 @@ std::uint64_t stage_config_fingerprint(const PipelineConfig& config) {
   // Presentation knobs (storage tier, work_dir, observability) are
   // deliberately excluded: the same stages are resumable wherever they
   // physically live.
-  const std::string canon =
+  std::string canon =
       "scale=" + std::to_string(config.scale) +
       ";edge_factor=" + std::to_string(config.edge_factor) +
       ";seed=" + std::to_string(config.seed) +
@@ -54,6 +79,14 @@ std::uint64_t stage_config_fingerprint(const PipelineConfig& config) {
       ";num_files=" + std::to_string(config.num_files) +
       ";stage_format=" + config.stage_format +
       ";sort_key=" + std::to_string(static_cast<int>(config.sort_key));
+  // The source determines stage bytes too. Appended only for non-default
+  // sources so generator fingerprints — and therefore every previously
+  // persisted checkpoint manifest — are unchanged. The K3 algorithm list
+  // is deliberately excluded: it produces no stage bytes.
+  if (config.source != "generator") {
+    canon += ";source=" + config.source +
+             ";input=" + config.input_path.string();
+  }
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   for (const char c : canon) {
     hash ^= static_cast<unsigned char>(c);

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "io/stage_codec.hpp"
 #include "io/stage_store.hpp"
@@ -22,6 +23,16 @@ struct PipelineConfig {
   int edge_factor = 16;
   std::uint64_t seed = 20160205;
   std::string generator = "kronecker";  ///< kronecker | bter | ppl
+  /// Graph source for kernel 0 (core/graph_source.hpp): "generator" runs
+  /// the paper's K0 through the backend; "external" ingests a real edge
+  /// list from input_path, so kernels 1-3 run unchanged on real graphs.
+  std::string source = "generator";
+  /// External graph file (SNAP-style .txt/.tsv/.csv edge list, or .mtx
+  /// MatrixMarket). Required iff source == "external".
+  std::filesystem::path input_path;
+  /// Kernel-3 algorithms to run over the kernel-2 matrix, in order (see
+  /// core/algorithm.hpp). "pagerank" is the paper's fixed pipeline.
+  std::vector<std::string> algorithms{"pagerank"};
   std::size_t num_files = 1;            ///< shards per stage (free parameter)
   int iterations = 20;
   double damping = 0.85;
@@ -43,10 +54,24 @@ struct PipelineConfig {
   /// build and kernel 3's cache-blocked SpMV. Results are bit-identical
   /// to the reference paths; off by default for the ablation baseline.
   bool fast_path = false;
+  /// True graph size of an external source, filled by the runner once the
+  /// source materializes (or resumes) its stages — unknown before that,
+  /// because N is the number of distinct vertex ids in the input file.
+  /// Zero (and unused) for the generator source.
+  std::uint64_t external_vertices = 0;
+  std::uint64_t external_edges = 0;
 
-  [[nodiscard]] std::uint64_t num_vertices() const { return 1ULL << scale; }
+  /// N: 2^scale for the generator source, the remapped vertex count for
+  /// external graphs (0 until the source has materialized).
+  [[nodiscard]] std::uint64_t num_vertices() const {
+    return source == "external" ? external_vertices : 1ULL << scale;
+  }
+  /// M (with duplicates, pre-filter): edge_factor·N for the generator
+  /// source, the input file's edge count for external graphs.
   [[nodiscard]] std::uint64_t num_edges() const {
-    return static_cast<std::uint64_t>(edge_factor) * num_vertices();
+    return source == "external"
+               ? external_edges
+               : static_cast<std::uint64_t>(edge_factor) * num_vertices();
   }
 
   /// Throws ConfigError on invalid values.

@@ -1,0 +1,87 @@
+// The pluggable K0 graph source (DESIGN.md §9).
+//
+// The paper fixes kernel 0 to a Kronecker generator; a GraphSource
+// abstracts "where edges come from" so kernels 1-3 run unchanged on real
+// graphs. Two sources exist:
+//   generator — the paper's K0: the backend's kernel0() writes the
+//               configured generator's edges (bit-identical to the fixed
+//               pipeline; golden suite intact)
+//   external  — ingest a SNAP-style edge list (io/edge_list): parse,
+//               build the dense vertex remap, persist the remap as a
+//               dictionary stage, and write the remapped edges as the
+//               k0_edges stage — so K1-K3 see exactly the shape K0 would
+//               have produced
+//
+// The source is the only component that knows N and M for external
+// graphs; it reports them (plus degree-skew statistics for real graphs)
+// through GraphSummary, which the runner folds into its working
+// configuration before kernel 1 starts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/config.hpp"
+#include "core/kernel_context.hpp"
+#include "gen/degree.hpp"
+
+namespace prpb::core {
+
+namespace stages {
+/// External-source vertex dictionary: one record per vertex, u = dense id,
+/// v = original file id. Written even for identity remaps so resume can
+/// recover N without re-reading the input file.
+inline constexpr const char* kStageDict = "k0_vertex_dict";
+}  // namespace stages
+
+/// What a source materialized: the graph's true size plus, for external
+/// graphs, provenance and degree-skew statistics for the report.
+struct GraphSummary {
+  std::string source;          ///< "generator" | "external"
+  std::uint64_t vertices = 0;  ///< N the downstream kernels must use
+  std::uint64_t edges = 0;     ///< M (with duplicates, pre-filter)
+  // External source only ↓
+  std::string input_path;
+  std::string input_format;  ///< "tsv", "csv", ... ("" when unknown/N.A.)
+  bool identity_remap = true;  ///< original ids were already dense 0..N-1
+  bool has_degree_skew = false;
+  gen::DegreeSkew out_degree_skew;
+  gen::DegreeSkew in_degree_skew;
+};
+
+/// One K0 strategy. materialize() must leave a complete k0_edges stage
+/// (plus any auxiliary stages it lists) in ctx.store; the runner owns
+/// timing, retries and checkpoint commits exactly as for generated runs.
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Stages this source writes, in write order. The runner checkpoints
+  /// and resume-validates each of them (k0_edges last, so a partially
+  /// written auxiliary stage invalidates the whole kernel-0 step).
+  [[nodiscard]] virtual std::vector<std::string> output_stages() const = 0;
+
+  /// Materializes the source's stages through ctx.store and returns the
+  /// graph summary. `backend` lets the generator source keep dispatching
+  /// to the backend's own kernel0 implementation.
+  virtual GraphSummary materialize(const KernelContext& ctx,
+                                   PipelineBackend& backend) = 0;
+
+  /// Recovers the summary from already-materialized stages without
+  /// touching the original input (the --resume path; also used when
+  /// run_kernel0 = false reuses a previous run's stages).
+  virtual GraphSummary recover(const KernelContext& ctx) = 0;
+};
+
+/// Factory over config.source. Known names: generator, external. Throws
+/// ConfigError for unknown names, listing the valid values.
+std::unique_ptr<GraphSource> make_graph_source(const PipelineConfig& config);
+
+/// All registered source names.
+std::vector<std::string> source_names();
+
+}  // namespace prpb::core

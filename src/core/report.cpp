@@ -34,16 +34,53 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("scale", static_cast<std::int64_t>(config.scale));
   json.field("edge_factor", static_cast<std::int64_t>(config.edge_factor));
   json.field("generator", config.generator);
+  json.field("source", config.source);
+  if (config.source == "external") {
+    json.field("input", config.input_path.string());
+  }
+  json.begin_array("algorithms");
+  for (const auto& algorithm : config.algorithms) json.value(algorithm);
+  json.end_array();
   json.field("seed", config.seed);
   json.field("num_files", static_cast<std::uint64_t>(config.num_files));
   json.field("iterations", static_cast<std::int64_t>(config.iterations));
   json.field("damping", config.damping);
-  json.field("num_vertices", config.num_vertices());
-  json.field("num_edges", config.num_edges());
+  // For external sources N and M are known only post-ingest, so they come
+  // from the result, not the caller's (pre-run) configuration.
+  json.field("num_vertices", result.num_vertices);
+  json.field("num_edges", result.num_edges);
   json.field("storage", config.storage);
   json.field("stage_format", config.stage_format);
   json.field("fast_path", config.fast_path);
   json.end_object();
+
+  if (!result.graph.source.empty()) {
+    json.begin_object("graph");
+    json.field("source", result.graph.source);
+    json.field("vertices", result.graph.vertices);
+    json.field("edges", result.graph.edges);
+    if (result.graph.source == "external") {
+      json.field("input", result.graph.input_path);
+      if (!result.graph.input_format.empty()) {
+        json.field("input_format", result.graph.input_format);
+      }
+      json.field("identity_remap", result.graph.identity_remap);
+    }
+    if (result.graph.has_degree_skew) {
+      const auto skew_object = [&json](const char* name,
+                                       const gen::DegreeSkew& skew) {
+        json.begin_object(name);
+        json.field("max_degree", skew.max_degree);
+        json.field("mean_degree", skew.mean_degree);
+        json.field("gini", skew.gini);
+        json.field("top1pct_mass", skew.top1pct_mass);
+        json.end_object();
+      };
+      skew_object("out_degree_skew", result.graph.out_degree_skew);
+      skew_object("in_degree_skew", result.graph.in_degree_skew);
+    }
+    json.end_object();
+  }
 
   json.field("backend", result.backend);
   if (!result.storage.empty()) json.field("storage", result.storage);
@@ -70,6 +107,27 @@ std::string run_report_json(const PipelineConfig& config,
   kernel_object(json, "k3_pagerank", result.k3);
   json.end_object();
 
+  if (!result.algorithms.empty()) {
+    json.begin_array("algorithms");
+    for (const AlgorithmRun& run : result.algorithms) {
+      json.begin_object();
+      json.field("algorithm", run.output.algorithm);
+      json.field("implementation", run.output.implementation);
+      json.field("seconds", run.metrics.seconds);
+      json.field("edges_processed", run.metrics.edges_processed);
+      json.field("edges_per_second", run.metrics.edges_per_second());
+      json.field("iterations",
+                 static_cast<std::int64_t>(run.output.iterations));
+      if (!run.output.levels.empty()) {
+        json.field("bfs_source", run.output.bfs_source);
+      }
+      json.field("attempts", static_cast<std::int64_t>(run.metrics.attempts));
+      json.field("checksum", run.output.checksum);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   if (!result.metrics.empty()) result.metrics.write_json(json);
 
   if (!result.k3_iterations.empty()) {
@@ -93,10 +151,15 @@ std::string run_report_json(const PipelineConfig& config,
 
   if (options.include_checksums) {
     json.begin_object("checksums");
-    json.field("rank_digest", digest_hex(rank_digest(result.ranks)));
+    if (!result.ranks.empty()) {
+      json.field("rank_digest", digest_hex(rank_digest(result.ranks)));
+    }
     if (result.matrix.nnz() > 0) {
       json.field("matrix_fingerprint",
                  digest_hex(matrix_fingerprint(result.matrix)));
+    }
+    for (const AlgorithmRun& run : result.algorithms) {
+      json.field(run.output.algorithm, run.output.checksum);
     }
     json.end_object();
   }

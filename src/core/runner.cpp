@@ -3,6 +3,8 @@
 #include <memory>
 #include <optional>
 
+#include "core/checksum.hpp"
+#include "core/graph_source.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/inject.hpp"
 #include "io/traced_store.hpp"
@@ -51,6 +53,14 @@ PipelineResult run_pipeline(const PipelineConfig& config,
                             PipelineBackend& backend,
                             const RunOptions& options) {
   config.validate();
+
+  // The runner works on a private copy: for external sources N and M are
+  // unknown until the graph source materializes (or recovers) its stages,
+  // at which point they are folded in here — so every KernelContext and
+  // metric downstream of kernel 0 sees the true graph size.
+  PipelineConfig work = config;
+  const std::unique_ptr<GraphSource> source = make_graph_source(work);
+  const std::vector<std::string> source_stages = source->output_stages();
 
   std::unique_ptr<io::StageStore> owned;
   io::StageStore* base = options.store;
@@ -109,15 +119,12 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   result.storage = store.kind();
   result.stage_format = config.stage_format;
   result.fast_path = config.fast_path;
-  result.num_vertices = config.num_vertices();
-  result.num_edges = config.num_edges();
-  const std::uint64_t m = config.num_edges();
 
   util::Stopwatch wall;
   obs::Span pipeline_span(hooks.trace, "pipeline");
 
   const auto context = [&](const char* in, const char* out) {
-    KernelContext ctx{config, store, in, out, stages::kTemp};
+    KernelContext ctx{work, store, in, out, stages::kTemp};
     ctx.hooks = hooks;
     ctx.k3_sink = &result.k3_iterations;
     return ctx;
@@ -135,7 +142,8 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   // re-run starts from a clean slate); every other error — ConfigError,
   // detected corruption, invariant violations — rethrows immediately.
   const auto with_retry = [&](const char* kernel, KernelMetrics& metrics,
-                              const char* out_stage, const auto& body) {
+                              const std::vector<std::string>& out_stages,
+                              const auto& body) {
     for (int attempt = 1;; ++attempt) {
       metrics.attempts = attempt;
       try {
@@ -149,7 +157,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
         util::log_info(kernel, "[", backend.name(), "] attempt ", attempt,
                        " hit a transient fault (", error.what(),
                        "); retrying");
-        if (out_stage != nullptr && *out_stage != '\0') {
+        for (const std::string& out_stage : out_stages) {
           store.clear_stage(out_stage);
           if (checkpoints) checkpoints->invalidate(out_stage);
         }
@@ -166,9 +174,17 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   bool skip_k0 = false;
   bool skip_k1 = false;
   if (options.resume) {
-    const fault::ManifestCheck check0 = checkpoints->validate(stages::kStage0);
-    if (check0.valid()) {
-      skip_k0 = true;
+    skip_k0 = true;
+    for (const std::string& stage : source_stages) {
+      const fault::ManifestCheck check = checkpoints->validate(stage);
+      if (!check.valid()) {
+        util::log_info("resume: pipeline restarts from kernel0 (", stage,
+                       ": ", check.reason, ")");
+        skip_k0 = false;
+        break;
+      }
+    }
+    if (skip_k0) {
       const fault::ManifestCheck check1 =
           checkpoints->validate(stages::kStage1);
       if (check1.valid()) {
@@ -176,35 +192,60 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       } else {
         util::log_info("resume: kernel1 re-runs (", check1.reason, ")");
       }
-    } else {
-      util::log_info("resume: pipeline restarts from kernel0 (", check0.reason,
-                     ")");
     }
   }
 
-  // Kernel 0 — generate + write (untimed by the benchmark definition, but
-  // measured: Figure 4 reports it for insight into write performance).
+  // Kernel 0 — the graph source materializes the edge stage (untimed by
+  // the benchmark definition, but measured: Figure 4 reports it for
+  // insight into write performance). Skipped paths still recover the graph
+  // summary from the persisted stages, never from re-reading the input.
   if (skip_k0) {
     result.k0.resumed = true;
-    require_stage(store, stages::kStage0, "resumed from its checkpoint");
+    for (const std::string& stage : source_stages) {
+      require_stage(store, stage.c_str(), "resumed from its checkpoint");
+    }
+    result.graph = source->recover(context("", stages::kStage0));
+    fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
     util::log_info("kernel0[", backend.name(), "] resumed from checkpoint");
   } else if (options.run_kernel0) {
-    if (checkpoints) checkpoints->invalidate(stages::kStage0);
+    if (checkpoints) {
+      for (const std::string& stage : source_stages) {
+        checkpoints->invalidate(stage);
+      }
+    }
     obs::Span span(hooks.trace, "k0/generate");
     util::Stopwatch watch;
-    with_retry("k0", result.k0, stages::kStage0, [&] {
+    with_retry("k0", result.k0, source_stages, [&] {
       const KernelContext ctx = context("", stages::kStage0);
-      backend.kernel0(ctx);
-      if (checkpoints) checkpoints->commit(stages::kStage0);
+      result.graph = source->materialize(ctx, backend);
+      if (checkpoints) {
+        for (const std::string& stage : source_stages) {
+          checkpoints->commit(stage);
+        }
+      }
     });
     result.k0.seconds = watch.seconds();
-    result.k0.edges_processed = m;
+    result.k0.edges_processed = result.graph.edges;
     fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
     util::log_info("kernel0[", backend.name(), "] ", result.k0.seconds, "s");
   } else {
-    require_stage(store, stages::kStage0,
-                  "run_kernel0 = false expects a previous run's stage here");
+    for (const std::string& stage : source_stages) {
+      require_stage(store, stage.c_str(),
+                    "run_kernel0 = false expects a previous run's stage here");
+    }
+    result.graph = source->recover(context("", stages::kStage0));
+    fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
   }
+
+  // N and M are authoritative only now: for external sources they come
+  // from the materialized (or recovered) stages.
+  if (work.source == "external") {
+    work.external_vertices = result.graph.vertices;
+    work.external_edges = result.graph.edges;
+  }
+  result.num_vertices = work.num_vertices();
+  result.num_edges = work.num_edges();
+  const std::uint64_t m = work.num_edges();
 
   // Kernel 1 — sort (timed; M edges).
   if (skip_k1) {
@@ -215,7 +256,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     if (checkpoints) checkpoints->invalidate(stages::kStage1);
     obs::Span span(hooks.trace, "k1/sort");
     util::Stopwatch watch;
-    with_retry("k1", result.k1, stages::kStage1, [&] {
+    with_retry("k1", result.k1, {stages::kStage1}, [&] {
       const KernelContext ctx = context(stages::kStage0, stages::kStage1);
       backend.kernel1(ctx);
       if (checkpoints) checkpoints->commit(stages::kStage1);
@@ -231,7 +272,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   {
     obs::Span span(hooks.trace, "k2/filter");
     util::Stopwatch watch;
-    with_retry("k2", result.k2, "", [&] {
+    with_retry("k2", result.k2, {}, [&] {
       const KernelContext ctx = context(stages::kStage1, "");
       result.matrix = backend.kernel2(ctx);
     });
@@ -241,20 +282,38 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     util::log_info("kernel2[", backend.name(), "] ", result.k2.seconds, "s");
   }
 
-  // Kernel 3 — PageRank (timed; iterations · M edge traversals).
-  {
-    obs::Span span(hooks.trace, "k3/pagerank");
+  // Kernel 3 — the algorithm stage: every configured algorithm runs over
+  // the shared kernel-2 matrix, in order (timed per algorithm; pagerank
+  // counts the paper's iterations · M edge traversals, bfs/cc one
+  // structural traversal). The "pagerank" run also populates the legacy
+  // k3/ranks fields, so the fixed pipeline's results read unchanged.
+  for (const std::string& algorithm : work.algorithms) {
+    AlgorithmRun run;
+    const std::string span_name = "k3/" + algorithm;
+    obs::Span span(hooks.trace, span_name.c_str());
     util::Stopwatch watch;
-    with_retry("k3", result.k3, "", [&] {
-      result.k3_iterations.clear();  // drop telemetry of a failed attempt
+    with_retry("k3", run.metrics, {}, [&] {
+      if (algorithm == "pagerank") {
+        result.k3_iterations.clear();  // drop telemetry of a failed attempt
+      }
       const KernelContext ctx = context("", "");
-      result.ranks = backend.kernel3(ctx, result.matrix);
+      run.output = backend.run_algorithm(ctx, result.matrix, algorithm);
     });
-    result.k3.seconds = watch.seconds();
-    result.k3.edges_processed =
-        static_cast<std::uint64_t>(config.iterations) * m;
-    fold_io(result.k3, io_delta(), *hooks.metrics, "k3");
-    util::log_info("kernel3[", backend.name(), "] ", result.k3.seconds, "s");
+    run.metrics.seconds = watch.seconds();
+    run.metrics.edges_processed = run.output.work_edges;
+    // The pagerank run keeps the historical "k3/..." metric keys; other
+    // algorithms get their own prefix so rows never collide.
+    const std::string prefix =
+        algorithm == "pagerank" ? "k3" : "k3_" + algorithm;
+    fold_io(run.metrics, io_delta(), *hooks.metrics, prefix.c_str());
+    run.output.checksum = algorithm_checksum(run.output);
+    util::log_info("kernel3/", algorithm, "[", backend.name(), "] ",
+                   run.metrics.seconds, "s");
+    if (algorithm == "pagerank") {
+      result.k3 = run.metrics;
+      result.ranks = run.output.ranks;
+    }
+    result.algorithms.push_back(std::move(run));
   }
 
   pipeline_span.finish();
@@ -264,8 +323,15 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   result.checkpointing = checkpointing;
   if (faulty) result.faults_injected = faulty->stats().total;
   result.metrics = hooks.metrics->snapshot();
-  util::ensure(result.ranks.size() == config.num_vertices(),
-               "pipeline: rank vector has wrong size");
+  for (const AlgorithmRun& run : result.algorithms) {
+    const std::size_t outputs = run.output.has_ranks()
+                                    ? run.output.ranks.size()
+                                    : std::max(run.output.levels.size(),
+                                               run.output.labels.size());
+    util::ensure(outputs == work.num_vertices(),
+                 "pipeline: " + run.output.algorithm +
+                     " output has wrong size");
+  }
   if (!options.keep_matrix) result.matrix = sparse::CsrMatrix();
   return result;
 }

@@ -18,6 +18,7 @@
 
 #include "core/backend.hpp"
 #include "core/config.hpp"
+#include "core/graph_source.hpp"
 #include "core/kernel_context.hpp"
 #include "fault/plan.hpp"
 #include "fault/retry.hpp"
@@ -63,6 +64,13 @@ struct KernelMetrics {
   }
 };
 
+/// One K3 algorithm's output plus its timing/IO row — the runner wraps
+/// every configured algorithm in one of these, in configuration order.
+struct AlgorithmRun {
+  AlgorithmResult output;
+  KernelMetrics metrics;
+};
+
 struct PipelineResult {
   std::string backend;
   std::string storage;       ///< store kind the run used ("dir" | "mem")
@@ -70,12 +78,19 @@ struct PipelineResult {
   bool fast_path = false;    ///< whether the src/perf fast paths were on
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
+  /// What kernel 0's graph source produced: true N and M plus, for
+  /// external graphs, provenance and degree-skew statistics.
+  GraphSummary graph;
   KernelMetrics k0;  ///< untimed by the benchmark; measured for insight
   KernelMetrics k1;
   KernelMetrics k2;
-  KernelMetrics k3;
+  KernelMetrics k3;  ///< the pagerank algorithm's row (zero when not run)
   sparse::CsrMatrix matrix;     ///< kernel-2 output
-  std::vector<double> ranks;    ///< kernel-3 output
+  /// Kernel-3 PageRank output. Populated iff "pagerank" is configured,
+  /// mirroring algorithms[i].output.ranks for backward compatibility.
+  std::vector<double> ranks;
+  /// Every configured K3 algorithm, in run order (always at least one).
+  std::vector<AlgorithmRun> algorithms;
   /// End-to-end wall time of the run (same monotonic clock as the
   /// per-kernel timings; covers everything between entry and return,
   /// including the inter-kernel barriers).

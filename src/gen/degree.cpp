@@ -1,5 +1,6 @@
 #include "gen/degree.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -52,6 +53,34 @@ double log_log_slope(
   const double denom = count * sxx - sx * sx;
   if (denom == 0.0) return 0.0;
   return (count * sxy - sx * sy) / denom;
+}
+
+DegreeSkew degree_skew(const std::vector<std::uint64_t>& degrees) {
+  DegreeSkew skew;
+  if (degrees.empty()) return skew;
+  std::vector<std::uint64_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double total = 0.0;
+  double weighted = 0.0;  // sum of rank_i * d_i with ranks 1..n ascending
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double d = static_cast<double>(sorted[i]);
+    total += d;
+    weighted += static_cast<double>(i + 1) * d;
+  }
+  skew.max_degree = sorted.back();
+  skew.mean_degree = total / n;
+  if (total == 0.0) return skew;
+  // Gini over the ascending-sorted vector: (2*Σ i*d_i)/(n*Σd) - (n+1)/n.
+  skew.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  const std::size_t top =
+      std::max<std::size_t>(1, (sorted.size() + 99) / 100);
+  double top_mass = 0.0;
+  for (std::size_t i = sorted.size() - top; i < sorted.size(); ++i) {
+    top_mass += static_cast<double>(sorted[i]);
+  }
+  skew.top1pct_mass = top_mass / total;
+  return skew;
 }
 
 }  // namespace prpb::gen

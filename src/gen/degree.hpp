@@ -34,4 +34,23 @@ std::map<std::uint64_t, std::uint64_t> degree_histogram(
 /// histogram has fewer than two distinct degrees.
 double log_log_slope(const std::map<std::uint64_t, std::uint64_t>& histogram);
 
+/// Degree-skew summary for one degree vector (out- or in-degree). These are
+/// the stats that make cross-topology results interpretable: the same
+/// edges/s number means something different on a near-uniform mesh (Gini
+/// near 0) than on a scale-free web crawl (Gini near 1, a few percent of
+/// vertices holding most of the mass).
+struct DegreeSkew {
+  std::uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// Gini coefficient of the degree distribution in [0, 1] (0 = uniform,
+  /// 1 = all mass on one vertex). Zero-degree vertices are included.
+  double gini = 0.0;
+  /// Fraction of total degree mass held by the top ceil(1%) of vertices.
+  double top1pct_mass = 0.0;
+};
+
+/// Computes the skew summary of a degree vector. Returns zeros for an empty
+/// vector or a graph with no edges.
+DegreeSkew degree_skew(const std::vector<std::uint64_t>& degrees);
+
 }  // namespace prpb::gen

@@ -1,0 +1,81 @@
+// External edge-list ingestion — the "real graph" half of the GraphSource
+// seam (DESIGN.md §9).
+//
+// SNAP-style edge lists in the wild disagree on everything the spec leaves
+// open: delimiter (tab, comma, spaces), comment convention (`#` for SNAP,
+// `%` for KONECT/MatrixMarket), a column-header line, CRLF endings, extra
+// columns (weights, timestamps) and — critically — vertex ids that are
+// neither dense nor zero-based. This module auto-detects all of it, parses
+// edges, and builds the dense remap the rest of the pipeline requires.
+// `.mtx` files route through io/matrix_market (1-based per the spec, already
+// converted to 0-based on read).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/edge.hpp"
+
+namespace prpb::io {
+
+/// Auto-detected conventions of an external edge-list file.
+struct EdgeListFormat {
+  /// Representative field delimiter ('\t', ',' or ' '). Parsing splits on
+  /// any run of these, so mixed spacing still decodes; this records what
+  /// the file predominantly uses, for reports and diagnostics.
+  char delimiter = '\t';
+  bool has_header = false;  ///< first non-comment line is a column header
+  bool crlf = false;        ///< lines end in \r\n
+  std::uint64_t comment_lines = 0;
+  std::uint64_t data_lines = 0;
+
+  [[nodiscard]] std::string delimiter_name() const;
+};
+
+/// Result of parsing an external edge list: edges carry the file's
+/// *original* vertex ids (possibly sparse, possibly huge).
+struct ExternalEdgeList {
+  gen::EdgeList edges;
+  EdgeListFormat format;
+};
+
+/// Parses edge-list `text` (already loaded). Lines starting with '#' or '%'
+/// are comments; blank lines are skipped; a first candidate data line whose
+/// leading two fields are not both unsigned integers is treated as a column
+/// header; fields beyond the first two (weights, timestamps) are ignored.
+/// Throws IoError naming the line number on malformed data lines. `label`
+/// identifies the input in error messages.
+ExternalEdgeList parse_edge_list_text(std::string_view text,
+                                      const std::string& label);
+
+/// Reads an external graph file. `.mtx` dispatches to io/matrix_market
+/// (coordinate format, 1-based ids converted to 0-based); everything else
+/// (`.txt`, `.tsv`, `.csv`, ...) goes through the auto-detecting parser.
+/// Throws IoError when the file is missing, malformed, or holds no edges.
+ExternalEdgeList read_edge_list(const std::filesystem::path& path);
+
+/// Dense vertex renumbering for arbitrary external ids. dense_to_original
+/// is sorted, so original-id order is preserved under the remap and the
+/// mapping is deterministic for a given edge multiset.
+struct VertexRemap {
+  std::vector<std::uint64_t> dense_to_original;
+
+  [[nodiscard]] std::uint64_t vertices() const {
+    return dense_to_original.size();
+  }
+  /// True when the original ids are exactly 0..V-1 (remap is a no-op).
+  [[nodiscard]] bool identity() const;
+  /// Dense id of an original id. Throws InvariantError when absent.
+  [[nodiscard]] std::uint64_t to_dense(std::uint64_t original) const;
+};
+
+/// Builds the remap over every endpoint in `edges`.
+VertexRemap build_vertex_remap(const gen::EdgeList& edges);
+
+/// Rewrites endpoints in place through the remap.
+void apply_vertex_remap(const VertexRemap& remap, gen::EdgeList& edges);
+
+}  // namespace prpb::io

@@ -41,6 +41,11 @@ struct GoldenEntry {
   std::string stage1_multiset;
   std::string stage1_sequence;
   std::uint64_t edges = 0;
+  // Algorithm-stage vectors: exact integer outputs, so the committed
+  // values pin every backend's BFS/CC formulation bit-for-bit.
+  std::string bfs_levels_digest;
+  std::string cc_labels_digest;
+  std::uint64_t bfs_source = 0;
 };
 
 PipelineConfig golden_config(int scale) {
@@ -48,6 +53,7 @@ PipelineConfig golden_config(int scale) {
   config.scale = scale;
   config.num_files = 2;
   config.storage = "mem";
+  config.algorithms = {"pagerank", "bfs", "cc"};
   return config;
 }
 
@@ -64,6 +70,10 @@ std::optional<GoldenEntry> load_golden(int scale) {
   golden.stage1_multiset = entry->at("stage1_multiset").string();
   golden.stage1_sequence = entry->at("stage1_sequence").string();
   golden.edges = static_cast<std::uint64_t>(entry->at("edges").number());
+  golden.bfs_levels_digest = entry->at("bfs_levels_digest").string();
+  golden.cc_labels_digest = entry->at("cc_labels_digest").string();
+  golden.bfs_source =
+      static_cast<std::uint64_t>(entry->at("bfs_source").number());
   return golden;
 }
 
@@ -89,6 +99,14 @@ GoldenEntry measure(const PipelineConfig& config, const std::string& backend_nam
   entry.stage1_multiset = digest_hex(s1.multiset);
   entry.stage1_sequence = digest_hex(s1.sequence);
   entry.edges = s1.edges;
+  for (const AlgorithmRun& run : result.algorithms) {
+    if (run.output.algorithm == "bfs") {
+      entry.bfs_levels_digest = run.output.checksum;
+      entry.bfs_source = run.output.bfs_source;
+    } else if (run.output.algorithm == "cc") {
+      entry.cc_labels_digest = run.output.checksum;
+    }
+  }
   return entry;
 }
 
@@ -100,6 +118,9 @@ void expect_matches(const GoldenEntry& actual, const GoldenEntry& golden,
   EXPECT_EQ(actual.stage1_multiset, golden.stage1_multiset) << label;
   EXPECT_EQ(actual.stage1_sequence, golden.stage1_sequence) << label;
   EXPECT_EQ(actual.edges, golden.edges) << label;
+  EXPECT_EQ(actual.bfs_levels_digest, golden.bfs_levels_digest) << label;
+  EXPECT_EQ(actual.cc_labels_digest, golden.cc_labels_digest) << label;
+  EXPECT_EQ(actual.bfs_source, golden.bfs_source) << label;
 }
 
 // ---- full combination matrix at scale 8 ------------------------------------
@@ -210,6 +231,9 @@ TEST(GoldenData, Regenerate) {
     json.field("stage1_multiset", entry.stage1_multiset);
     json.field("stage1_sequence", entry.stage1_sequence);
     json.field("edges", entry.edges);
+    json.field("bfs_levels_digest", entry.bfs_levels_digest);
+    json.field("cc_labels_digest", entry.cc_labels_digest);
+    json.field("bfs_source", entry.bfs_source);
     json.end_object();
   }
   json.end_object();
