@@ -1,11 +1,15 @@
 // Machine-readable per-kernel benchmark: every cell of
 // {kernel 0-3} x {backend} x {fast-path off|on} at each sweep scale, with
 // edges/sec, median seconds, and peak RSS, written as one JSON document
-// (BENCH_kernels.json). This is the artifact CI and the ablation docs
-// consume; the human-readable figure benches (bench_fig4..7) stay the
-// per-kernel narrative views.
+// (BENCH_kernels.json). The I/O-bound kernels 0-2 are additionally swept
+// over {stage_format tsv|binary} x {storage dir|mem} so the document
+// carries the codec and store ablation; kernel 3 runs on the CLI-selected
+// combo only, since the compute kernel's cost does not depend on stage
+// encoding. This is the artifact CI and the ablation docs consume; the
+// human-readable figure benches (bench_fig4..7) stay the per-kernel
+// narrative views.
 //
-//   bench_kernels --min-scale 16 --max-scale 16 \
+//   bench_kernels --min-scale 16 --max-scale 16
 //       --backends native,parallel --json BENCH_kernels.json
 //
 // --fast-path is ignored here: both settings are always measured, since
@@ -34,12 +38,26 @@ int main(int argc, char** argv) {
       cell_options.csv_path.clear();
       cell_options.json_path.clear();
       cell_options.trace_out.clear();
-      for (int kernel = 0; kernel <= 2; ++kernel) {
-        std::fprintf(stderr, "[bench_kernels] kernel %d, fast-path %s\n",
-                     kernel, fast ? "on" : "off");
-        const auto points = bench::sweep_kernel(cell_options, kernel);
-        cells.insert(cells.end(), points.begin(), points.end());
+      struct Combo {
+        const char* format;
+        const char* storage;
+      };
+      static constexpr Combo kCombos[] = {
+          {"tsv", "dir"}, {"binary", "dir"}, {"tsv", "mem"}, {"binary", "mem"}};
+      for (const auto& combo : kCombos) {
+        cell_options.stage_format = combo.format;
+        cell_options.storage = combo.storage;
+        for (int kernel = 0; kernel <= 2; ++kernel) {
+          std::fprintf(stderr,
+                       "[bench_kernels] kernel %d, %s/%s, fast-path %s\n",
+                       kernel, combo.format, combo.storage,
+                       fast ? "on" : "off");
+          const auto points = bench::sweep_kernel(cell_options, kernel);
+          cells.insert(cells.end(), points.begin(), points.end());
+        }
       }
+      cell_options.stage_format = options.stage_format;
+      cell_options.storage = options.storage;
       for (const auto& algorithm : cell_options.algorithms) {
         std::fprintf(stderr, "[bench_kernels] kernel 3/%s, fast-path %s\n",
                      algorithm.c_str(), fast ? "on" : "off");

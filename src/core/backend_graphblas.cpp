@@ -25,8 +25,7 @@ void GraphBlasBackend::kernel1(const KernelContext& ctx) {
 }
 
 sparse::CsrMatrix GraphBlasBackend::kernel2(const KernelContext& ctx) {
-  const gen::EdgeList edges =
-      io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(), ctx.hooks);
+  const gen::EdgeList edges = ctx.read_stage(ctx.in_stage);
   const std::uint64_t n = ctx.config.num_vertices();
 
   // A = GrB_Matrix_build(u, v, 1, plus-dup)

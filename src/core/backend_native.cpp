@@ -48,14 +48,10 @@ void NativeBackend::kernel1(const KernelContext& ctx) {
   }
   gen::EdgeList edges;
   {
-    // fast_path swaps in the prefetched reader: the same edge stream, with
-    // shard decode overlapped ahead of the append loop on a helper thread.
+    // read_stage() rides the zero-copy view path; fast_path additionally
+    // overlaps shard decode ahead of the append loop on a helper thread.
     const obs::Span span = ctx.span("k1/read");
-    edges = config.fast_path
-                ? io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
-                                                ctx.codec(), ctx.hooks)
-                : io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
-                                     ctx.hooks);
+    edges = ctx.read_stage(ctx.in_stage);
   }
   {
     const obs::Span span = ctx.span("k1/radix_sort");
@@ -72,11 +68,7 @@ sparse::CsrMatrix NativeBackend::kernel2(const KernelContext& ctx) {
   gen::EdgeList edges;
   {
     const obs::Span span = ctx.span("k2/read");
-    edges = ctx.config.fast_path
-                ? io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
-                                                ctx.codec(), ctx.hooks)
-                : io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
-                                     ctx.hooks);
+    edges = ctx.read_stage(ctx.in_stage);
   }
   const obs::Span span = ctx.span("k2/filter_edges");
   return sparse::filter_edges(edges, ctx.config.num_vertices(),

@@ -60,11 +60,7 @@ void ParallelBackend::kernel1(const KernelContext& ctx) {
   gen::EdgeList edges;
   {
     const obs::Span span = ctx.span("k1/read");
-    edges = config.fast_path
-                ? io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
-                                                ctx.codec(), ctx.hooks)
-                : io::read_all_edges(ctx.store, ctx.in_stage, ctx.codec(),
-                                     ctx.hooks);
+    edges = ctx.read_stage(ctx.in_stage);
   }
   if (config.fast_path) {
     const obs::Span span = ctx.span("k1/radix_partition");
@@ -86,8 +82,7 @@ sparse::CsrMatrix ParallelBackend::kernel2(const KernelContext& ctx) {
     gen::EdgeList edges;
     {
       const obs::Span span = ctx.span("k2/read");
-      edges = io::read_all_edges_prefetched(ctx.store, ctx.in_stage,
-                                            ctx.codec(), ctx.hooks);
+      edges = ctx.read_stage(ctx.in_stage);
     }
     const obs::Span span = ctx.span("k2/build_filter");
     sparse::CsrMatrix matrix = perf::build_csr_parallel(edges, n, n, pool());

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "io/edge_files.hpp"
+#include "io/prefetch.hpp"
 #include "io/stage_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -96,6 +98,19 @@ struct KernelContext {
   [[nodiscard]] const io::StageCodec& codec(
       io::Codec flavor = io::Codec::kFast) const {
     return make_stage_codec(config, flavor);
+  }
+
+  /// Reads an entire stage as a decoded edge list over the zero-copy view
+  /// path. With config.fast_path set, shard decode is additionally
+  /// overlapped ahead of the append loop on a prefetch thread. This is the
+  /// one place the fast-path read dispatch lives; backends call this
+  /// instead of re-spelling the ternary.
+  [[nodiscard]] gen::EdgeList read_stage(
+      const std::string& stage, io::Codec flavor = io::Codec::kFast) const {
+    return config.fast_path
+               ? io::read_all_edges_prefetched(store, stage, codec(flavor),
+                                               hooks)
+               : io::read_all_edges(store, stage, codec(flavor), hooks);
   }
 };
 

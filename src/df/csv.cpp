@@ -79,39 +79,22 @@ void append_frame(DataFrame& frame, const CsvSchema& schema,
 
 void read_into(io::StageReader& reader, const CsvSchema& schema,
                const CsvOptions& options, TypedBuffers& buffers) {
-  std::string carry;
+  // Whole-shard view: lines are sliced in place, no chunk-boundary carry
+  // buffer. A final record without a trailing newline is tolerated,
+  // matching the edge decoders; malformed lines still throw.
+  const auto view = reader.view();
+  const std::string_view text = view->chars();
   bool first_line = true;
-  auto consume = [&](std::string_view text) -> std::size_t {
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-      const std::size_t eol = text.find('\n', pos);
-      if (eol == std::string_view::npos) break;
-      std::string_view line = util::strip_cr(text.substr(pos, eol - pos));
-      if (!(first_line && options.header) && !line.empty()) {
-        parse_line(line, schema, options.separator, buffers);
-      }
-      first_line = false;
-      pos = eol + 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = util::strip_cr(text.substr(pos, eol - pos));
+    if (!(first_line && options.header) && !line.empty()) {
+      parse_line(line, schema, options.separator, buffers);
     }
-    return pos;
-  };
-  for (;;) {
-    const auto chunk = reader.read_chunk();
-    if (chunk.empty()) break;
-    if (carry.empty()) {
-      const std::size_t consumed = consume(chunk);
-      carry.assign(chunk.substr(consumed));
-    } else {
-      carry.append(chunk);
-      const std::size_t consumed = consume(carry);
-      carry.erase(0, consumed);
-    }
-  }
-  // Tolerate a final record without a trailing newline, matching the edge
-  // decoders; malformed leftovers still throw from parse_line.
-  if (!carry.empty() && !(first_line && options.header)) {
-    const std::string_view line = util::strip_cr(carry);
-    if (!line.empty()) parse_line(line, schema, options.separator, buffers);
+    first_line = false;
+    pos = eol + 1;
   }
 }
 

@@ -197,16 +197,15 @@ void ShardDigestStore::record(const std::string& stage, ShardRecord rec) {
 
 ShardRecord CheckpointManager::read_back(const std::string& stage,
                                          const std::string& shard) const {
-  auto reader = store_.open_read(stage, shard);
+  // Digest over the shard's view: the same mmap/mem span the decode path
+  // consumes, so verification sees exactly the bytes a reader would (a
+  // bit flipped on the stored medium stays detectable on the mapped path).
+  const auto view = store_.open_read(stage, shard)->view();
   ShardRecord rec;
   rec.name = shard;
+  rec.bytes = view->size();
   ByteHash hash;
-  for (;;) {
-    const std::string_view chunk = reader->read_chunk();
-    if (chunk.empty()) break;
-    hash.update(chunk);
-    rec.bytes += chunk.size();
-  }
+  hash.update(view->chars());
   rec.digest = hash.digest();
   return rec;
 }
@@ -254,12 +253,9 @@ void CheckpointManager::commit(const std::string& stage) {
 ManifestCheck CheckpointManager::validate(const std::string& stage) const {
   std::string text;
   try {
-    auto reader = store_.open_read(kCheckpointStage, manifest_shard(stage));
-    for (;;) {
-      const std::string_view chunk = reader->read_chunk();
-      if (chunk.empty()) break;
-      text.append(chunk);
-    }
+    const auto view =
+        store_.open_read(kCheckpointStage, manifest_shard(stage))->view();
+    text.assign(view->chars());
   } catch (const util::IoError&) {
     return {ManifestStatus::kMissing, "no manifest for stage '" + stage + "'"};
   }

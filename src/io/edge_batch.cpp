@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/edge_files.hpp"
+#include "io/file_stream.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -64,26 +65,35 @@ bool EdgeBatchReader::refill() {
   pending_.clear();
   pending_pos_ = 0;
   while (pending_.empty()) {
-    if (!reader_) {
+    if (!view_) {
       if (shard_index_ >= shards_.size()) return false;
-      reader_ = store_.open_read(stage_, shards_[shard_index_]);
+      // One contiguous view per shard; the reader is dropped right away
+      // (the view owns the mapping/buffer that backs it).
+      view_ = store_.open_read(stage_, shards_[shard_index_])->view();
+      view_pos_ = 0;
       decoder_ = codec_.make_decoder();
     }
-    const auto chunk = reader_->read_chunk();
-    if (chunk.empty()) {
+    const std::string_view data = view_->chars();
+    if (view_pos_ >= data.size()) {
       decode_span_.begin();
       decoder_->finish(pending_, stage_ + "/" + shards_[shard_index_]);
       decode_span_.end();
       if (decode_span_.active()) {
         decode_span_.flush(shard_trace_args(stage_, shards_[shard_index_]));
       }
-      reader_.reset();
+      view_.reset();
       decoder_.reset();
       ++shard_index_;
     } else {
+      // Feed bounded slices so decoded batches stay bounded; slicing a
+      // contiguous view is free (no carry copies at slice boundaries for
+      // complete records — only a spanning record is staged).
+      const std::string_view slice =
+          data.substr(view_pos_, kDefaultBufferBytes);
       decode_span_.begin();
-      decoder_->feed(chunk, pending_);
+      decoder_->feed(slice, pending_);
       decode_span_.end();
+      view_pos_ += slice.size();
     }
   }
   return true;

@@ -48,7 +48,12 @@ class EdgeBatchReader {
   std::size_t capacity_;
   std::vector<std::string> shards_;
   std::size_t shard_index_ = 0;
-  std::unique_ptr<StageReader> reader_;
+  // The whole current shard as one contiguous view (mmap/mem buffer when
+  // the store can serve one). Decoding feeds bounded slices of it, so the
+  // decoded-batch memory stays bounded even though the raw bytes are
+  // resident. The view owns its backing; no reader is kept.
+  std::unique_ptr<ReadView> view_;
+  std::size_t view_pos_ = 0;
   std::unique_ptr<StageDecoder> decoder_;
   gen::EdgeList pending_;
   std::size_t pending_pos_ = 0;

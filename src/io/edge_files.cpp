@@ -55,15 +55,12 @@ gen::EdgeList read_shard_impl(StageReader& reader, const std::string& label,
   gen::EdgeList edges;
   const auto decoder = codec.make_decoder();
   obs::AccumulatingSpan span(hooks.trace, "codec/decode");
-  for (;;) {
-    const auto chunk = reader.read_chunk();
-    if (chunk.empty()) break;
-    span.begin();
-    decoder->feed(chunk, edges);
-    span.end();
-  }
+  // Zero-copy path: take the whole shard as one contiguous view (mmap for
+  // dir stores, the owning buffer for mem stores, a buffered drain
+  // elsewhere) and let the codec parse it in place.
+  const auto view = reader.view();
   span.begin();
-  decoder->finish(edges, label);
+  decoder->decode(view->chars(), edges, label);
   span.end();
   if (span.active()) span.flush(decode_trace_args(label));
   return edges;

@@ -1,5 +1,6 @@
 #include "io/file_stream.hpp"
 
+#include "io/mmap_file.hpp"
 #include "util/error.hpp"
 
 namespace prpb::io {
@@ -73,6 +74,20 @@ std::string_view FileReader::read_chunk() {
   }
   bytes_read_ += n;
   return std::string_view(buffer_.data(), n);
+}
+
+std::unique_ptr<ReadView> FileReader::view() {
+  if (!eof_ && bytes_read_ == 0) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec && mmap_policy_allows(static_cast<std::size_t>(size))) {
+      MmapFile mapping(path_);
+      eof_ = true;
+      bytes_read_ = mapping.size();
+      return std::make_unique<MmapReadView>(std::move(mapping));
+    }
+  }
+  return StageReader::view();
 }
 
 std::string read_file(const std::filesystem::path& path) {

@@ -62,6 +62,11 @@ class FileReader : public StageReader {
   /// The view is valid until the next read_chunk() call.
   std::string_view read_chunk() override;
 
+  /// Zero-copy whole-file view via a memory mapping when the mmap policy
+  /// allows and nothing has been consumed yet; otherwise the buffered
+  /// drain of the base class. Either way the reader is exhausted after.
+  [[nodiscard]] std::unique_ptr<ReadView> view() override;
+
   [[nodiscard]] bool eof() const { return eof_; }
   [[nodiscard]] std::uint64_t bytes_read() const override {
     return bytes_read_;

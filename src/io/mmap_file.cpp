@@ -5,8 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
 #include "util/error.hpp"
-#include "util/fs.hpp"
 
 namespace prpb::io {
 
@@ -33,31 +36,59 @@ MmapFile::MmapFile(const std::filesystem::path& path) {
   }
 }
 
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
 MmapFile::~MmapFile() {
   if (data_ != nullptr) ::munmap(data_, size_);
 }
 
-gen::EdgeList read_edge_file_mmap(const std::filesystem::path& path,
-                                  Codec codec) {
-  const MmapFile file(path);
-  gen::EdgeList edges;
-  const std::size_t consumed = parse_edges(file.view(), edges, codec);
-  // Tolerate a final record without a trailing newline, matching the
-  // streamed TSV decoder; parse_edge_line throws on anything malformed.
-  if (consumed != file.size()) {
-    edges.push_back(parse_edge_line(file.view().substr(consumed), codec));
-  }
-  return edges;
+namespace {
+
+MmapPolicy policy_from_env() {
+  const char* value = std::getenv("PRPB_MMAP");
+  if (value == nullptr) return MmapPolicy::kAuto;
+  const std::string_view v(value);
+  if (v == "on") return MmapPolicy::kOn;
+  if (v == "off") return MmapPolicy::kOff;
+  return MmapPolicy::kAuto;
 }
 
-gen::EdgeList read_all_edges_mmap(const std::filesystem::path& dir,
-                                  Codec codec) {
-  gen::EdgeList edges;
-  for (const auto& file : util::list_files_sorted(dir)) {
-    auto part = read_edge_file_mmap(file, codec);
-    edges.insert(edges.end(), part.begin(), part.end());
+std::atomic<MmapPolicy>& policy_slot() {
+  static std::atomic<MmapPolicy> policy{policy_from_env()};
+  return policy;
+}
+
+}  // namespace
+
+MmapPolicy mmap_policy() {
+  return policy_slot().load(std::memory_order_relaxed);
+}
+
+MmapPolicy set_mmap_policy(MmapPolicy policy) {
+  return policy_slot().exchange(policy, std::memory_order_relaxed);
+}
+
+bool mmap_policy_allows(std::size_t size) {
+  switch (mmap_policy()) {
+    case MmapPolicy::kOn:
+      return true;
+    case MmapPolicy::kOff:
+      return false;
+    case MmapPolicy::kAuto:
+      return size >= kMmapAutoThresholdBytes;
   }
-  return edges;
+  return false;
 }
 
 }  // namespace prpb::io

@@ -1,25 +1,31 @@
-// Memory-mapped read path — the alternative to buffered fread for kernel
-// 1/2 input. On a warm page cache mapping avoids one copy per byte; the
-// bench_ablation_io binary quantifies the difference, informing the "big
-// data systems stress the parts of a system that intensively store and move
-// data" discussion of the paper.
+// Memory-mapped read path — the zero-copy backing of StageReader::view()
+// for on-disk shards. DirStageStore readers serve whole-shard views out
+// of a private read-only mapping, so kernel 1/2 decode walks the page
+// cache directly instead of copying every byte through a stream buffer.
+// "Big data systems stress the parts of a system that intensively store
+// and move data" (paper §II); this removes the harness's own share of
+// that movement.
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <filesystem>
+#include <memory>
 #include <string_view>
 
-#include "gen/edge.hpp"
-#include "io/tsv.hpp"
+#include "io/stage_stream.hpp"
 
 namespace prpb::io {
 
-/// RAII read-only memory mapping of a whole file.
+/// RAII read-only memory mapping of a whole file. Movable (the moved-from
+/// object releases ownership), not copyable. The mapping stays valid
+/// after the file is unlinked or the creating store is destroyed.
 class MmapFile {
  public:
   explicit MmapFile(const std::filesystem::path& path);
   MmapFile(const MmapFile&) = delete;
   MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
   ~MmapFile();
 
   /// Entire file contents. Valid for the lifetime of this object.
@@ -33,12 +39,41 @@ class MmapFile {
   std::size_t size_ = 0;
 };
 
-/// Reads one TSV shard through a memory mapping.
-gen::EdgeList read_edge_file_mmap(const std::filesystem::path& path,
-                                  Codec codec = Codec::kFast);
+/// Zero-copy ReadView over a memory mapping. Owns the mapping, so the
+/// span outlives the reader and the store that produced it.
+class MmapReadView final : public ReadView {
+ public:
+  explicit MmapReadView(MmapFile file) : file_(std::move(file)) {}
 
-/// Reads every shard in a stage directory through memory mappings.
-gen::EdgeList read_all_edges_mmap(const std::filesystem::path& dir,
-                                  Codec codec = Codec::kFast);
+  [[nodiscard]] std::span<const std::byte> bytes() const override {
+    const std::string_view v = file_.view();
+    return {reinterpret_cast<const std::byte*>(v.data()), v.size()};
+  }
+  [[nodiscard]] bool zero_copy() const override { return true; }
+
+ private:
+  MmapFile file_;
+};
+
+/// When the on-disk read path serves views out of memory mappings.
+///   kAuto  — map files at or above a size threshold (small shards are
+///            cheaper to drain through the stream buffer than to map);
+///   kOn    — map every regular file, whatever its size (what CI forces
+///            so sanitizer runs exercise the mapped path at test scales);
+///   kOff   — never map; every view is a buffered drain.
+enum class MmapPolicy { kAuto, kOn, kOff };
+
+/// Files at or above this size are mapped under MmapPolicy::kAuto.
+inline constexpr std::size_t kMmapAutoThresholdBytes = 256 * 1024;
+
+/// Process-wide policy. Initialized once from the PRPB_MMAP environment
+/// variable ("on" | "off" | "auto"; unset or anything else means auto).
+MmapPolicy mmap_policy();
+
+/// Overrides the policy (tests and benches). Returns the previous value.
+MmapPolicy set_mmap_policy(MmapPolicy policy);
+
+/// True when the current policy maps a file of `size` bytes.
+bool mmap_policy_allows(std::size_t size);
 
 }  // namespace prpb::io

@@ -1,6 +1,7 @@
 #include "io/stage_codec.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstring>
 
@@ -55,14 +56,23 @@ class TsvDecoder final : public StageDecoder {
   explicit TsvDecoder(Codec flavor) : flavor_(flavor) {}
 
   void feed(std::string_view chunk, gen::EdgeList& out) override {
-    if (carry_.empty()) {
-      const std::size_t consumed = parse_edges(chunk, out, flavor_);
-      carry_.assign(chunk.substr(consumed));
-    } else {
-      carry_.append(chunk);
-      const std::size_t consumed = parse_edges(carry_, out, flavor_);
-      carry_.erase(0, consumed);
+    if (!carry_.empty()) {
+      // Complete only the carried partial line with bytes up to the
+      // chunk's first newline; the rest of the chunk parses in place.
+      // (The carry never contains a newline, so the joined line is whole.)
+      const std::size_t eol = chunk.find('\n');
+      if (eol == std::string_view::npos) {
+        carry_.append(chunk);
+        return;
+      }
+      carry_.append(chunk.substr(0, eol));
+      carry_.push_back('\n');
+      parse_edges(carry_, out, flavor_);
+      carry_.clear();
+      chunk.remove_prefix(eol + 1);
     }
+    const std::size_t consumed = parse_edges(chunk, out, flavor_);
+    carry_.assign(chunk.substr(consumed));
   }
 
   void finish(gen::EdgeList& out, const std::string&) override {
@@ -72,6 +82,15 @@ class TsvDecoder final : public StageDecoder {
     if (carry_.empty()) return;
     out.push_back(parse_edge_line(carry_, flavor_));
     carry_.clear();
+  }
+
+  void decode(std::string_view shard, gen::EdgeList& out,
+              const std::string&) override {
+    // Whole shard in one span: parse in place, no carry buffer at all.
+    const std::size_t consumed = parse_edges(shard, out, flavor_);
+    if (consumed < shard.size()) {
+      out.push_back(parse_edge_line(shard.substr(consumed), flavor_));
+    }
   }
 
  private:
@@ -120,6 +139,52 @@ std::uint64_t load_le(const char* in, std::size_t width) {
   return value;
 }
 
+/// Fixed-width little-endian load via memcpy (unaligned-safe, UBSan-clean).
+/// Big-endian hosts fall back to the portable byte loop.
+template <typename T>
+std::uint64_t load_le_int(const char* in) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return load_le(in, sizeof(T));
+  } else {
+    T value;
+    std::memcpy(&value, in, sizeof(T));
+    return value;
+  }
+}
+
+/// Appends `count` (u, v) pairs from two columnar id arrays. The width
+/// switch hoists out of the element loop so each combination runs a tight
+/// fixed-width copy loop.
+template <typename U, typename V>
+void decode_column_pair(const char* su, const char* sv, std::uint64_t count,
+                        gen::EdgeList& out) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(gen::Edge{load_le_int<U>(su + i * sizeof(U)),
+                            load_le_int<V>(sv + i * sizeof(V))});
+  }
+}
+
+template <typename U>
+void decode_block_u(const char* su, const char* sv, std::uint64_t count,
+                    std::size_t wv, gen::EdgeList& out) {
+  switch (wv) {
+    case 1: decode_column_pair<U, std::uint8_t>(su, sv, count, out); break;
+    case 2: decode_column_pair<U, std::uint16_t>(su, sv, count, out); break;
+    case 4: decode_column_pair<U, std::uint32_t>(su, sv, count, out); break;
+    default: decode_column_pair<U, std::uint64_t>(su, sv, count, out); break;
+  }
+}
+
+void decode_block(const char* su, const char* sv, std::uint64_t count,
+                  std::size_t wu, std::size_t wv, gen::EdgeList& out) {
+  switch (wu) {
+    case 1: decode_block_u<std::uint8_t>(su, sv, count, wv, out); break;
+    case 2: decode_block_u<std::uint16_t>(su, sv, count, wv, out); break;
+    case 4: decode_block_u<std::uint32_t>(su, sv, count, wv, out); break;
+    default: decode_block_u<std::uint64_t>(su, sv, count, wv, out); break;
+  }
+}
+
 /// Backstop against decoding garbage as a huge count: a block never holds
 /// more edges than fit in a terabyte of the widest records.
 constexpr std::uint64_t kMaxBlockRecords = std::uint64_t{1} << 36;
@@ -161,33 +226,60 @@ class BinaryEncoder final : public StageEncoder {
 class BinaryDecoder final : public StageDecoder {
  public:
   void feed(std::string_view chunk, gen::EdgeList& out) override {
-    if (chunk.empty()) return;
-    buf_.append(chunk);
-    consume(out);
+    // Top up the stash (bytes of a header/block split across chunk
+    // boundaries) until what it holds completes, then parse the rest of
+    // the chunk in place. Only boundary-spanning records are ever copied.
+    std::size_t off = 0;
+    while (!stash_.empty() && off < chunk.size()) {
+      const std::size_t take =
+          std::min(stash_needed(), chunk.size() - off);
+      stash_.append(chunk.substr(off, take));
+      off += take;
+      const std::size_t consumed = parse_prefix(stash_, out);
+      stash_.erase(0, consumed);
+    }
+    if (off < chunk.size()) {  // stash is empty here
+      const std::string_view rest = chunk.substr(off);
+      const std::size_t consumed = parse_prefix(rest, out);
+      stash_.assign(rest.substr(consumed));
+    }
   }
 
   void finish(gen::EdgeList& out, const std::string& label) override {
-    consume(out);
+    (void)out;
     if (!header_seen_) {
       // A fully empty shard (stage padding) is valid; header fragments
       // are not.
-      util::io_require(buf_.empty(),
+      util::io_require(stash_.empty(),
                        "binary edge shard truncated before header: " + label);
       return;
     }
-    util::io_require(buf_.empty(),
+    util::io_require(stash_.empty(),
                      "binary edge shard ends mid-block: " + label);
   }
 
+  void decode(std::string_view shard, gen::EdgeList& out,
+              const std::string& label) override {
+    // Whole shard in one span: a bounds-checked pointer walk straight over
+    // the mapped/owned bytes — nothing is staged.
+    const std::size_t consumed = parse_prefix(shard, out);
+    util::io_require(
+        consumed == shard.size(),
+        (header_seen_ ? "binary edge shard ends mid-block: "
+                      : "binary edge shard truncated before header: ") +
+            label);
+  }
+
  private:
-  void consume(gen::EdgeList& out) {
+  /// Parses as many complete records as `data` holds, appending decoded
+  /// edges; returns bytes consumed (always a header/block boundary).
+  std::size_t parse_prefix(std::string_view data, gen::EdgeList& out) {
     std::size_t pos = 0;
-    const char* data = buf_.data();
-    const std::uint64_t size = buf_.size();
     if (!header_seen_) {
-      if (size < binfmt::kHeaderBytes) return;
+      if (data.size() < binfmt::kHeaderBytes) return 0;
       util::io_require(
-          std::memcmp(data, binfmt::kMagic, sizeof(binfmt::kMagic)) == 0,
+          std::memcmp(data.data(), binfmt::kMagic, sizeof(binfmt::kMagic)) ==
+              0,
           "binary edge shard has bad magic (is this a TSV stage?)");
       util::io_require(
           static_cast<std::uint8_t>(data[4]) == binfmt::kVersion,
@@ -196,31 +288,60 @@ class BinaryDecoder final : public StageDecoder {
       header_seen_ = true;
     }
     for (;;) {
-      if (size - pos < binfmt::kBlockHeaderBytes) break;
-      const std::uint64_t count = load_le(data + pos, 8);
-      const auto wu = static_cast<std::size_t>(
-          static_cast<unsigned char>(data[pos + 8]));
-      const auto wv = static_cast<std::size_t>(
-          static_cast<unsigned char>(data[pos + 9]));
-      util::io_require((wu == 1 || wu == 2 || wu == 4 || wu == 8) &&
-                           (wv == 1 || wv == 2 || wv == 4 || wv == 8) &&
-                           count <= kMaxBlockRecords,
-                       "binary edge shard has a corrupt block header");
-      const std::uint64_t payload = count * (wu + wv);
-      if (size - pos - binfmt::kBlockHeaderBytes < payload) break;
-      const char* su = data + pos + binfmt::kBlockHeaderBytes;
-      const char* sv = su + count * wu;
-      out.reserve(out.size() + count);
-      for (std::uint64_t i = 0; i < count; ++i) {
-        out.push_back(gen::Edge{load_le(su + i * wu, wu),
-                                load_le(sv + i * wv, wv)});
+      if (data.size() - pos < binfmt::kBlockHeaderBytes) break;
+      const BlockHeader header = read_block_header(data.substr(pos));
+      if (data.size() - pos - binfmt::kBlockHeaderBytes < header.payload) {
+        break;
       }
-      pos += binfmt::kBlockHeaderBytes + payload;
+      const char* su = data.data() + pos + binfmt::kBlockHeaderBytes;
+      const char* sv = su + header.count * header.wu;
+      out.reserve(out.size() + header.count);
+      decode_block(su, sv, header.count, header.wu, header.wv, out);
+      pos += binfmt::kBlockHeaderBytes + header.payload;
     }
-    buf_.erase(0, pos);
+    return pos;
   }
 
-  std::string buf_;
+  struct BlockHeader {
+    std::uint64_t count;
+    std::size_t wu;
+    std::size_t wv;
+    std::uint64_t payload;
+  };
+
+  /// Reads and validates a block header; `data` must hold at least
+  /// kBlockHeaderBytes.
+  static BlockHeader read_block_header(std::string_view data) {
+    BlockHeader header;
+    header.count = load_le(data.data(), 8);
+    header.wu =
+        static_cast<std::size_t>(static_cast<unsigned char>(data[8]));
+    header.wv =
+        static_cast<std::size_t>(static_cast<unsigned char>(data[9]));
+    util::io_require(
+        (header.wu == 1 || header.wu == 2 || header.wu == 4 ||
+         header.wu == 8) &&
+            (header.wv == 1 || header.wv == 2 || header.wv == 4 ||
+             header.wv == 8) &&
+            header.count <= kMaxBlockRecords,
+        "binary edge shard has a corrupt block header");
+    header.payload = header.count * (header.wu + header.wv);
+    return header;
+  }
+
+  /// Bytes still required before the stashed partial record completes:
+  /// the rest of the file header, the rest of a block header, or the rest
+  /// of a block whose header the stash already holds.
+  [[nodiscard]] std::size_t stash_needed() const {
+    if (!header_seen_) return binfmt::kHeaderBytes - stash_.size();
+    if (stash_.size() < binfmt::kBlockHeaderBytes) {
+      return binfmt::kBlockHeaderBytes - stash_.size();
+    }
+    const BlockHeader header = read_block_header(stash_);
+    return binfmt::kBlockHeaderBytes + header.payload - stash_.size();
+  }
+
+  std::string stash_;  // bytes of one boundary-spanning record, never more
   bool header_seen_ = false;
 };
 

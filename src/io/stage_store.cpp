@@ -101,6 +101,24 @@ bool DirStageStore::empty(const std::string& stage) const {
 
 namespace {
 
+/// Zero-copy view over a mem-store shard buffer. The shared_ptr keeps the
+/// payload alive even if the shard is cleared or the store is destroyed.
+class MemReadView final : public ReadView {
+ public:
+  MemReadView(std::shared_ptr<const std::string> blob, std::size_t offset)
+      : blob_(std::move(blob)), offset_(offset) {}
+
+  [[nodiscard]] std::span<const std::byte> bytes() const override {
+    return {reinterpret_cast<const std::byte*>(blob_->data()) + offset_,
+            blob_->size() - offset_};
+  }
+  [[nodiscard]] bool zero_copy() const override { return true; }
+
+ private:
+  std::shared_ptr<const std::string> blob_;
+  std::size_t offset_;
+};
+
 class MemReader final : public StageReader {
  public:
   explicit MemReader(std::shared_ptr<const std::string> blob)
@@ -114,6 +132,13 @@ class MemReader final : public StageReader {
     const std::size_t n = std::min(kChunk, blob_->size() - pos_);
     const std::string_view view(blob_->data() + pos_, n);
     pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::unique_ptr<ReadView> view() override {
+    // The shard already lives in contiguous memory: serve it directly.
+    auto view = std::make_unique<MemReadView>(blob_, pos_);
+    pos_ = blob_->size();
     return view;
   }
 
@@ -245,6 +270,15 @@ class CountingReaderImpl final : public StageReader {
     bytes_.fetch_add(chunk.size(), std::memory_order_relaxed);
     return chunk;
   }
+
+  std::unique_ptr<ReadView> view() override {
+    // Forward so the inner store's zero-copy view survives the decorator;
+    // the whole span is counted as read in one step.
+    auto view = inner_->view();
+    bytes_.fetch_add(view->size(), std::memory_order_relaxed);
+    return view;
+  }
+
   [[nodiscard]] std::uint64_t bytes_read() const override {
     return inner_->bytes_read();
   }

@@ -3,13 +3,65 @@
 // in-memory buffers, counting decorators) is swappable without touching
 // kernel code. FileReader/FileWriter (src/io/file_stream.hpp) are the
 // on-disk implementations; MemStageStore supplies in-memory ones.
+//
+// Readers expose two access styles:
+//  * read_chunk() — sequential bounded chunks (the streaming protocol the
+//    external sort and other bounded-memory consumers keep using);
+//  * view() — the whole remaining shard as ONE contiguous immutable span.
+//    This is the zero-copy read path: DirStageStore serves it from a
+//    memory mapping, MemStageStore from the shard buffer itself, and any
+//    reader that cannot (counting/fault/traced decorators, mid-stream
+//    readers) falls back to draining read_chunk() into an owned buffer,
+//    so every decorator composes unchanged — counted bytes still count,
+//    injected faults still fire.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
 namespace prpb::io {
+
+/// A contiguous, immutable view of one shard's payload bytes. The view
+/// owns whatever keeps the bytes alive (a file mapping, a shared buffer,
+/// or a drained copy), so bytes() stays valid for the view's lifetime —
+/// including after the reader and the store that produced it are gone.
+class ReadView {
+ public:
+  virtual ~ReadView() = default;
+
+  /// The shard payload as one contiguous span, stable for the view's
+  /// lifetime.
+  [[nodiscard]] virtual std::span<const std::byte> bytes() const = 0;
+
+  /// True when bytes() aliases storage memory directly (a mapping or an
+  /// in-memory shard buffer) rather than a drained copy.
+  [[nodiscard]] virtual bool zero_copy() const { return false; }
+
+  /// The same bytes as a character view (what the codecs consume).
+  [[nodiscard]] std::string_view chars() const {
+    const auto b = bytes();
+    return {reinterpret_cast<const char*>(b.data()), b.size()};
+  }
+
+  [[nodiscard]] std::size_t size() const { return bytes().size(); }
+};
+
+/// The universal fallback view: owns a drained copy of the shard bytes.
+class BufferedReadView final : public ReadView {
+ public:
+  explicit BufferedReadView(std::string data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::span<const std::byte> bytes() const override {
+    return {reinterpret_cast<const std::byte*>(data_.data()), data_.size()};
+  }
+
+ private:
+  std::string data_;
+};
 
 /// Sequential chunked reader over one shard of one stage.
 class StageReader {
@@ -19,6 +71,14 @@ class StageReader {
   /// Returns the next chunk (empty at EOF). The view is valid until the
   /// next read_chunk() call.
   virtual std::string_view read_chunk() = 0;
+
+  /// Returns the shard's not-yet-consumed bytes as one contiguous view,
+  /// exhausting the reader (read_chunk() reports EOF afterwards).
+  /// Normally called before any read_chunk(), so the view is the whole
+  /// shard. The base implementation drains read_chunk() into an owned
+  /// buffer — correct over any decorator stack; readers whose bytes are
+  /// already contiguous in memory override it with a zero-copy view.
+  [[nodiscard]] virtual std::unique_ptr<ReadView> view();
 
   [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;
 };

@@ -62,6 +62,9 @@ class TracedReader final : public StageReader {
         inner_(store.open_read(stage, shard)) {}
 
   std::string_view read_chunk() override { return inner_->read_chunk(); }
+  // Forwarding keeps the inner zero-copy view; the span still covers the
+  // open→destroy lifetime, which is when the view is produced.
+  std::unique_ptr<ReadView> view() override { return inner_->view(); }
   [[nodiscard]] std::uint64_t bytes_read() const override {
     return inner_->bytes_read();
   }

@@ -31,12 +31,22 @@ void append_edge(std::string& out, const gen::Edge& edge, Codec codec);
 /// Parses every complete "u\tv\n" line in `text` and appends to `out`.
 /// Returns the number of bytes consumed (always ends at a line boundary;
 /// a trailing partial line is left unconsumed for the caller to carry over).
-/// Throws IoError on malformed lines.
+/// Throws IoError on malformed lines. This is the scalar reference
+/// implementation the SWAR hot loop is conformance-tested against.
 std::size_t parse_edges_fast(std::string_view text, gen::EdgeList& out);
+
+/// Same contract and behavior as parse_edges_fast, via word-at-a-time
+/// (SWAR) newline/tab search and branch-light digit parsing. Lines the
+/// hot loop cannot take (empty, CRLF, malformed, too close to the buffer
+/// end for whole-word loads) drop to the scalar lane one line at a time,
+/// so results and errors are byte-identical to parse_edges_fast.
+std::size_t parse_edges_swar(std::string_view text, gen::EdgeList& out);
 
 /// Same contract as parse_edges_fast but via generic string conversion.
 std::size_t parse_edges_generic(std::string_view text, gen::EdgeList& out);
 
+/// Dispatch: kFast routes to the SWAR hot loop, kGeneric to the
+/// deliberately generic string path.
 std::size_t parse_edges(std::string_view text, gen::EdgeList& out,
                         Codec codec);
 

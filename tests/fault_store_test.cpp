@@ -12,6 +12,7 @@
 #include "fault/inject.hpp"
 #include "fault/plan.hpp"
 #include "fault/retry.hpp"
+#include "io/mmap_file.hpp"
 #include "io/stage_store.hpp"
 #include "util/error.hpp"
 
@@ -335,6 +336,26 @@ TEST(CheckpointTest, CommitDetectsSilentCorruptionBelowDigestLayer) {
   CheckpointManager checkpoints(digests, digests, 0xabc, "tsv");
   put(digests, "k0_edges", io::shard_name(0), std::string(256, 'e'));
   EXPECT_THROW(checkpoints.commit("k0_edges"), util::CorruptionError);
+}
+
+TEST(CheckpointTest, BitFlipStaysDetectableOnTheMappedReadPath) {
+  // bit_flip mutates bytes on their way to the disk store, so the flipped
+  // byte lives in the stored file. With mmap forced on, read-back
+  // verification digests the mapped view directly — the corruption must
+  // stay visible without a buffered copy in between.
+  struct PolicyGuard {
+    io::MmapPolicy prior = io::set_mmap_policy(io::MmapPolicy::kOn);
+    ~PolicyGuard() { io::set_mmap_policy(prior); }
+  } guard;
+  io::DirStageStore disk(testing::TempDir());
+  const std::string stage = "ckpt_mmap_bitflip";
+  if (disk.exists(stage)) disk.remove(stage);
+  FaultInjectingStageStore faulty(disk, FaultPlan::parse("bit_flip", 3));
+  ShardDigestStore digests(faulty);
+  CheckpointManager checkpoints(digests, digests, 0xabc, "tsv");
+  put(digests, stage, io::shard_name(0), std::string(4096, 'e'));
+  EXPECT_THROW(checkpoints.commit(stage), util::CorruptionError);
+  disk.remove(stage);
 }
 
 TEST(CheckpointTest, ValidateFlagsPostCommitTampering) {

@@ -95,6 +95,183 @@ TEST(CodecTest, CodecsProduceIdenticalText) {
   EXPECT_EQ(fast, generic);
 }
 
+// ---- SWAR parser conformance ------------------------------------------------
+// parse_edges_swar must be byte-identical to the scalar reference
+// (parse_edges_fast): same edges, same consumed count, same errors.
+
+void expect_swar_matches_scalar(const std::string& text) {
+  EdgeList scalar;
+  EdgeList swar;
+  bool scalar_threw = false;
+  bool swar_threw = false;
+  std::size_t scalar_consumed = 0;
+  std::size_t swar_consumed = 0;
+  try {
+    scalar_consumed = parse_edges_fast(text, scalar);
+  } catch (const util::IoError&) {
+    scalar_threw = true;
+  }
+  try {
+    swar_consumed = parse_edges_swar(text, swar);
+  } catch (const util::IoError&) {
+    swar_threw = true;
+  }
+  EXPECT_EQ(swar_threw, scalar_threw) << "input: '" << text << "'";
+  if (!scalar_threw && !swar_threw) {
+    EXPECT_EQ(swar_consumed, scalar_consumed) << "input: '" << text << "'";
+    EXPECT_EQ(swar, scalar) << "input: '" << text << "'";
+  }
+}
+
+TEST(SwarParserTest, DigitWidthSweep) {
+  // Every (u digits, v digits) combination from 1..20 exercises the
+  // 1..8-digit word path, the 9..16 two-word path, the >16 scalar path,
+  // and the 20-digit overflow rejection.
+  for (std::size_t du = 1; du <= 20; ++du) {
+    for (std::size_t dv = 1; dv <= 20; ++dv) {
+      std::string u(du, '7');
+      std::string v(dv, '3');
+      u.front() = '1';
+      v.front() = '9';
+      expect_swar_matches_scalar(u + "\t" + v + "\n");
+      // Padded with a long second line so word loads are in bounds for
+      // the first and the slow lane covers the last.
+      expect_swar_matches_scalar(u + "\t" + v + "\n123456\t654321\n");
+    }
+  }
+}
+
+TEST(SwarParserTest, EdgeCasesMatchScalar) {
+  const char* cases[] = {
+      "",                        // empty input
+      "\n",                      // empty line
+      "1\t2\n\n3\t4\n",          // interior empty line
+      "1\t2\r\n3\t4\r\n",        // CRLF
+      "\r\n",                    // CR-only line
+      "1\t2\n34\t5",             // trailing partial line
+      "0\t0\n",                  // zeros
+      "01\t002\n",               // leading zeros
+      "18446744073709551615\t1\n",    // u64 max
+      "18446744073709551616\t1\n",    // overflow
+      "99999999999999999999\t1\n",    // 20 digits, overflow
+      "1 2\n",                   // wrong separator
+      "a\tb\n",                  // non-numeric
+      "1\t\n",                   // empty v field
+      "\t2\n",                   // empty u field
+      "1\t2\t3\n",               // extra field
+      "1\t2x\n",                 // trailing garbage
+      "-1\t2\n",                 // sign not accepted
+      "1\t2",                    // unterminated single record
+  };
+  for (const char* text : cases) expect_swar_matches_scalar(text);
+}
+
+TEST(SwarParserTest, FuzzAgainstScalar) {
+  // Pseudo-random inputs mixing digits, separators and junk; both parsers
+  // must agree on every one of them.
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const char alphabet[] = "0123456789\t\n\r x";
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    const std::size_t len = next() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[next() % (sizeof(alphabet) - 1)]);
+    }
+    expect_swar_matches_scalar(text);
+  }
+  // Well-formed fuzz: random ids at every width, all lines must parse.
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    EdgeList expected;
+    const std::size_t lines = next() % 20;
+    for (std::size_t i = 0; i < lines; ++i) {
+      const std::uint64_t u = next() >> (next() % 64);
+      const std::uint64_t v = next() >> (next() % 64);
+      expected.push_back({u, v});
+      append_edge_fast(text, {u, v});
+    }
+    EdgeList swar;
+    EXPECT_EQ(parse_edges_swar(text, swar), text.size());
+    EXPECT_EQ(swar, expected);
+  }
+}
+
+TEST(SwarParserTest, ChunkBoundarySplits) {
+  // Every split point of a multi-line text must decode identically when
+  // fed as two chunks — the decoder's carry must never duplicate or drop
+  // a record (regression for the no-copy carry rework).
+  const std::string text = "1\t2\n345\t6789\n18446744073709551615\t0\n42\t7\n";
+  EdgeList whole;
+  parse_edges_fast(text, whole);
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const auto decoder = tsv_codec(Codec::kFast).make_decoder();
+    EdgeList out;
+    decoder->feed(text.substr(0, split), out);
+    decoder->feed(text.substr(split), out);
+    decoder->finish(out, "split");
+    EXPECT_EQ(out, whole) << "split at " << split;
+  }
+  // Byte-at-a-time: the degenerate chunking.
+  const auto decoder = tsv_codec(Codec::kFast).make_decoder();
+  EdgeList out;
+  for (const char c : text) decoder->feed(std::string_view(&c, 1), out);
+  decoder->finish(out, "bytes");
+  EXPECT_EQ(out, whole);
+}
+
+TEST(SwarParserTest, DecodeOneShotMatchesStreaming) {
+  const std::string body = "5\t6\n7\t8";  // missing final newline
+  for (const auto* codec : {&tsv_codec(Codec::kFast),
+                            &tsv_codec(Codec::kGeneric)}) {
+    EdgeList streamed;
+    {
+      const auto decoder = codec->make_decoder();
+      decoder->feed(body, streamed);
+      decoder->finish(streamed, "s");
+    }
+    EdgeList oneshot;
+    codec->make_decoder()->decode(body, oneshot, "s");
+    EXPECT_EQ(oneshot, streamed);
+  }
+}
+
+TEST(BinaryCodecTest, ChunkBoundarySplits) {
+  // The binary decoder stashes only boundary-spanning records; every
+  // split of a two-block shard must still decode exactly.
+  MemStageStore store;
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 300; ++i) edges.push_back({i, i * 257});
+  {
+    ShardWriter writer(store, "s", "edges_00000.bin", binary_codec());
+    writer.append(edges.data(), 128);                  // block 1
+    writer.append(edges.data() + 128, edges.size() - 128);  // block 2
+    writer.close();
+  }
+  std::string bytes;
+  {
+    const auto reader = store.open_read("s", "edges_00000.bin");
+    bytes.assign(reader->view()->chars());
+  }
+  for (std::size_t split = 0; split <= bytes.size(); split += 7) {
+    const auto decoder = binary_codec().make_decoder();
+    EdgeList out;
+    decoder->feed(std::string_view(bytes).substr(0, split), out);
+    decoder->feed(std::string_view(bytes).substr(split), out);
+    decoder->finish(out, "split");
+    EXPECT_EQ(out, edges) << "split at " << split;
+  }
+  const auto decoder = binary_codec().make_decoder();
+  EdgeList oneshot;
+  decoder->decode(bytes, oneshot, "s");
+  EXPECT_EQ(oneshot, edges);
+}
+
 // ---- file streams -----------------------------------------------------------
 
 TEST(FileStreamTest, WriteThenReadBack) {
@@ -267,7 +444,21 @@ TEST(StageTest, CrossCodecCompatibility) {
   EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast), edges);
 }
 
-// ---- mmap path ---------------------------------------------------------------
+// ---- zero-copy views & mmap path --------------------------------------------
+
+/// Scoped mmap policy override so tests cannot leak a forced policy into
+/// each other (the slot is process-global).
+class ScopedMmapPolicy {
+ public:
+  explicit ScopedMmapPolicy(MmapPolicy policy)
+      : prior_(set_mmap_policy(policy)) {}
+  ~ScopedMmapPolicy() { set_mmap_policy(prior_); }
+  ScopedMmapPolicy(const ScopedMmapPolicy&) = delete;
+  ScopedMmapPolicy& operator=(const ScopedMmapPolicy&) = delete;
+
+ private:
+  MmapPolicy prior_;
+};
 
 TEST(MmapTest, ViewMatchesFileContents) {
   util::TempDir dir("prpb-io");
@@ -291,28 +482,196 @@ TEST(MmapTest, MissingFileThrows) {
   EXPECT_THROW(MmapFile("/nonexistent/prpb-mmap"), util::IoError);
 }
 
+TEST(MmapTest, MoveTransfersOwnership) {
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("m.txt");
+  write_file(path, "moved");
+  MmapFile a(path);
+  MmapFile b(std::move(a));
+  EXPECT_EQ(b.view(), "moved");
+  MmapFile c(dir.sub("m.txt"));
+  c = std::move(b);
+  EXPECT_EQ(c.view(), "moved");
+}
+
+TEST(ViewTest, FileReaderServesMappedViewWhenForcedOn) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("v.txt");
+  write_file(path, "tiny");  // far below the auto threshold
+  FileReader reader(path);
+  const auto view = reader.view();
+  EXPECT_TRUE(view->zero_copy());
+  EXPECT_EQ(view->chars(), "tiny");
+  EXPECT_EQ(reader.bytes_read(), 4u);
+  EXPECT_TRUE(reader.read_chunk().empty());  // view exhausts the reader
+}
+
+TEST(ViewTest, PolicyOffForcesBufferedView) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOff);
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("v.txt");
+  write_file(path, "buffered bytes");
+  FileReader reader(path);
+  const auto view = reader.view();
+  EXPECT_FALSE(view->zero_copy());
+  EXPECT_EQ(view->chars(), "buffered bytes");
+}
+
+TEST(ViewTest, AutoPolicyBuffersSmallFilesAndMapsLargeOnes) {
+  const ScopedMmapPolicy policy(MmapPolicy::kAuto);
+  util::TempDir dir("prpb-io");
+  const auto small = dir.sub("small");
+  write_file(small, "x");
+  EXPECT_FALSE(FileReader(small).view()->zero_copy());
+  const auto large = dir.sub("large");
+  write_file(large, std::string(kMmapAutoThresholdBytes, 'y'));
+  EXPECT_TRUE(FileReader(large).view()->zero_copy());
+}
+
+TEST(ViewTest, ViewAfterPartialReadDrainsRemainder) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("v.txt");
+  write_file(path, "abcdefgh");
+  FileReader reader(path, /*buffer_bytes=*/4);
+  EXPECT_EQ(reader.read_chunk(), "abcd");
+  // Mid-stream a mapping would replay consumed bytes; the buffered drain
+  // takes over and serves exactly what is left.
+  const auto view = reader.view();
+  EXPECT_FALSE(view->zero_copy());
+  EXPECT_EQ(view->chars(), "efgh");
+}
+
+TEST(ViewTest, EmptyFileView) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  const auto path = dir.sub("empty");
+  write_file(path, "");
+  FileReader reader(path);
+  const auto view = reader.view();
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_TRUE(view->bytes().empty());
+}
+
+TEST(ViewTest, MappedViewOutlivesReaderStoreAndFile) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  std::unique_ptr<ReadView> view;
+  {
+    DirStageStore store(dir.path());
+    util::ensure_dir(dir.path() / "s");
+    write_file(dir.path() / "s" / "shard", "outlives everything");
+    auto reader = store.open_read("s", "shard");
+    view = reader->view();
+    // reader and store destroyed here; the file itself is unlinked next.
+  }
+  fs::remove(dir.path() / "s" / "shard");
+  EXPECT_TRUE(view->zero_copy());
+  EXPECT_EQ(view->chars(), "outlives everything");
+}
+
+TEST(ViewTest, MemViewOutlivesShardRemoval) {
+  MemStageStore store;
+  {
+    const auto writer = store.open_write("s", "shard");
+    writer->write("kept alive by the view");
+    writer->close();
+  }
+  auto view = store.open_read("s", "shard")->view();
+  EXPECT_TRUE(view->zero_copy());
+  store.remove("s");  // shared ownership keeps the payload alive
+  EXPECT_EQ(view->chars(), "kept alive by the view");
+}
+
+TEST(ViewTest, MemViewServesRemainderAfterPartialRead) {
+  MemStageStore store;
+  std::string payload(kDefaultBufferBytes + 7, 'z');
+  {
+    const auto writer = store.open_write("s", "shard");
+    writer->write(payload);
+    writer->close();
+  }
+  const auto reader = store.open_read("s", "shard");
+  EXPECT_EQ(reader->read_chunk().size(), kDefaultBufferBytes);
+  const auto view = reader->view();
+  EXPECT_TRUE(view->zero_copy());
+  EXPECT_EQ(view->chars(), std::string(7, 'z'));
+}
+
+TEST(ViewTest, CountingStoreCountsViewBytes) {
+  MemStageStore inner;
+  {
+    const auto writer = inner.open_write("s", "shard");
+    writer->write("12345");
+    writer->close();
+  }
+  CountingStageStore store(inner);
+  const auto view = store.open_read("s", "shard")->view();
+  EXPECT_TRUE(view->zero_copy());  // decorator forwards, zero-copy survives
+  EXPECT_EQ(store.snapshot().bytes_read, 5u);
+}
+
 TEST(MmapTest, EdgeStageMatchesBufferedReader) {
   gen::KroneckerParams params;
   params.scale = 9;
   const gen::KroneckerGenerator generator(params);
   util::TempDir dir("prpb-io");
   write_generated_edges(generator, dir.path(), 3, Codec::kFast);
-  EXPECT_EQ(read_all_edges_mmap(dir.path(), Codec::kFast),
-            read_all_edges(dir.path(), Codec::kFast));
+  EdgeList mapped;
+  {
+    const ScopedMmapPolicy policy(MmapPolicy::kOn);
+    mapped = read_all_edges(dir.path(), Codec::kFast);
+  }
+  const ScopedMmapPolicy policy(MmapPolicy::kOff);
+  EXPECT_EQ(mapped, read_all_edges(dir.path(), Codec::kFast));
 }
 
 TEST(MmapTest, MissingFinalNewlineTolerated) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
   util::TempDir dir("prpb-io");
   write_file(shard_path(dir.path(), 0), "1\t2\n3\t4");
-  EXPECT_EQ(read_all_edges_mmap(dir.path(), Codec::kFast),
+  EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast),
             (EdgeList{{1, 2}, {3, 4}}));
 }
 
 TEST(MmapTest, MidRecordTruncationDetected) {
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
   util::TempDir dir("prpb-io");
   write_file(shard_path(dir.path(), 0), "1\t2\n3\t");
-  EXPECT_THROW(read_all_edges_mmap(dir.path(), Codec::kFast),
-               util::IoError);
+  EXPECT_THROW(read_all_edges(dir.path(), Codec::kFast), util::IoError);
+}
+
+TEST(MmapTest, UnalignedTailBlockDecodes) {
+  // Shard sizes deliberately not multiples of the 8-byte SWAR word, so
+  // the tail lines fall back to the scalar lane and nothing reads past
+  // the mapping (ASan would catch an overread on the mapped path).
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  const std::pair<const char*, EdgeList> cases[] = {
+      {"7\t9\n", {{7, 9}}},
+      {"1\t2\n34\t567\n", {{1, 2}, {34, 567}}},
+      {"1\t2\n3\t4", {{1, 2}, {3, 4}}},
+  };
+  for (const auto& [text, expected] : cases) {
+    write_file(shard_path(dir.path(), 0), text);
+    EXPECT_EQ(read_all_edges(dir.path(), Codec::kFast), expected) << text;
+  }
+}
+
+TEST(MmapTest, BinaryShardDecodesOverMapping) {
+  // Binary blocks with 1/2-byte widths make most column loads unaligned;
+  // the pointer walk must stay within the mapped span.
+  const ScopedMmapPolicy policy(MmapPolicy::kOn);
+  util::TempDir dir("prpb-io");
+  DirStageStore store(dir.path());
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < 1001; ++i) {
+    edges.push_back({i % 251, (i * 7) % 65521});
+  }
+  write_edge_shard(store, "s", "edges_00000.bin", edges, binary_codec());
+  EXPECT_EQ(read_edge_shard(store, "s", "edges_00000.bin", binary_codec()),
+            edges);
 }
 
 // ---- binary runs ------------------------------------------------------------
