@@ -19,6 +19,9 @@
 #include "core/config.hpp"
 #include "core/runner.hpp"
 #include "io/file_stream.hpp"
+#include "model/hardware.hpp"
+#include "model/trajectory.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/resource_sampler.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -37,7 +40,9 @@ struct SweepOptions {
   std::vector<std::string> backends = core::backend_names();
   std::size_t num_files = 4;
   std::uint64_t seed = 20160205;
-  int trials = 1;        ///< repeated timings per cell; median is reported
+  /// Repeated timings per cell; the median is reported and the MAD is the
+  /// cell's noise model (--repeats; --trials is the historical alias).
+  int trials = 1;
   std::string csv_path;  ///< when set, the series is also written as CSV
   std::string generator = "kronecker";
   std::string source = "generator";  ///< kernel-0 graph source
@@ -64,6 +69,9 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("files", "shard files per stage", "4");
   args.add_option("seed", "generator seed", "20160205");
   args.add_option("trials", "timings per cell (median reported)", "1");
+  args.add_option("repeats",
+                  "timings per cell, median + MAD recorded (preferred "
+                  "spelling of --trials)", "0");
   args.add_option("csv", "also write the series to this CSV file", "");
   args.add_option("generator", "kronecker|bter|ppl", "kronecker");
   args.add_option("source", "graph source: generator | external", "generator");
@@ -89,6 +97,9 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   options.num_files = static_cast<std::size_t>(args.get_int("files"));
   options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   options.trials = static_cast<int>(args.get_int("trials"));
+  if (args.get_int("repeats") > 0) {
+    options.trials = static_cast<int>(args.get_int("repeats"));
+  }
   options.csv_path = args.get("csv");
   options.generator = args.get("generator");
   options.source = args.get("source");
@@ -127,62 +138,36 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   return true;
 }
 
-/// One figure cell: a kernel measurement for (backend, scale).
-struct SeriesPoint {
-  int kernel = -1;  ///< 0-3, or -1 for whole-pipeline cells
-  std::string backend;
-  int scale = 0;
-  std::uint64_t edges = 0;
-  double seconds = 0;
-  double edges_per_second = 0;
-  std::uint64_t peak_rss_bytes = 0;
-  // Cell configuration labels, carried into machine-readable output.
-  std::string storage;
-  std::string stage_format;
-  bool fast_path = false;
-  std::string source;     ///< graph source the cell ran on
-  std::string algorithm;  ///< kernel-3 cells: the algorithm measured
-};
+/// One figure cell: a kernel measurement for (backend, scale). The cell
+/// schema (median + MAD, CPU seconds, disk I/O, counter attribution) and
+/// its serialization live in model/trajectory.hpp so the bench emitter,
+/// bench_diff, and the tests all share one definition.
+using SeriesPoint = model::BenchCell;
 
 /// Serializes sweep cells as the machine-readable kernel benchmark
 /// document ({"benchmark": "prpb-kernels", "cells": [...]}) consumed by
 /// BENCH_kernels.json readers.
 inline std::string kernels_json(const std::vector<SeriesPoint>& points) {
-  util::JsonWriter json;
-  json.begin_object();
-  json.field("benchmark", "prpb-kernels");
-  json.begin_array("cells");
-  for (const auto& p : points) {
-    json.begin_object();
-    if (p.kernel >= 0) {
-      json.field("kernel", static_cast<std::int64_t>(p.kernel));
-    }
-    json.field("backend", p.backend);
-    json.field("scale", static_cast<std::int64_t>(p.scale));
-    json.field("edges", p.edges);
-    json.field("seconds", p.seconds);
-    json.field("edges_per_second", p.edges_per_second);
-    json.field("peak_rss_bytes", p.peak_rss_bytes);
-    json.field("storage", p.storage);
-    json.field("stage_format", p.stage_format);
-    json.field("fast_path", p.fast_path);
-    json.field("source", p.source.empty() ? "generator" : p.source);
-    if (!p.algorithm.empty()) json.field("algorithm", p.algorithm);
-    json.end_object();
-  }
-  json.end_array();
-  json.end_object();
-  return json.str();
+  return model::cells_json(points);
+}
+
+/// Triad peak bandwidth for achieved-GB/s normalization, probed once per
+/// process (the probe costs ~10 ms; sweeps call this per cell).
+inline double peak_triad_bps() {
+  static const double bps = model::probe_triad_bandwidth();
+  return bps;
 }
 
 inline void print_series(const std::string& title,
                          const std::vector<SeriesPoint>& points) {
   std::printf("## %s\n\n", title.c_str());
-  util::TextTable table({"backend", "scale", "edges", "seconds",
-                         "edges/sec"});
+  util::TextTable table({"backend", "scale", "edges", "seconds", "mad",
+                         "cpu s", "edges/sec"});
   for (const auto& p : points) {
     table.add_row({p.backend, std::to_string(p.scale),
                    util::human_count(p.edges), util::fixed(p.seconds, 4),
+                   util::fixed(p.seconds_mad, 4),
+                   util::fixed(p.cpu_seconds, 4),
                    util::sci(p.edges_per_second)});
   }
   std::printf("%s\n", table.str().c_str());
@@ -214,15 +199,31 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
 /// (the paper's fixed PageRank by default). External sources ignore the
 /// scale axis: the input file determines the graph, so exactly one pass
 /// runs, labeled with min_scale.
+///
+/// Each cell runs options.trials timings; the reported seconds is the
+/// median and seconds_mad the median absolute deviation. CPU seconds,
+/// /proc/self/io traffic and hardware-counter attribution come from the
+/// trial whose wall time is closest to the median, so every recorded
+/// column describes the same run. When `external_recorder` is non-null it
+/// replaces the sweep-local recorder (and options.trace_out is ignored) —
+/// bench_kernels uses this to collect one trace across many sweeps.
 inline std::vector<SeriesPoint> sweep_kernel(
     const SweepOptions& options, int kernel,
-    const std::string& algorithm = "pagerank") {
+    const std::string& algorithm = "pagerank",
+    obs::TraceRecorder* external_recorder = nullptr) {
   std::vector<SeriesPoint> points;
-  // Tracing is opt-in (--trace-out); the resource sampler always runs so
-  // every cell line can report its peak RSS.
-  obs::TraceRecorder recorder(!options.trace_out.empty());
+  // Tracing is opt-in (--trace-out or an injected recorder); the resource
+  // sampler always runs so every cell line can report its peak RSS.
+  obs::TraceRecorder local_recorder(external_recorder == nullptr &&
+                                    !options.trace_out.empty());
+  obs::TraceRecorder& recorder =
+      external_recorder != nullptr ? *external_recorder : local_recorder;
   obs::Hooks hooks;
   if (recorder.enabled()) hooks.trace = &recorder;
+  // Inert on hosts without perf_event_open — cells then simply carry no
+  // counter block (has_perf stays false).
+  obs::PerfCounterGroup perf_group;
+  hooks.perf = &perf_group;
   obs::ResourceSampler::Options sampler_options;
   if (recorder.enabled()) sampler_options.trace = &recorder;
   obs::ResourceSampler sampler(sampler_options);
@@ -259,11 +260,21 @@ inline std::vector<SeriesPoint> sweep_kernel(
 
     for (const auto& name : options.backends) {
       const auto backend = core::make_backend(name);
-      std::vector<double> timings;
-      timings.reserve(options.trials);
+      struct Trial {
+        double wall = 0;
+        double cpu = 0;
+        std::uint64_t io_read = 0;
+        std::uint64_t io_write = 0;
+        obs::PerfSample perf;
+      };
+      std::vector<Trial> trials;
+      trials.reserve(options.trials);
       std::uint64_t k3_work = 0;
       sampler.reset_peak();
+      obs::Span cell_span(hooks.trace, "bench/cell");
       for (int trial = 0; trial < options.trials; ++trial) {
+        const obs::ResourceSample before = obs::ResourceSampler::sample_now();
+        const obs::PerfScope perf_scope(&perf_group);
         util::Stopwatch watch;
         switch (kernel) {
           case 0:
@@ -293,13 +304,39 @@ inline std::vector<SeriesPoint> sweep_kernel(
           default:
             throw util::ConfigError("sweep_kernel: kernel must be 0-3");
         }
-        timings.push_back(watch.seconds());
+        Trial t;
+        t.wall = watch.seconds();
+        t.perf = perf_scope.sample();
+        const obs::ResourceSample after = obs::ResourceSampler::sample_now();
+        t.cpu = std::max(0.0, (after.cpu_user_s + after.cpu_sys_s) -
+                                  (before.cpu_user_s + before.cpu_sys_s));
+        t.io_read = after.io_read_bytes >= before.io_read_bytes
+                        ? after.io_read_bytes - before.io_read_bytes
+                        : 0;
+        t.io_write = after.io_write_bytes >= before.io_write_bytes
+                         ? after.io_write_bytes - before.io_write_bytes
+                         : 0;
+        trials.push_back(std::move(t));
         store->remove("trial_k0");
         store->remove("trial_k1");
       }
       std::uint64_t processed = config.num_edges();
       if (kernel == 3) processed = k3_work;
+      std::vector<double> timings;
+      timings.reserve(trials.size());
+      for (const Trial& t : trials) timings.push_back(t.wall);
       const double seconds = util::median(timings);
+      const double mad = util::median_abs_deviation(timings);
+      // CPU/I-O/counter columns come from the trial closest to the median
+      // wall time, so the cell's columns all describe one run.
+      std::size_t rep = 0;
+      for (std::size_t i = 1; i < trials.size(); ++i) {
+        if (std::abs(trials[i].wall - seconds) <
+            std::abs(trials[rep].wall - seconds)) {
+          rep = i;
+        }
+      }
+      const Trial& median_trial = trials[rep];
       // The background thread may not have sampled within a short cell, so
       // fold in one synchronous reading before reporting the peak.
       const std::uint64_t peak_rss =
@@ -311,28 +348,61 @@ inline std::vector<SeriesPoint> sweep_kernel(
       point.scale = scale;
       point.edges = config.num_edges();
       point.seconds = seconds;
+      point.seconds_mad = mad;
+      point.cpu_seconds = median_trial.cpu;
+      point.repeats = options.trials;
+      // edges_per_second stays wall-based (and keeps its positive-time
+      // clamp); CPU seconds are a separate column, not a denominator.
       point.edges_per_second =
           seconds > 0 ? static_cast<double>(processed) / seconds : 0.0;
       point.peak_rss_bytes = peak_rss;
+      point.io_read_bytes = median_trial.io_read;
+      point.io_write_bytes = median_trial.io_write;
       point.storage = config.storage;
       point.stage_format = config.stage_format;
       point.fast_path = config.fast_path;
       point.source = config.source;
       if (kernel == 3) point.algorithm = algorithm;
+      if (median_trial.perf.any()) {
+        point.has_perf = true;
+        point.cycles = median_trial.perf.get(obs::PerfEvent::kCycles);
+        point.instructions =
+            median_trial.perf.get(obs::PerfEvent::kInstructions);
+        point.llc_misses =
+            median_trial.perf.get(obs::PerfEvent::kLlcMisses);
+        point.ipc = median_trial.perf.ipc();
+        point.llc_miss_rate = median_trial.perf.llc_miss_rate();
+        point.dram_gbps = median_trial.perf.dram_gbps(median_trial.wall);
+        const double triad = peak_triad_bps();
+        point.peak_bandwidth_fraction =
+            triad > 0 ? point.dram_gbps * 1e9 / triad : 0.0;
+      }
+      if (cell_span.active()) {
+        util::JsonWriter args;
+        args.begin_object();
+        args.field("kernel", static_cast<std::int64_t>(kernel));
+        args.field("backend", name);
+        args.field("scale", static_cast<std::int64_t>(scale));
+        median_trial.perf.write_fields(args, median_trial.wall);
+        args.end_object();
+        cell_span.set_args(args.str());
+      }
+      cell_span.finish();
       points.push_back(std::move(point));
       std::fprintf(stderr,
-                   "  [fig] kernel%d%s%s %s scale %d: %.3fs (peak RSS "
-                   "%.1f MB)\n",
+                   "  [fig] kernel%d%s%s %s scale %d: %.3fs ±%.4f "
+                   "(cpu %.3fs, peak RSS %.1f MB%s)\n",
                    kernel, kernel == 3 ? "/" : "",
                    kernel == 3 ? algorithm.c_str() : "", name.c_str(), scale,
-                   seconds,
-                   static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+                   seconds, mad, median_trial.cpu,
+                   static_cast<double>(peak_rss) / (1024.0 * 1024.0),
+                   median_trial.perf.any() ? ", counters on" : "");
     }
     // The input file fixes the graph; more scales would repeat the cell.
     if (config.source == "external") break;
   }
   sampler.stop();
-  if (!options.trace_out.empty()) {
+  if (external_recorder == nullptr && !options.trace_out.empty()) {
     recorder.write_chrome_trace(options.trace_out);
     std::fprintf(stderr, "  [fig] trace written to %s (%zu events)\n",
                  options.trace_out.c_str(), recorder.event_count());

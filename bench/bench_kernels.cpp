@@ -31,6 +31,11 @@ int main(int argc, char** argv) {
   if (options.json_path.empty()) options.json_path = "BENCH_kernels.json";
 
   try {
+    // One recorder spans every sweep so --trace-out captures the whole
+    // grid (per-sweep recorders would each overwrite the file).
+    obs::TraceRecorder recorder(!options.trace_out.empty());
+    obs::TraceRecorder* trace =
+        recorder.enabled() ? &recorder : nullptr;
     std::vector<bench::SeriesPoint> cells;
     for (const bool fast : {false, true}) {
       bench::SweepOptions cell_options = options;
@@ -52,7 +57,8 @@ int main(int argc, char** argv) {
                        "[bench_kernels] kernel %d, %s/%s, fast-path %s\n",
                        kernel, combo.format, combo.storage,
                        fast ? "on" : "off");
-          const auto points = bench::sweep_kernel(cell_options, kernel);
+          const auto points =
+              bench::sweep_kernel(cell_options, kernel, "pagerank", trace);
           cells.insert(cells.end(), points.begin(), points.end());
         }
       }
@@ -61,7 +67,8 @@ int main(int argc, char** argv) {
       for (const auto& algorithm : cell_options.algorithms) {
         std::fprintf(stderr, "[bench_kernels] kernel 3/%s, fast-path %s\n",
                      algorithm.c_str(), fast ? "on" : "off");
-        const auto points = bench::sweep_kernel(cell_options, 3, algorithm);
+        const auto points =
+            bench::sweep_kernel(cell_options, 3, algorithm, trace);
         cells.insert(cells.end(), points.begin(), points.end());
       }
     }
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
     io::write_file(options.json_path, bench::kernels_json(cells) + "\n");
     std::printf("wrote %zu cells to %s\n", cells.size(),
                 options.json_path.c_str());
+    if (trace != nullptr) {
+      trace->write_chrome_trace(options.trace_out);
+      std::printf("wrote %zu trace events to %s\n", trace->event_count(),
+                  options.trace_out.c_str());
+    }
 
     bench::print_series("kernel cells (fast-path off, then on)", cells);
   } catch (const util::Error& e) {

@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
               util::human_bytes(
                   static_cast<std::uint64_t>(hw.memory_bandwidth_bps))
                   .c_str());
+  std::printf("  triad bandwidth  : %s/s (peak for achieved-GB/s)\n",
+              util::human_bytes(
+                  static_cast<std::uint64_t>(hw.triad_bandwidth_bps))
+                  .c_str());
   std::printf("  io write / read  : %s/s / %s/s\n",
               util::human_bytes(static_cast<std::uint64_t>(hw.io_write_bps))
                   .c_str(),

@@ -14,10 +14,18 @@ void kernel_object(util::JsonWriter& json, const char* name,
   json.field("edges_per_second", metrics.edges_per_second());
   json.field("bytes_read", metrics.bytes_read);
   json.field("bytes_written", metrics.bytes_written);
+  json.field("bytes_per_edge", metrics.bytes_per_edge());
   json.field("files_read", metrics.files_read);
   json.field("files_written", metrics.files_written);
   json.field("attempts", static_cast<std::int64_t>(metrics.attempts));
   json.field("resumed", metrics.resumed);
+  // Hardware-counter attribution; omitted entirely on hosts where
+  // perf_event_open is unavailable (the degradation contract).
+  if (metrics.perf.any()) {
+    json.begin_object("perf");
+    metrics.perf.write_fields(json, metrics.seconds);
+    json.end_object();
+  }
   json.end_object();
 }
 }  // namespace
@@ -122,6 +130,11 @@ std::string run_report_json(const PipelineConfig& config,
         json.field("bfs_source", run.output.bfs_source);
       }
       json.field("attempts", static_cast<std::int64_t>(run.metrics.attempts));
+      if (run.metrics.perf.any()) {
+        json.begin_object("perf");
+        run.metrics.perf.write_fields(json, run.metrics.seconds);
+        json.end_object();
+      }
       json.field("checksum", run.output.checksum);
       json.end_object();
     }

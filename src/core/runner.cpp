@@ -75,6 +75,12 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   obs::Hooks hooks = options.hooks;
   if (hooks.metrics == nullptr) hooks.metrics = &local_registry;
 
+  // Hardware counters: run-local group unless the caller injected one.
+  // When perf_event_open is unavailable (containers, paranoid settings,
+  // PRPB_PERF=off) the group is inert and every sample below stays empty.
+  obs::PerfCounterGroup local_perf;
+  if (hooks.perf == nullptr) hooks.perf = &local_perf;
+
   // Storage decorator stack, innermost first. The fault injector sits
   // directly on the base store (it simulates the medium itself); the
   // digest layer sits above it so as-written fingerprints describe what
@@ -214,6 +220,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       }
     }
     obs::Span span(hooks.trace, "k0/generate");
+    obs::PerfScope perf(hooks.perf);
     util::Stopwatch watch;
     with_retry("k0", result.k0, source_stages, [&] {
       const KernelContext ctx = context("", stages::kStage0);
@@ -225,6 +232,8 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       }
     });
     result.k0.seconds = watch.seconds();
+    result.k0.perf = perf.sample();
+    span.set_args(result.k0.perf.args_json(result.k0.seconds));
     result.k0.edges_processed = result.graph.edges;
     fold_io(result.k0, io_delta(), *hooks.metrics, "k0");
     util::log_info("kernel0[", backend.name(), "] ", result.k0.seconds, "s");
@@ -255,6 +264,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   } else {
     if (checkpoints) checkpoints->invalidate(stages::kStage1);
     obs::Span span(hooks.trace, "k1/sort");
+    obs::PerfScope perf(hooks.perf);
     util::Stopwatch watch;
     with_retry("k1", result.k1, {stages::kStage1}, [&] {
       const KernelContext ctx = context(stages::kStage0, stages::kStage1);
@@ -262,6 +272,8 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       if (checkpoints) checkpoints->commit(stages::kStage1);
     });
     result.k1.seconds = watch.seconds();
+    result.k1.perf = perf.sample();
+    span.set_args(result.k1.perf.args_json(result.k1.seconds));
     result.k1.edges_processed = m;
     fold_io(result.k1, io_delta(), *hooks.metrics, "k1");
     util::log_info("kernel1[", backend.name(), "] ", result.k1.seconds, "s");
@@ -271,12 +283,15 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   // only has spill scratch to clean up.
   {
     obs::Span span(hooks.trace, "k2/filter");
+    obs::PerfScope perf(hooks.perf);
     util::Stopwatch watch;
     with_retry("k2", result.k2, {}, [&] {
       const KernelContext ctx = context(stages::kStage1, "");
       result.matrix = backend.kernel2(ctx);
     });
     result.k2.seconds = watch.seconds();
+    result.k2.perf = perf.sample();
+    span.set_args(result.k2.perf.args_json(result.k2.seconds));
     result.k2.edges_processed = m;
     fold_io(result.k2, io_delta(), *hooks.metrics, "k2");
     util::log_info("kernel2[", backend.name(), "] ", result.k2.seconds, "s");
@@ -291,6 +306,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     AlgorithmRun run;
     const std::string span_name = "k3/" + algorithm;
     obs::Span span(hooks.trace, span_name.c_str());
+    obs::PerfScope perf(hooks.perf);
     util::Stopwatch watch;
     with_retry("k3", run.metrics, {}, [&] {
       if (algorithm == "pagerank") {
@@ -300,6 +316,8 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       run.output = backend.run_algorithm(ctx, result.matrix, algorithm);
     });
     run.metrics.seconds = watch.seconds();
+    run.metrics.perf = perf.sample();
+    span.set_args(run.metrics.perf.args_json(run.metrics.seconds));
     run.metrics.edges_processed = run.output.work_edges;
     // The pagerank run keeps the historical "k3/..." metric keys; other
     // algorithms get their own prefix so rows never collide.

@@ -30,6 +30,36 @@ double probe_memory_bandwidth(std::uint64_t bytes) {
                      : 0.0;
 }
 
+}  // namespace
+
+double probe_triad_bandwidth(std::uint64_t bytes) {
+  const std::size_t n =
+      static_cast<std::size_t>(bytes / (3 * sizeof(double)));
+  if (n == 0) return 0.0;
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> c(n, 2.0);
+  double scalar = 3.0;
+  volatile double sink = 0.0;
+  // Warm pass, then timed rounds; the scalar changes per round and a[0]
+  // is consumed so the loop cannot be elided.
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+  util::Stopwatch watch;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+    sink = a[0];
+    scalar += 1e-9;
+  }
+  (void)sink;
+  const double seconds = watch.seconds();
+  const double moved = static_cast<double>(3 * sizeof(double)) *
+                       static_cast<double>(n) * kRounds;
+  return seconds > 0 ? moved / seconds : 0.0;
+}
+
+namespace {
+
 gen::EdgeList probe_edges(std::uint64_t count) {
   gen::KroneckerParams params;
   params.scale = 16;
@@ -105,6 +135,7 @@ double probe_flops(std::uint64_t count) {
 HardwareModel calibrate(const CalibrationOptions& options) {
   HardwareModel model;
   model.memory_bandwidth_bps = probe_memory_bandwidth(options.memory_bytes);
+  model.triad_bandwidth_bps = probe_triad_bandwidth(options.memory_bytes);
   probe_io(options.io_bytes, model.io_write_bps, model.io_read_bps);
   const gen::EdgeList edges = probe_edges(options.codec_edges);
   probe_codec(edges, io::Codec::kFast, model.fast_format_s,
@@ -120,6 +151,7 @@ HardwareModel paper_platform_model() {
   // Xeon E5-2650 (Sandy Bridge, 2 GHz): one core of a 4-channel DDR3 node,
   // Lustre over InfiniBand. Order-of-magnitude figures only.
   model.memory_bandwidth_bps = 8e9;
+  model.triad_bandwidth_bps = 10e9;
   model.io_write_bps = 500e6;
   model.io_read_bps = 800e6;
   model.flops = 4e9;

@@ -13,6 +13,9 @@ namespace prpb::model {
 
 struct HardwareModel {
   double memory_bandwidth_bps = 0;   ///< streaming copy bytes/second
+  /// STREAM-triad bandwidth (a[i] = b[i] + s·c[i], 3 · 8 bytes/element):
+  /// the peak the counter-derived achieved-GB/s numbers are compared to.
+  double triad_bandwidth_bps = 0;
   double io_write_bps = 0;           ///< file write bytes/second
   double io_read_bps = 0;            ///< file read bytes/second
   double flops = 0;                  ///< double-precision multiply-add /s
@@ -31,6 +34,10 @@ struct CalibrationOptions {
 
 /// Measures the local machine with short micro-probes (sub-second each).
 HardwareModel calibrate(const CalibrationOptions& options = {});
+
+/// The triad probe alone (bytes sizes the three buffers together) — the
+/// bench harness calls this once per process to normalize achieved GB/s.
+double probe_triad_bandwidth(std::uint64_t bytes = 32ULL << 20);
 
 /// A representative model of the paper's platform (Xeon E5-2650, Lustre),
 /// for making predictions without running probes.

@@ -1,0 +1,124 @@
+// Benchmark-trajectory model: the BENCH_kernels.json cell schema, its
+// serializer/parser, and the noise-aware cell-by-cell diff that decides
+// whether a perf change is a real regression or run-to-run jitter.
+//
+// A cell is one (kernel, backend, scale, storage, stage_format, fast_path,
+// source, algorithm) measurement. Since PR 8 a cell carries its noise
+// model — `repeats` timings reduced to a median and a MAD (median absolute
+// deviation) — plus CPU seconds, /proc/self/io disk traffic, and, when the
+// host exposes perf_event_open, counter-derived attribution (IPC, LLC miss
+// rate, achieved DRAM GB/s and its fraction of the triad-calibrated peak).
+// Old documents without those fields parse fine: repeats defaults to 1,
+// the MAD to 0, and the diff falls back to the minimum relative band.
+//
+// The diff declares a regression only when the median slowdown exceeds
+//   band = max(min_rel_band, noise_mult · (MAD_base + MAD_head) / median_base)
+// — i.e. a delta has to clear both an absolute floor (protects single-shot
+// baselines) and a multiple of the combined measured noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prpb::util {
+class JsonValue;
+}
+
+namespace prpb::model {
+
+/// One benchmark cell of the BENCH_kernels.json document.
+struct BenchCell {
+  int kernel = -1;  ///< 0-3, or -1 for whole-pipeline cells
+  std::string backend;
+  int scale = 0;
+  std::uint64_t edges = 0;
+  double seconds = 0;        ///< median wall seconds across repeats
+  double seconds_mad = 0;    ///< median absolute deviation of the repeats
+  double cpu_seconds = 0;    ///< user+sys CPU of the median trial
+  int repeats = 1;           ///< timings the median/MAD were reduced from
+  double edges_per_second = 0;  ///< wall-based (keeps the existing clamp)
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t io_read_bytes = 0;   ///< /proc/self/io delta (0 if masked)
+  std::uint64_t io_write_bytes = 0;
+  // Cell configuration labels, part of the identity key.
+  std::string storage;
+  std::string stage_format;
+  bool fast_path = false;
+  std::string source;     ///< graph source the cell ran on
+  std::string algorithm;  ///< kernel-3 cells: the algorithm measured
+  // Hardware-counter attribution (has_perf gates serialization; absent on
+  // hosts without perf_event_open).
+  bool has_perf = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  double ipc = 0;
+  double llc_miss_rate = 0;
+  double dram_gbps = 0;               ///< LLC-miss-derived achieved GB/s
+  double peak_bandwidth_fraction = 0; ///< dram_gbps / triad peak
+
+  /// Identity for cell-by-cell diffs (everything but the measurements).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Serializes cells as the machine-readable kernel benchmark document
+/// ({"benchmark": "prpb-kernels", "cells": [...]}).
+std::string cells_json(const std::vector<BenchCell>& cells);
+
+/// Parses a prpb-kernels document; pre-PR-8 documents (no repeats / MAD /
+/// counter fields) load with defaults. Throws util::IoError on malformed
+/// JSON and util::InvariantError on a wrong document shape.
+std::vector<BenchCell> parse_cells(const util::JsonValue& document);
+std::vector<BenchCell> parse_cells_text(const std::string& text);
+
+struct DiffOptions {
+  /// Band width in combined MADs — ~4 keeps false alarms rare while a
+  /// genuine 10% slowdown on a quiet cell still trips it.
+  double noise_mult = 4.0;
+  /// Relative band floor; also the whole band for single-shot cells.
+  double min_rel_band = 0.05;
+};
+
+enum class CellVerdict {
+  kWithinNoise,
+  kRegression,   ///< median slowdown beyond the noise band
+  kImprovement,  ///< median speedup beyond the noise band
+  kAdded,        ///< cell only in the head document
+  kRemoved,      ///< cell only in the base document
+};
+const char* verdict_name(CellVerdict verdict);
+
+struct CellDiff {
+  BenchCell base;  ///< default-constructed for kAdded
+  BenchCell head;  ///< default-constructed for kRemoved
+  CellVerdict verdict = CellVerdict::kWithinNoise;
+  double delta_rel = 0;  ///< (head.seconds - base.seconds) / base.seconds
+  double band_rel = 0;   ///< the noise band the delta was judged against
+};
+
+struct DiffReport {
+  std::vector<CellDiff> cells;  ///< head order, then removed base cells
+  int regressions = 0;
+  int improvements = 0;
+  int within_noise = 0;
+  int added = 0;
+  int removed = 0;
+
+  /// The CI gate: true when any matched cell regressed.
+  [[nodiscard]] bool regressed() const { return regressions > 0; }
+};
+
+/// Cell-by-cell comparison of two documents' cells, keyed on
+/// BenchCell::key(). Added/removed cells never count as regressions.
+DiffReport diff_cells(const std::vector<BenchCell>& base,
+                      const std::vector<BenchCell>& head,
+                      const DiffOptions& options = {});
+
+/// Machine-readable verdict document ({"benchmark": "prpb-bench-diff",
+/// ..., "verdict": "regression" | "ok"}) for CI consumption.
+std::string diff_json(const DiffReport& report, const std::string& base_name,
+                      const std::string& head_name,
+                      const DiffOptions& options = {});
+
+}  // namespace prpb::model

@@ -1,0 +1,233 @@
+#include "obs/perf_counters.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/json.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace prpb::obs {
+
+namespace {
+
+constexpr const char* kEventNames[kPerfEventCount] = {
+    "cycles",        "instructions",  "llc_loads",
+    "llc_misses",    "branch_misses", "stalled_cycles"};
+
+constexpr double kCacheLineBytes = 64.0;
+
+#if defined(__linux__)
+
+constexpr std::uint64_t cache_config(std::uint64_t id, std::uint64_t op,
+                                     std::uint64_t result) {
+  return id | (op << 8) | (result << 16);
+}
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+const EventSpec kEventSpecs[kPerfEventCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND}};
+
+/// Opens one self-monitoring user-space counter on the calling thread.
+/// Returns -1 on any failure — the caller treats the event as absent.
+int open_counter(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // allowed at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  // time_enabled / time_running let read() undo PMU multiplexing: when
+  // the kernel rotates this event off the hardware, the scaled estimate
+  // is value · enabled / running.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd =
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+              /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// One cumulative scaled reading; false when the read fails or the event
+/// has never been scheduled (running == 0 with nothing counted).
+bool read_scaled(int fd, double& out) {
+  struct {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } buf{};
+  if (::read(fd, &buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    return false;
+  }
+  if (buf.time_running == 0) {
+    // Never scheduled so far: the only honest cumulative estimate is the
+    // raw value (0 unless the kernel counted before multiplexing began).
+    out = static_cast<double>(buf.value);
+    return true;
+  }
+  out = static_cast<double>(buf.value) *
+        (static_cast<double>(buf.time_enabled) /
+         static_cast<double>(buf.time_running));
+  return true;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+const char* perf_event_name(PerfEvent event) {
+  return kEventNames[static_cast<int>(event)];
+}
+
+bool PerfSample::any() const {
+  for (const bool p : present) {
+    if (p) return true;
+  }
+  return false;
+}
+
+double PerfSample::ipc() const {
+  if (!has(PerfEvent::kCycles) || !has(PerfEvent::kInstructions) ||
+      get(PerfEvent::kCycles) == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(get(PerfEvent::kInstructions)) /
+         static_cast<double>(get(PerfEvent::kCycles));
+}
+
+double PerfSample::llc_miss_rate() const {
+  if (!has(PerfEvent::kLlcLoads) || !has(PerfEvent::kLlcMisses) ||
+      get(PerfEvent::kLlcLoads) == 0) {
+    return 0.0;
+  }
+  const double rate = static_cast<double>(get(PerfEvent::kLlcMisses)) /
+                      static_cast<double>(get(PerfEvent::kLlcLoads));
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+std::uint64_t PerfSample::dram_bytes() const {
+  if (!has(PerfEvent::kLlcMisses)) return 0;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(get(PerfEvent::kLlcMisses)) * kCacheLineBytes);
+}
+
+double PerfSample::dram_gbps(double seconds) const {
+  if (!has(PerfEvent::kLlcMisses) || seconds <= 0) return 0.0;
+  return static_cast<double>(dram_bytes()) / seconds / 1e9;
+}
+
+void PerfSample::write_fields(util::JsonWriter& json, double seconds) const {
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    if (present[i]) json.field(kEventNames[i], value[i]);
+  }
+  if (has(PerfEvent::kCycles) && has(PerfEvent::kInstructions) &&
+      get(PerfEvent::kCycles) > 0) {
+    json.field("ipc", ipc());
+  }
+  if (has(PerfEvent::kLlcLoads) && has(PerfEvent::kLlcMisses) &&
+      get(PerfEvent::kLlcLoads) > 0) {
+    json.field("llc_miss_rate", llc_miss_rate());
+  }
+  if (has(PerfEvent::kLlcMisses) && seconds > 0) {
+    json.field("dram_gbps", dram_gbps(seconds));
+  }
+}
+
+std::string PerfSample::args_json(double seconds) const {
+  if (!any()) return {};
+  util::JsonWriter json;
+  json.begin_object();
+  write_fields(json, seconds);
+  json.end_object();
+  return json.str();
+}
+
+bool PerfCounterGroup::env_disabled() {
+  const char* env = std::getenv("PRPB_PERF");
+  return env != nullptr && std::strcmp(env, "off") == 0;
+}
+
+PerfCounterGroup::PerfCounterGroup(Options options) {
+  fd_.fill(-1);
+#if defined(__linux__)
+  if (!options.enabled) return;
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    fd_[i] = open_counter(kEventSpecs[i]);
+    if (fd_[i] >= 0) ++open_count_;
+  }
+#else
+  (void)options;
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (const int fd : fd_) {
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+}
+
+PerfReading PerfCounterGroup::read() const {
+  PerfReading reading;
+#if defined(__linux__)
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    if (fd_[i] < 0) continue;
+    double scaled = 0.0;
+    if (read_scaled(fd_[i], scaled)) {
+      reading.value[i] = scaled;
+      reading.present[i] = true;
+    }
+  }
+#endif
+  return reading;
+}
+
+PerfSample PerfCounterGroup::delta(const PerfReading& begin) const {
+  const PerfReading now = read();
+  PerfSample sample;
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    // Absent at either end means the counter wasn't reliably live for the
+    // whole interval; report it absent rather than guessing.
+    if (!now.present[i] || !begin.present[i]) continue;
+    const double d = std::max(0.0, now.value[i] - begin.value[i]);
+    sample.value[i] = static_cast<std::uint64_t>(d);
+    sample.present[i] = true;
+  }
+  return sample;
+}
+
+PerfSample PerfCounterGroup::delta_and_advance(PerfReading& mark) const {
+  const PerfReading now = read();
+  PerfSample sample;
+  for (int i = 0; i < kPerfEventCount; ++i) {
+    if (!now.present[i] || !mark.present[i]) continue;
+    const double d = std::max(0.0, now.value[i] - mark.value[i]);
+    sample.value[i] = static_cast<std::uint64_t>(d);
+    sample.present[i] = true;
+  }
+  mark = now;
+  return sample;
+}
+
+}  // namespace prpb::obs

@@ -1,0 +1,152 @@
+// Hardware performance counters over perf_event_open.
+//
+// A PerfCounterGroup opens one self-monitoring counter per PerfEvent
+// (cycles, instructions, LLC loads/misses, branch misses, backend-stalled
+// cycles) on the calling thread and reads them with multiplexing-scale
+// correction (value · time_enabled / time_running), so samples stay
+// meaningful when the PMU rotates more events than it has slots for.
+//
+// The contract that matters is *graceful degradation*: when the syscall is
+// unavailable — containers, perf_event_paranoid, seccomp, non-Linux hosts,
+// or PRPB_PERF=off — each counter that fails to open is simply absent from
+// every sample, and a group with no open counters is inert (active() is
+// false, samples are empty, scopes cost a branch). Consumers never gate on
+// platform: they ask `sample.any()` and omit the counter block when it is
+// false. See DESIGN.md §11.
+//
+// Scope: counters measure the calling thread (pid = 0, cpu = -1, user
+// space only). For single-threaded backends that is the whole kernel; for
+// the parallel backend it covers the orchestrating thread, which is still
+// the right lens for "is the hot loop I just timed bound by memory or by
+// issue width" on the reference paths. Worker-thread attribution would
+// need inherited or per-thread groups and is intentionally out of scope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace prpb::util {
+class JsonWriter;
+}
+
+namespace prpb::obs {
+
+/// The fixed event set a group tries to open, in index order.
+enum class PerfEvent : int {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kBranchMisses,
+  kStalledCycles,  ///< backend-stalled cycles (memory/execution pressure)
+};
+inline constexpr int kPerfEventCount = 6;
+
+/// Stable snake_case name ("cycles", "llc_misses", ...) used for JSON
+/// fields and trace args.
+const char* perf_event_name(PerfEvent event);
+
+/// Cumulative multiplex-scaled readings at one instant. Only useful as a
+/// baseline for PerfCounterGroup::delta(); absolute values mix scaling
+/// windows and are not reported directly.
+struct PerfReading {
+  std::array<double, kPerfEventCount> value{};
+  std::array<bool, kPerfEventCount> present{};
+};
+
+/// Scaled counter deltas over one measured interval, plus the derived
+/// attribution metrics reports and traces emit. A counter that was never
+/// opened (or whose read failed) is absent, not zero.
+struct PerfSample {
+  std::array<std::uint64_t, kPerfEventCount> value{};
+  std::array<bool, kPerfEventCount> present{};
+
+  [[nodiscard]] bool has(PerfEvent event) const {
+    return present[static_cast<int>(event)];
+  }
+  [[nodiscard]] std::uint64_t get(PerfEvent event) const {
+    return value[static_cast<int>(event)];
+  }
+  /// True when at least one counter delivered — the "emit a counter
+  /// block?" gate every consumer uses.
+  [[nodiscard]] bool any() const;
+
+  // Derived metrics; each returns 0 when its components are absent (the
+  // json writers additionally omit the field entirely).
+  /// Instructions retired per cycle.
+  [[nodiscard]] double ipc() const;
+  /// LLC load misses / LLC loads, clamped to [0, 1] (hardware prefetch
+  /// can report more misses than demand loads).
+  [[nodiscard]] double llc_miss_rate() const;
+  /// Estimated DRAM traffic: LLC misses · one 64-byte cache line.
+  [[nodiscard]] std::uint64_t dram_bytes() const;
+  /// Achieved DRAM bandwidth over a measured interval, GB/s (1e9 B/s).
+  [[nodiscard]] double dram_gbps(double seconds) const;
+
+  /// Writes the present raw counters and derived metrics as fields of the
+  /// currently open JSON object. `seconds` > 0 additionally derives
+  /// dram_gbps.
+  void write_fields(util::JsonWriter& json, double seconds = 0) const;
+  /// Pre-rendered args object ("{...}") for trace spans; "" when !any(),
+  /// so Span::set_args can take it unconditionally.
+  [[nodiscard]] std::string args_json(double seconds = 0) const;
+};
+
+/// RAII owner of the per-thread counter file descriptors.
+class PerfCounterGroup {
+ public:
+  struct Options {
+    /// false constructs an inert group without touching the syscall —
+    /// the forced-degradation path tests and PRPB_PERF=off exercise.
+    bool enabled = true;
+  };
+
+  /// Honors PRPB_PERF (off → inert; anything else / unset → try).
+  PerfCounterGroup() : PerfCounterGroup(Options{!env_disabled()}) {}
+  explicit PerfCounterGroup(Options options);
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+  ~PerfCounterGroup();
+
+  /// True when at least one counter is open.
+  [[nodiscard]] bool active() const { return open_count_ > 0; }
+  [[nodiscard]] int counters_open() const { return open_count_; }
+
+  /// Current cumulative scaled readings (all-absent when inert).
+  [[nodiscard]] PerfReading read() const;
+  /// Sample of the interval since `begin` (empty when inert).
+  [[nodiscard]] PerfSample delta(const PerfReading& begin) const;
+  /// delta(mark) that also advances mark to the same instant — one read,
+  /// for back-to-back intervals like K3 iterations.
+  [[nodiscard]] PerfSample delta_and_advance(PerfReading& mark) const;
+
+  /// True when PRPB_PERF=off disables counters process-wide.
+  static bool env_disabled();
+
+ private:
+  std::array<int, kPerfEventCount> fd_;
+  int open_count_ = 0;
+};
+
+/// Scoped sampling: captures a baseline at construction, sample() returns
+/// the interval since. Inert (a null check) on a null or inactive group.
+class PerfScope {
+ public:
+  PerfScope() = default;
+  explicit PerfScope(const PerfCounterGroup* group)
+      : group_(group != nullptr && group->active() ? group : nullptr) {
+    if (group_ != nullptr) begin_ = group_->read();
+  }
+
+  [[nodiscard]] bool active() const { return group_ != nullptr; }
+  [[nodiscard]] PerfSample sample() const {
+    return group_ != nullptr ? group_->delta(begin_) : PerfSample{};
+  }
+
+ private:
+  const PerfCounterGroup* group_ = nullptr;
+  PerfReading begin_{};
+};
+
+}  // namespace prpb::obs

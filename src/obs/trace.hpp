@@ -152,8 +152,11 @@ class Span {
 /// Accumulates many short intervals into one complete event — used for
 /// per-shard codec time, where a span per feed()/encode() call would bloat
 /// the trace. flush() emits an event whose duration is the accumulated
-/// busy time, back-dated to end at the flush point (so it stays contained
-/// in the enclosing shard span). Inert when the recorder is off.
+/// busy time, back-dated to end at the flush point. Because the start is
+/// synthetic, two accumulated events on one thread need not nest; every
+/// flushed event carries "acc":1 in its args so validators (trace_check)
+/// can exempt them from the strict-nesting invariant real spans obey.
+/// Inert when the recorder is off.
 class AccumulatingSpan {
  public:
   AccumulatingSpan() = default;
@@ -173,8 +176,15 @@ class AccumulatingSpan {
   }
 
   /// Emits the accumulated event (if any) and resets the accumulator.
+  /// The "acc":1 marker is merged into `args` (an object or empty).
   void flush(std::string args = {}) {
     if (!active() || accumulated_ == 0) return;
+    if (args.empty()) {
+      args = "{\"acc\":1}";
+    } else {
+      args = args.size() > 2 ? "{\"acc\":1," + args.substr(1)
+                             : "{\"acc\":1}";
+    }
     const std::uint64_t now = recorder_->now_us();
     recorder_->record_complete(name_, now - accumulated_, accumulated_,
                                std::move(args));
@@ -189,12 +199,16 @@ class AccumulatingSpan {
 };
 
 class MetricsRegistry;
+class PerfCounterGroup;
 
 /// The observability hook bundle threaded through kernels and I/O layers.
-/// Both pointers are optional and non-owning; value-copied freely.
+/// All pointers are optional and non-owning; value-copied freely.
 struct Hooks {
   TraceRecorder* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Hardware counters for the orchestrating thread; inert groups are
+  /// fine to attach (consumers test sample.any(), never the platform).
+  PerfCounterGroup* perf = nullptr;
 
   /// True when span recording is live (recorder attached and enabled).
   [[nodiscard]] bool tracing() const {

@@ -31,6 +31,12 @@ double median(std::vector<double> values) {
   return summarize(std::move(values)).median;
 }
 
+double median_abs_deviation(std::vector<double> values) {
+  const double center = median(values);
+  for (double& v : values) v = std::abs(v - center);
+  return median(std::move(values));
+}
+
 LinearFit linear_fit(const std::vector<double>& x,
                      const std::vector<double>& y) {
   require(x.size() == y.size(), "linear_fit: size mismatch");

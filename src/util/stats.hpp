@@ -23,6 +23,11 @@ Summary summarize(std::vector<double> values);
 /// Median alone (throws on empty).
 double median(std::vector<double> values);
 
+/// Median absolute deviation: median(|x_i - median(x)|). The robust noise
+/// scale the bench-trajectory regression bands are built from (throws on
+/// empty; 0 for a single-element sample).
+double median_abs_deviation(std::vector<double> values);
+
 struct LinearFit {
   double slope = 0;
   double intercept = 0;

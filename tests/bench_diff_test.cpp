@@ -1,0 +1,228 @@
+// Bench-trajectory model tests: BENCH_kernels.json schema round-trip and
+// the noise-band verdict logic bench_diff and CI gate on.
+#include "model/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file_stream.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prpb {
+namespace {
+
+model::BenchCell make_cell(int kernel, const std::string& backend,
+                           double seconds, double mad) {
+  model::BenchCell cell;
+  cell.kernel = kernel;
+  cell.backend = backend;
+  cell.scale = 14;
+  cell.edges = 1 << 18;
+  cell.seconds = seconds;
+  cell.seconds_mad = mad;
+  cell.cpu_seconds = seconds * 0.95;
+  cell.repeats = 5;
+  cell.edges_per_second = seconds > 0 ? cell.edges / seconds : 0;
+  cell.storage = "dir";
+  cell.stage_format = "tsv";
+  cell.source = "generator";
+  return cell;
+}
+
+TEST(BenchCell, KeyCoversConfiguration) {
+  model::BenchCell cell = make_cell(1, "native", 1.0, 0.01);
+  const std::string base_key = cell.key();
+  EXPECT_EQ(base_key, "k1|native|14|dir|tsv|ref|generator|");
+
+  model::BenchCell fast = cell;
+  fast.fast_path = true;
+  EXPECT_NE(fast.key(), base_key);
+  model::BenchCell algo = cell;
+  algo.algorithm = "bfs";
+  EXPECT_NE(algo.key(), base_key);
+  // Measurements are not identity.
+  model::BenchCell slower = cell;
+  slower.seconds = 99.0;
+  EXPECT_EQ(slower.key(), base_key);
+}
+
+TEST(BenchCell, JsonRoundTripsIncludingPerf) {
+  model::BenchCell cell = make_cell(2, "parallel", 0.75, 0.005);
+  cell.peak_rss_bytes = 1u << 26;
+  cell.io_read_bytes = 4096;
+  cell.io_write_bytes = 8192;
+  cell.has_perf = true;
+  cell.cycles = 3'000'000'000ULL;
+  cell.instructions = 4'500'000'000ULL;
+  cell.llc_misses = 12'000'000ULL;
+  cell.ipc = 1.5;
+  cell.llc_miss_rate = 0.3;
+  cell.dram_gbps = 0.768;
+  cell.peak_bandwidth_fraction = 0.06;
+  model::BenchCell plain = make_cell(3, "native", 0.2, 0.001);
+  plain.algorithm = "pagerank";
+
+  const std::string json = model::cells_json({cell, plain});
+  const auto parsed = model::parse_cells_text(json);
+  ASSERT_EQ(parsed.size(), 2u);
+
+  const model::BenchCell& round = parsed[0];
+  EXPECT_EQ(round.key(), cell.key());
+  EXPECT_DOUBLE_EQ(round.seconds, cell.seconds);
+  EXPECT_DOUBLE_EQ(round.seconds_mad, cell.seconds_mad);
+  EXPECT_DOUBLE_EQ(round.cpu_seconds, cell.cpu_seconds);
+  EXPECT_EQ(round.repeats, cell.repeats);
+  EXPECT_EQ(round.peak_rss_bytes, cell.peak_rss_bytes);
+  EXPECT_EQ(round.io_read_bytes, cell.io_read_bytes);
+  EXPECT_EQ(round.io_write_bytes, cell.io_write_bytes);
+  ASSERT_TRUE(round.has_perf);
+  EXPECT_EQ(round.cycles, cell.cycles);
+  EXPECT_EQ(round.instructions, cell.instructions);
+  EXPECT_EQ(round.llc_misses, cell.llc_misses);
+  EXPECT_DOUBLE_EQ(round.ipc, cell.ipc);
+  EXPECT_DOUBLE_EQ(round.llc_miss_rate, cell.llc_miss_rate);
+  EXPECT_DOUBLE_EQ(round.dram_gbps, cell.dram_gbps);
+  EXPECT_DOUBLE_EQ(round.peak_bandwidth_fraction,
+                   cell.peak_bandwidth_fraction);
+
+  EXPECT_FALSE(parsed[1].has_perf);
+  EXPECT_EQ(parsed[1].algorithm, "pagerank");
+}
+
+TEST(BenchCell, OldDocumentsParseWithDefaults) {
+  // Pre-PR-8 document: no repeats, MAD, CPU, io, or perf fields.
+  const std::string old_doc = R"({
+    "benchmark": "prpb-kernels",
+    "cells": [{
+      "kernel": 1, "backend": "native", "scale": 16, "edges": 1048576,
+      "seconds": 2.5, "edges_per_second": 419430.4,
+      "peak_rss_bytes": 104857600, "storage": "dir",
+      "stage_format": "tsv", "fast_path": false, "source": "generator"
+    }]
+  })";
+  const auto cells = model::parse_cells_text(old_doc);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].repeats, 1);
+  EXPECT_DOUBLE_EQ(cells[0].seconds_mad, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].cpu_seconds, 0.0);
+  EXPECT_FALSE(cells[0].has_perf);
+  EXPECT_EQ(cells[0].key(), "k1|native|16|dir|tsv|ref|generator|");
+}
+
+TEST(BenchCell, ParseRejectsWrongShape) {
+  EXPECT_THROW(model::parse_cells_text("{\"benchmark\": \"other\"}"),
+               util::Error);
+  EXPECT_THROW(
+      model::parse_cells_text("{\"benchmark\": \"prpb-kernels\"}"),
+      util::Error);
+}
+
+TEST(BenchDiff, FlagsRegressionBeyondBand) {
+  const auto base = {make_cell(1, "native", 1.0, 0.01)};
+  const auto head = {make_cell(1, "native", 1.3, 0.01)};
+  const model::DiffReport report = model::diff_cells(base, head);
+  ASSERT_EQ(report.cells.size(), 1u);
+  // band = max(0.05, 4 * 0.02 / 1.0) = 0.08 < 0.30 delta.
+  EXPECT_EQ(report.cells[0].verdict, model::CellVerdict::kRegression);
+  EXPECT_NEAR(report.cells[0].delta_rel, 0.3, 1e-12);
+  EXPECT_NEAR(report.cells[0].band_rel, 0.08, 1e-12);
+  EXPECT_TRUE(report.regressed());
+  EXPECT_EQ(report.regressions, 1);
+}
+
+TEST(BenchDiff, JitterWithinBandPasses) {
+  const auto base = {make_cell(1, "native", 1.0, 0.01)};
+  const auto head = {make_cell(1, "native", 1.04, 0.01)};  // +4% < 5% floor
+  const model::DiffReport report = model::diff_cells(base, head);
+  EXPECT_FALSE(report.regressed());
+  EXPECT_EQ(report.cells[0].verdict, model::CellVerdict::kWithinNoise);
+}
+
+TEST(BenchDiff, NoisyCellsWidenTheBand) {
+  // A 15% slowdown on a cell whose own MADs say ±2% noise each side:
+  // band = max(0.05, 4 * (0.02 + 0.02)) = 0.16 > 0.15 -> within noise.
+  const auto base = {make_cell(1, "native", 1.0, 0.02)};
+  const auto head = {make_cell(1, "native", 1.15, 0.02)};
+  const model::DiffReport report = model::diff_cells(base, head);
+  EXPECT_EQ(report.cells[0].verdict, model::CellVerdict::kWithinNoise);
+  // The same delta on quiet cells is a real regression.
+  const auto quiet_base = {make_cell(1, "native", 1.0, 0.001)};
+  const auto quiet_head = {make_cell(1, "native", 1.15, 0.001)};
+  EXPECT_TRUE(model::diff_cells(quiet_base, quiet_head).regressed());
+}
+
+TEST(BenchDiff, ImprovementAddedRemoved) {
+  const std::vector<model::BenchCell> base = {
+      make_cell(1, "native", 1.0, 0.001),
+      make_cell(2, "native", 1.0, 0.001)};
+  const std::vector<model::BenchCell> head = {
+      make_cell(1, "native", 0.5, 0.001),   // improvement
+      make_cell(2, "parallel", 0.3, 0.001)  // added (k2 native removed)
+  };
+  const model::DiffReport report = model::diff_cells(base, head);
+  EXPECT_FALSE(report.regressed());
+  EXPECT_EQ(report.improvements, 1);
+  EXPECT_EQ(report.added, 1);
+  EXPECT_EQ(report.removed, 1);
+  ASSERT_EQ(report.cells.size(), 3u);
+  EXPECT_EQ(report.cells[0].verdict, model::CellVerdict::kImprovement);
+  EXPECT_EQ(report.cells[1].verdict, model::CellVerdict::kAdded);
+  EXPECT_EQ(report.cells[2].verdict, model::CellVerdict::kRemoved);
+}
+
+TEST(BenchDiff, SingleShotCellsUseTheFloor) {
+  // Old documents carry no MAD; the 5% floor is the whole band.
+  auto base_cell = make_cell(1, "native", 1.0, 0.0);
+  base_cell.repeats = 1;
+  auto head_cell = make_cell(1, "native", 1.06, 0.0);
+  head_cell.repeats = 1;
+  const model::DiffReport report =
+      model::diff_cells({base_cell}, {head_cell});
+  EXPECT_TRUE(report.regressed());
+  EXPECT_NEAR(report.cells[0].band_rel, 0.05, 1e-12);
+}
+
+TEST(BenchDiff, DegenerateTimingsNeverJudged) {
+  const auto base = {make_cell(1, "native", 0.0, 0.0)};
+  const auto head = {make_cell(1, "native", 1.0, 0.0)};
+  const model::DiffReport report = model::diff_cells(base, head);
+  EXPECT_EQ(report.cells[0].verdict, model::CellVerdict::kWithinNoise);
+  EXPECT_FALSE(report.regressed());
+}
+
+TEST(BenchDiff, VerdictJsonIsMachineReadable) {
+  const auto base = {make_cell(1, "native", 1.0, 0.001)};
+  const auto head = {make_cell(1, "native", 1.5, 0.001)};
+  const model::DiffReport report = model::diff_cells(base, head);
+  const std::string json =
+      model::diff_json(report, "base.json", "head.json");
+  const util::JsonValue parsed = util::JsonValue::parse(json);
+  ASSERT_TRUE(parsed.is_object());
+  const util::JsonValue* verdict = parsed.find("verdict");
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_EQ(verdict->string(), "regression");
+  const util::JsonValue* summary = parsed.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->find("regressions")->number(), 1.0);
+  const util::JsonValue* cells = parsed.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->array().size(), 1u);
+  EXPECT_EQ(cells->array()[0].find("verdict")->string(), "regression");
+
+  // An all-clear diff reports "ok".
+  const model::DiffReport clean = model::diff_cells(base, base);
+  const util::JsonValue ok = util::JsonValue::parse(
+      model::diff_json(clean, "base.json", "base.json"));
+  EXPECT_EQ(ok.find("verdict")->string(), "ok");
+}
+
+TEST(BenchDiff, CommittedBaselineStaysParseable) {
+  const auto cells = model::parse_cells_text(
+      io::read_file(PRPB_SOURCE_DIR "/BENCH_kernels.json"));
+  EXPECT_FALSE(cells.empty());
+  // Identical documents must diff clean — the CI gate's trivial fixpoint.
+  EXPECT_FALSE(model::diff_cells(cells, cells).regressed());
+}
+
+}  // namespace
+}  // namespace prpb

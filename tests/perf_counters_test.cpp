@@ -1,0 +1,183 @@
+// PerfCounterGroup and PerfSample tests. The graceful-degradation cases
+// must pass on every host (containers routinely deny perf_event_open);
+// live-counter assertions skip when the syscall is unavailable.
+#include "obs/perf_counters.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/backend_native.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+namespace prpb {
+namespace {
+
+obs::PerfSample make_sample(std::uint64_t cycles, std::uint64_t instructions,
+                            std::uint64_t llc_loads,
+                            std::uint64_t llc_misses) {
+  obs::PerfSample sample;
+  const auto set = [&sample](obs::PerfEvent event, std::uint64_t value) {
+    sample.value[static_cast<int>(event)] = value;
+    sample.present[static_cast<int>(event)] = true;
+  };
+  set(obs::PerfEvent::kCycles, cycles);
+  set(obs::PerfEvent::kInstructions, instructions);
+  set(obs::PerfEvent::kLlcLoads, llc_loads);
+  set(obs::PerfEvent::kLlcMisses, llc_misses);
+  return sample;
+}
+
+TEST(PerfCounters, DisabledGroupIsInert) {
+  obs::PerfCounterGroup group(obs::PerfCounterGroup::Options{false});
+  EXPECT_FALSE(group.active());
+  EXPECT_EQ(group.counters_open(), 0);
+
+  const obs::PerfReading reading = group.read();
+  for (int i = 0; i < obs::kPerfEventCount; ++i) {
+    EXPECT_FALSE(reading.present[i]);
+  }
+  const obs::PerfSample sample = group.delta(reading);
+  EXPECT_FALSE(sample.any());
+  EXPECT_EQ(sample.args_json(), "");
+}
+
+TEST(PerfCounters, EnvOffForcesInert) {
+  ASSERT_EQ(setenv("PRPB_PERF", "off", 1), 0);
+  EXPECT_TRUE(obs::PerfCounterGroup::env_disabled());
+  {
+    obs::PerfCounterGroup group;  // default ctor honors the env switch
+    EXPECT_FALSE(group.active());
+    EXPECT_FALSE(group.read().present[0]);
+  }
+  ASSERT_EQ(unsetenv("PRPB_PERF"), 0);
+  EXPECT_FALSE(obs::PerfCounterGroup::env_disabled());
+}
+
+TEST(PerfCounters, NullScopeIsSafe) {
+  obs::PerfScope defaulted;
+  EXPECT_FALSE(defaulted.active());
+  EXPECT_FALSE(defaulted.sample().any());
+
+  obs::PerfScope null_group(nullptr);
+  EXPECT_FALSE(null_group.active());
+  EXPECT_FALSE(null_group.sample().any());
+
+  obs::PerfCounterGroup inert(obs::PerfCounterGroup::Options{false});
+  obs::PerfScope inert_scope(&inert);
+  EXPECT_FALSE(inert_scope.active());
+  EXPECT_FALSE(inert_scope.sample().any());
+}
+
+TEST(PerfCounters, EventNamesAreStable) {
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kCycles), "cycles");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kInstructions),
+               "instructions");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kLlcLoads), "llc_loads");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kLlcMisses),
+               "llc_misses");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kBranchMisses),
+               "branch_misses");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kStalledCycles),
+               "stalled_cycles");
+}
+
+TEST(PerfSample, DerivedMetrics) {
+  const obs::PerfSample sample =
+      make_sample(/*cycles=*/2000, /*instructions=*/3000,
+                  /*llc_loads=*/100, /*llc_misses=*/25);
+  EXPECT_TRUE(sample.any());
+  EXPECT_TRUE(sample.has(obs::PerfEvent::kCycles));
+  EXPECT_FALSE(sample.has(obs::PerfEvent::kBranchMisses));
+  EXPECT_DOUBLE_EQ(sample.ipc(), 1.5);
+  EXPECT_DOUBLE_EQ(sample.llc_miss_rate(), 0.25);
+  EXPECT_EQ(sample.dram_bytes(), 25u * 64u);
+  // 1600 bytes over 1 us = 1.6 GB/s in the 1e9-bytes convention.
+  EXPECT_NEAR(sample.dram_gbps(1e-6), 1.6, 1e-12);
+  EXPECT_DOUBLE_EQ(sample.dram_gbps(0.0), 0.0);
+}
+
+TEST(PerfSample, MissRateClampsToOne) {
+  // Prefetch traffic can report more misses than demand loads.
+  const obs::PerfSample sample = make_sample(1000, 1000, 10, 50);
+  EXPECT_DOUBLE_EQ(sample.llc_miss_rate(), 1.0);
+}
+
+TEST(PerfSample, DerivedMetricsAbsentComponents) {
+  obs::PerfSample sample;
+  sample.value[static_cast<int>(obs::PerfEvent::kInstructions)] = 500;
+  sample.present[static_cast<int>(obs::PerfEvent::kInstructions)] = true;
+  // No cycles -> no IPC; no LLC pair -> no miss rate or DRAM estimate.
+  EXPECT_DOUBLE_EQ(sample.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(sample.llc_miss_rate(), 0.0);
+  EXPECT_EQ(sample.dram_bytes(), 0u);
+}
+
+TEST(PerfSample, ArgsJsonRoundTrips) {
+  const obs::PerfSample sample = make_sample(2000, 3000, 100, 25);
+  const std::string args = sample.args_json(/*seconds=*/1.0);
+  ASSERT_FALSE(args.empty());
+  const util::JsonValue parsed = util::JsonValue::parse(args);
+  ASSERT_TRUE(parsed.is_object());
+  const util::JsonValue* cycles = parsed.find("cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_DOUBLE_EQ(cycles->number(), 2000.0);
+  const util::JsonValue* ipc = parsed.find("ipc");
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_DOUBLE_EQ(ipc->number(), 1.5);
+  const util::JsonValue* gbps = parsed.find("dram_gbps");
+  ASSERT_NE(gbps, nullptr);
+  EXPECT_NEAR(gbps->number(), 25.0 * 64.0 / 1e9, 1e-15);
+  // Counters that never opened stay absent rather than zero.
+  EXPECT_EQ(parsed.find("branch_misses"), nullptr);
+}
+
+TEST(PerfCounters, LiveCountersMeasureWork) {
+  obs::PerfCounterGroup group;
+  if (!group.active()) {
+    GTEST_SKIP() << "perf_event_open unavailable on this host "
+                    "(container/paranoid) — degradation covered above";
+  }
+  obs::PerfScope scope(&group);
+  // Enough real work that cycles/instructions must move.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * 3 + 1;
+  const obs::PerfSample sample = scope.sample();
+  EXPECT_TRUE(sample.any());
+  if (sample.has(obs::PerfEvent::kInstructions)) {
+    EXPECT_GT(sample.get(obs::PerfEvent::kInstructions), 0u);
+  }
+  if (sample.has(obs::PerfEvent::kCycles)) {
+    EXPECT_GT(sample.get(obs::PerfEvent::kCycles), 0u);
+    EXPECT_GT(sample.ipc(), 0.0);
+  }
+}
+
+TEST(PerfCounters, PipelineReportConsistency) {
+  util::TempDir work("prpb-perf-test");
+  core::PipelineConfig config;
+  config.scale = 8;
+  config.num_files = 2;
+  config.work_dir = work.path();
+  core::NativeBackend backend;
+  const core::PipelineResult result = core::run_pipeline(config, backend);
+
+  const std::string report = core::run_report_json(config, result);
+  const util::JsonValue parsed = util::JsonValue::parse(report);
+  const util::JsonValue* kernels = parsed.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  const util::JsonValue* k1 = kernels->find("k1_sort");
+  ASSERT_NE(k1, nullptr);
+  // The counter block appears exactly when the host delivered counters.
+  EXPECT_EQ(k1->find("perf") != nullptr, result.k1.perf.any());
+  const util::JsonValue* bytes_per_edge = k1->find("bytes_per_edge");
+  ASSERT_NE(bytes_per_edge, nullptr);
+  EXPECT_DOUBLE_EQ(bytes_per_edge->number(),
+                   result.k1.bytes_per_edge());
+}
+
+}  // namespace
+}  // namespace prpb
