@@ -52,6 +52,7 @@ struct SweepOptions {
   std::vector<std::string> algorithms = {"pagerank"};
   std::string storage = "dir";       ///< stage store kind: dir | mem
   std::string stage_format = "tsv";  ///< stage encoding: tsv | binary
+  std::string csr = "plain";  ///< kernel-3 CSR form: plain | compressed
   bool fast_path = false;  ///< run cells with the src/perf fast paths on
   std::string trace_out;  ///< when set, write a Chrome trace of the sweep
   std::string json_path;  ///< when set, the series is also written as JSON
@@ -84,6 +85,9 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   args.add_option("storage", "stage store: dir (disk) | mem (in-memory)",
                   "dir");
   args.add_option("stage-format", "stage encoding: tsv | binary", "tsv");
+  args.add_option("csr",
+                  "kernel-3 CSR form: plain (8-byte indices) | compressed "
+                  "(delta-varint groups)", "plain");
   args.add_option("fast-path",
                   "src/perf fast paths (radix sort, prefetch, blocked "
                   "SpMV): on | off", "off");
@@ -112,6 +116,9 @@ inline bool parse_sweep_options(int argc, char** argv, const char* name,
   }
   options.storage = args.get("storage");
   options.stage_format = args.get("stage-format");
+  options.csr = args.get("csr");
+  util::require(options.csr == "plain" || options.csr == "compressed",
+                "--csr must be plain or compressed");
   const std::string fast_path = args.get("fast-path");
   util::require(fast_path == "on" || fast_path == "off",
                 "--fast-path must be 'on' or 'off'");
@@ -151,11 +158,11 @@ inline std::string kernels_json(const std::vector<SeriesPoint>& points) {
   return model::cells_json(points);
 }
 
-/// Triad peak bandwidth for achieved-GB/s normalization, probed once per
-/// process (the probe costs ~10 ms; sweeps call this per cell).
+/// Triad peak bandwidth for achieved-GB/s normalization. Delegates to the
+/// process-wide memoized probe (model::cached_triad_bandwidth), so the
+/// harness, model calibrations and tests all share one measurement.
 inline double peak_triad_bps() {
-  static const double bps = model::probe_triad_bandwidth();
-  return bps;
+  return model::cached_triad_bandwidth();
 }
 
 inline void print_series(const std::string& title,
@@ -187,6 +194,7 @@ inline core::PipelineConfig cell_config(const util::TempDir& work,
   config.algorithms = options.algorithms;
   config.storage = options.storage;
   config.stage_format = options.stage_format;
+  config.csr = options.csr;
   config.fast_path = options.fast_path;
   config.work_dir = work.path();
   return config;
@@ -362,7 +370,21 @@ inline std::vector<SeriesPoint> sweep_kernel(
       point.stage_format = config.stage_format;
       point.fast_path = config.fast_path;
       point.source = config.source;
-      if (kernel == 3) point.algorithm = algorithm;
+      if (kernel == 3) {
+        point.algorithm = algorithm;
+        point.csr = config.csr;
+        // Structural bytes per edge of the form the cell iterated —
+        // measured, so the compression ratio lands next to the timings.
+        if (matrix.nnz() > 0) {
+          point.bytes_per_edge =
+              config.csr == "compressed"
+                  ? static_cast<double>(
+                        sparse::CompressedCsrMatrix::encoded_column_bytes(
+                            matrix)) /
+                        static_cast<double>(matrix.nnz())
+                  : 8.0;
+        }
+      }
       if (median_trial.perf.any()) {
         point.has_perf = true;
         point.cycles = median_trial.perf.get(obs::PerfEvent::kCycles);

@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
                   "tsv");
   args.add_option("memory-budget",
                   "kernel-1 RAM budget in bytes; 0 = unlimited", "0");
+  args.add_option("csr",
+                  "kernel-3 CSR form: plain (8-byte indices) | compressed "
+                  "(delta-varint groups)", "plain");
   args.add_option("fast-path",
                   "src/perf fast paths (radix sort, prefetch, blocked "
                   "SpMV): on | off", "off");
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("memory-budget"));
   config.storage = args.get("storage");
   config.stage_format = args.get("stage-format");
+  config.csr = args.get("csr");
   const std::string fast_path = args.get("fast-path");
   util::require(fast_path == "on" || fast_path == "off",
                 "--fast-path must be 'on' or 'off'");

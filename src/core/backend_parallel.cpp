@@ -1,6 +1,7 @@
 #include "core/backend_parallel.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "gen/generator.hpp"
 #include "io/edge_batch.hpp"
@@ -10,6 +11,7 @@
 #include "perf/csr_build.hpp"
 #include "perf/radix_partition.hpp"
 #include "perf/spmv_block.hpp"
+#include "perf/spmv_compressed.hpp"
 #include "rand/rng.hpp"
 #include "sort/edge_sort.hpp"
 #include "sparse/filter.hpp"
@@ -127,7 +129,17 @@ std::vector<double> ParallelBackend::kernel3(const KernelContext& ctx,
 
   // y = r·A computed as y[j] = Σ Aᵀ(j, i) · r[i]: each output entry owned by
   // exactly one task, so rows of Aᵀ partition the work with no atomics.
-  const sparse::CsrMatrix at = matrix.transpose();
+  sparse::CsrMatrix at = matrix.transpose();
+  // --csr compressed: re-encode Aᵀ's column indices as delta-varint groups
+  // and release the 8-byte-per-edge plain index array; the iteration loop
+  // then streams the compressed form through the same blocked SpMV
+  // (bit-identical accumulation order either way).
+  std::optional<sparse::CompressedCsrMatrix> cat;
+  if (config.csr == "compressed") {
+    const obs::Span span = ctx.span("k3/compress");
+    cat.emplace(sparse::CompressedCsrMatrix::from_csr(at));
+    at = sparse::CsrMatrix();
+  }
   std::vector<double> r =
       sparse::pagerank_initial_vector(matrix.rows(), config.seed);
   std::vector<double> y(matrix.cols(), 0.0);
@@ -144,13 +156,16 @@ std::vector<double> ParallelBackend::kernel3(const KernelContext& ctx,
     }
     double r_sum = 0.0;
     for (const double x : r) r_sum += x;
-    if (config.fast_path) {
-      // Blocked over the source axis so a block of r stays cache-resident;
-      // per-row accumulation order is unchanged (bit-identical). Small
-      // matrices get a single block — r is cache-resident regardless.
-      const std::uint64_t block = at.cols() < perf::kSpmvBlockMinCols
-                                      ? std::max<std::uint64_t>(1, at.cols())
-                                      : perf::kDefaultSpmvBlockCols;
+    // Blocked over the source axis so a block of r stays cache-resident;
+    // per-row accumulation order is unchanged (bit-identical). Small
+    // matrices get a single block — r is cache-resident regardless.
+    const std::uint64_t block =
+        config.fast_path && matrix.cols() >= perf::kSpmvBlockMinCols
+            ? perf::kDefaultSpmvBlockCols
+            : std::max<std::uint64_t>(1, matrix.cols());
+    if (cat) {
+      perf::transposed_spmv_compressed(*cat, r, y, pool(), block);
+    } else if (config.fast_path) {
       perf::transposed_spmv_blocked(at, r, y, pool(), block);
     } else {
       util::parallel_for_chunks(

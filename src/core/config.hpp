@@ -49,6 +49,12 @@ struct PipelineConfig {
   /// RAM budget for kernel 1; 0 means unlimited (always in-memory).
   /// When the in-memory sort would exceed it, the external sort runs.
   std::uint64_t memory_budget_bytes = 0;
+  /// Kernel-3 CSR storage form: "plain" streams 8-byte column indices,
+  /// "compressed" re-encodes them as delta-varint groups
+  /// (sparse::CompressedCsrMatrix, DESIGN.md §12) before the iteration
+  /// loop, shrinking per-edge index traffic ~4-7x. Results are
+  /// bit-identical either way; interpreted-stack backends ignore it.
+  std::string csr = "plain";
   /// Enables the src/perf fast paths: kernel 1's radix partition sort,
   /// prefetched (decode-overlapped) stage reads, kernel 2's parallel CSR
   /// build and kernel 3's cache-blocked SpMV. Results are bit-identical

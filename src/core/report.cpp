@@ -59,6 +59,7 @@ std::string run_report_json(const PipelineConfig& config,
   json.field("num_edges", result.num_edges);
   json.field("storage", config.storage);
   json.field("stage_format", config.stage_format);
+  json.field("csr", config.csr);
   json.field("fast_path", config.fast_path);
   json.end_object();
 
@@ -96,6 +97,10 @@ std::string run_report_json(const PipelineConfig& config,
     json.field("stage_format", result.stage_format);
   }
   json.field("fast_path", result.fast_path);
+  if (!result.csr.empty()) json.field("csr", result.csr);
+  if (result.csr_bytes_per_edge > 0.0) {
+    json.field("csr_bytes_per_edge", result.csr_bytes_per_edge);
+  }
 
   json.field("wall_seconds_total", result.wall_seconds_total);
 

@@ -87,6 +87,7 @@ struct PipelineResult {
   std::string backend;
   std::string storage;       ///< store kind the run used ("dir" | "mem")
   std::string stage_format;  ///< stage encoding ("tsv" | "binary")
+  std::string csr;           ///< K3 CSR form ("plain" | "compressed")
   bool fast_path = false;    ///< whether the src/perf fast paths were on
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
@@ -98,6 +99,10 @@ struct PipelineResult {
   KernelMetrics k2;
   KernelMetrics k3;  ///< the pagerank algorithm's row (zero when not run)
   sparse::CsrMatrix matrix;     ///< kernel-2 output
+  /// Column-index bytes per edge of the kernel-2 matrix in the configured
+  /// CSR form: 8.0 for plain, the measured delta-varint group encoding
+  /// size for compressed (0 when the matrix is empty).
+  double csr_bytes_per_edge = 0.0;
   /// Kernel-3 PageRank output. Populated iff "pagerank" is configured,
   /// mirroring algorithms[i].output.ranks for backward compatibility.
   std::vector<double> ranks;

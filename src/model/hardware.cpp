@@ -1,6 +1,8 @@
 #include "model/hardware.hpp"
 
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "gen/kronecker.hpp"
@@ -132,10 +134,21 @@ double probe_flops(std::uint64_t count) {
 
 }  // namespace
 
+double cached_triad_bandwidth(std::uint64_t bytes) {
+  static std::mutex mutex;
+  static std::map<std::uint64_t, double> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(bytes);
+  if (it != cache.end()) return it->second;
+  const double bps = probe_triad_bandwidth(bytes);
+  cache.emplace(bytes, bps);
+  return bps;
+}
+
 HardwareModel calibrate(const CalibrationOptions& options) {
   HardwareModel model;
   model.memory_bandwidth_bps = probe_memory_bandwidth(options.memory_bytes);
-  model.triad_bandwidth_bps = probe_triad_bandwidth(options.memory_bytes);
+  model.triad_bandwidth_bps = cached_triad_bandwidth(options.memory_bytes);
   probe_io(options.io_bytes, model.io_write_bps, model.io_read_bps);
   const gen::EdgeList edges = probe_edges(options.codec_edges);
   probe_codec(edges, io::Codec::kFast, model.fast_format_s,

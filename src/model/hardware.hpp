@@ -39,6 +39,13 @@ HardwareModel calibrate(const CalibrationOptions& options = {});
 /// bench harness calls this once per process to normalize achieved GB/s.
 double probe_triad_bandwidth(std::uint64_t bytes = 32ULL << 20);
 
+/// Memoized probe_triad_bandwidth: the first call per buffer size runs the
+/// probe (tens of ms at the default 32 MiB), later calls return the cached
+/// figure. Used by calibrate() and the bench harness so repeated
+/// calibrations — per-cell sweeps, back-to-back model runs — pay for the
+/// probe once per process. Thread-safe.
+double cached_triad_bandwidth(std::uint64_t bytes = 32ULL << 20);
+
 /// A representative model of the paper's platform (Xeon E5-2650, Lustre),
 /// for making predictions without running probes.
 HardwareModel paper_platform_model();

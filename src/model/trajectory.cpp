@@ -40,6 +40,7 @@ void write_key_fields(util::JsonWriter& json, const BenchCell& cell) {
   json.field("fast_path", cell.fast_path);
   json.field("source", cell.source.empty() ? "generator" : cell.source);
   if (!cell.algorithm.empty()) json.field("algorithm", cell.algorithm);
+  if (cell.csr == "compressed") json.field("csr", cell.csr);
 }
 
 }  // namespace
@@ -50,6 +51,9 @@ std::string BenchCell::key() const {
                     stage_format + "|" + (fast_path ? "fast" : "ref") + "|" +
                     (source.empty() ? "generator" : source) + "|" +
                     algorithm;
+  // Appended only for the non-default form so cells measured before the
+  // axis existed keep their keys (old baselines still match).
+  if (csr == "compressed") key += "|csr=compressed";
   return key;
 }
 
@@ -79,6 +83,10 @@ std::string cells_json(const std::vector<BenchCell>& cells) {
     json.field("fast_path", cell.fast_path);
     json.field("source", cell.source.empty() ? "generator" : cell.source);
     if (!cell.algorithm.empty()) json.field("algorithm", cell.algorithm);
+    if (cell.csr == "compressed") json.field("csr", cell.csr);
+    if (cell.bytes_per_edge > 0) {
+      json.field("bytes_per_edge", cell.bytes_per_edge);
+    }
     if (cell.has_perf) {
       json.begin_object("perf");
       json.field("cycles", cell.cycles);
@@ -133,6 +141,8 @@ std::vector<BenchCell> parse_cells(const util::JsonValue& document) {
     cell.fast_path = fast != nullptr && fast->is_bool() && fast->boolean();
     cell.source = string_or(node, "source", "generator");
     cell.algorithm = string_or(node, "algorithm", "");
+    cell.csr = string_or(node, "csr", "plain");
+    cell.bytes_per_edge = number_or(node, "bytes_per_edge", 0);
     const util::JsonValue* perf = node.find("perf");
     if (perf != nullptr && perf->is_object()) {
       cell.has_perf = true;
@@ -267,6 +277,14 @@ std::string diff_json(const DiffReport& report, const std::string& base_name,
              static_cast<std::int64_t>(report.within_noise));
   json.field("added", static_cast<std::int64_t>(report.added));
   json.field("removed", static_cast<std::int64_t>(report.removed));
+  // Head-only cells spelled out so CI logs show which configurations a
+  // change introduced (e.g. a new config axis like csr=compressed) —
+  // they extend the matrix rather than failing the gate.
+  json.begin_array("added_cells");
+  for (const CellDiff& diff : report.cells) {
+    if (diff.verdict == CellVerdict::kAdded) json.value(diff.head.key());
+  }
+  json.end_array();
   json.end_object();
   json.field("verdict", report.regressed() ? "regression" : "ok");
   json.end_object();

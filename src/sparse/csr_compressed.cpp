@@ -1,0 +1,150 @@
+#include "sparse/csr_compressed.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prpb::sparse {
+
+namespace {
+
+/// Appends one gap in `width` little-endian bytes.
+void append_gap(std::vector<std::uint8_t>& out, std::uint64_t gap,
+                std::uint32_t width) {
+  for (std::uint32_t b = 0; b < width; ++b) {
+    out.push_back(static_cast<std::uint8_t>(gap >> (8 * b)));
+  }
+}
+
+}  // namespace
+
+CompressedCsrMatrix CompressedCsrMatrix::from_csr(const CsrMatrix& matrix) {
+  const std::vector<std::uint64_t>& row_ptr = matrix.row_ptr();
+  const std::vector<std::uint64_t>& col_idx = matrix.col_idx();
+
+  CompressedCsrMatrix m;
+  m.rows_ = matrix.rows();
+  m.cols_ = matrix.cols();
+  m.entry_ptr_ = row_ptr;
+  // A default-constructed CsrMatrix carries an empty row_ptr; normalize to
+  // the rows+1 == 1 shape so to_csr() round-trips it.
+  if (m.entry_ptr_.empty()) m.entry_ptr_.push_back(0);
+  m.values_ = matrix.values();
+  m.byte_ptr_.assign(matrix.rows() + 1, 0);
+  m.encoded_.reserve(col_idx.size() * 2 + matrix.rows() / 2 + kDecodePad);
+
+  for (std::uint64_t r = 0; r < m.rows_; ++r) {
+    std::uint64_t previous = 0;
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; k += 4) {
+      const std::uint64_t lanes =
+          std::min<std::uint64_t>(4, row_ptr[r + 1] - k);
+      // Control byte first; its lane codes are back-patched below.
+      const std::size_t control_at = m.encoded_.size();
+      m.encoded_.push_back(0);
+      std::uint8_t control = 0;
+      for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t col = col_idx[k + lane];
+        util::ensure(lane + k == row_ptr[r] || col > previous,
+                     "CompressedCsrMatrix: columns must be strictly "
+                     "increasing within a row");
+        const std::uint64_t gap = col - previous;
+        const unsigned code = ccsr::gap_code(gap);
+        control |= static_cast<std::uint8_t>(code << (2 * lane));
+        append_gap(m.encoded_, gap, 1u << code);
+        previous = col;
+      }
+      m.encoded_[control_at] = control;
+    }
+    m.byte_ptr_[r + 1] = m.encoded_.size();
+  }
+  m.encoded_.resize(m.encoded_.size() + kDecodePad, 0);
+  return m;
+}
+
+std::uint64_t CompressedCsrMatrix::encoded_column_bytes(
+    const CsrMatrix& matrix) {
+  const std::vector<std::uint64_t>& row_ptr = matrix.row_ptr();
+  const std::vector<std::uint64_t>& col_idx = matrix.col_idx();
+  std::uint64_t bytes = 0;
+  for (std::uint64_t r = 0; r < matrix.rows(); ++r) {
+    const std::uint64_t entries = row_ptr[r + 1] - row_ptr[r];
+    bytes += (entries + 3) / 4;  // one control byte per (partial) group
+    std::uint64_t previous = 0;
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      bytes += 1u << ccsr::gap_code(col_idx[k] - previous);
+      previous = col_idx[k];
+    }
+  }
+  return bytes;
+}
+
+CsrMatrix CompressedCsrMatrix::to_csr() const {
+  std::vector<std::uint64_t> col_idx(nnz());
+  std::vector<std::uint64_t> row_cols;
+  std::uint64_t at = 0;
+  for (std::uint64_t r = 0; r < rows_; ++r) {
+    decode_row(r, row_cols);
+    for (const std::uint64_t col : row_cols) col_idx[at++] = col;
+  }
+  return CsrMatrix::from_parts(rows_, cols_, entry_ptr_, std::move(col_idx),
+                               values_);
+}
+
+void CompressedCsrMatrix::decode_row(std::uint64_t row,
+                                     std::vector<std::uint64_t>& cols) const {
+  util::require(row < rows_, "CompressedCsrMatrix::decode_row: row range");
+  cols.clear();
+  const std::uint8_t* p = encoded_.data() + byte_ptr_[row];
+  std::uint64_t remaining = entry_ptr_[row + 1] - entry_ptr_[row];
+  std::uint64_t col = 0;
+  while (remaining > 0) {
+    const std::uint8_t control = *p++;
+    const std::uint64_t lanes = std::min<std::uint64_t>(4, remaining);
+    for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+      const std::uint32_t width = ccsr::lane_width(control, lane);
+      col += ccsr::load8(p) & ccsr::lane_mask(width);
+      cols.push_back(col);
+      p += width;
+    }
+    remaining -= lanes;
+  }
+}
+
+void CompressedCsrMatrix::vec_mat(const std::vector<double>& x,
+                                  std::vector<double>& y) const {
+  util::require(x.size() == rows_, "vec_mat: x size must equal row count");
+  y.assign(cols_, 0.0);
+  for (std::uint64_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const std::uint8_t* p = encoded_.data() + byte_ptr_[r];
+    std::uint64_t k = entry_ptr_[r];
+    const std::uint64_t end = entry_ptr_[r + 1];
+    std::uint64_t col = 0;
+    while (k < end) {
+      const std::uint8_t control = *p++;
+      const std::uint64_t lanes = std::min<std::uint64_t>(4, end - k);
+      for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+        const std::uint32_t width = ccsr::lane_width(control, lane);
+        col += ccsr::load8(p) & ccsr::lane_mask(width);
+        p += width;
+        y[col] += xr * values_[k + lane];
+      }
+      k += lanes;
+    }
+  }
+}
+
+std::vector<double> CompressedCsrMatrix::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::uint64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::uint64_t k = entry_ptr_[r]; k < entry_ptr_[r + 1]; ++k) {
+      acc += values_[k];
+    }
+    sums[r] = acc;
+  }
+  return sums;
+}
+
+}  // namespace prpb::sparse

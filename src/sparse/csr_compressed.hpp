@@ -1,0 +1,150 @@
+// Delta-varint compressed CSR (DESIGN.md §12) — the memory-traffic
+// ablation for kernel 3.
+//
+// The power iteration is bandwidth-bound: the counter attribution of PR 8
+// shows achieved GB/s near the triad peak while IPC stays low, so the only
+// way to push edges/s further is to move fewer bytes per edge. Column
+// indices dominate the plain CSR's structural traffic (8 bytes each);
+// within a row they are strictly increasing, so their gaps are small on
+// power-law graphs and compress to ~1-2 bytes under a group-varint code.
+//
+// Layout (per row, columns delta-encoded):
+//   - entries are gaps: d0 = col[0] (gap from 0), d_i = col[i] - col[i-1]
+//   - four gaps share one control byte; 2 bits per lane select the gap's
+//     little-endian width from {1, 2, 4, 8} bytes, so any uint64 gap fits
+//   - a row's last group may hold 1-3 gaps (the short-row tail); unused
+//     control bits are zero and the decoder stops at the row's entry count
+//   - the byte stream carries 8 bytes of zero padding so the word-at-a-time
+//     (SWAR) decoder's unaligned loads never run off the buffer
+//
+// Values are NOT compressed: the SpMV needs every stored double anyway, so
+// they stay a plain parallel array indexed by the same entry offsets as
+// the uncompressed matrix. Round-tripping through to_csr() is exact —
+// structure and values bit-for-bit — which is what lets the algorithm
+// stage run any kernel on the compressed form without perturbing the
+// golden checksums.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace prpb::sparse {
+
+class CompressedCsrMatrix {
+ public:
+  /// Zero padding after the encoded stream: decode loads read up to 8
+  /// bytes past a lane's start, so 8 spare bytes keep every load in
+  /// bounds without a tail branch.
+  static constexpr std::size_t kDecodePad = 8;
+
+  CompressedCsrMatrix() = default;
+
+  /// Encodes a CsrMatrix (columns must be sorted strictly increasing
+  /// within each row — the CsrMatrix contract). Values are copied.
+  static CompressedCsrMatrix from_csr(const CsrMatrix& matrix);
+
+  /// Encoded column-stream size (control + gap bytes, excluding padding)
+  /// without materializing the encoding — the runner uses this to report
+  /// bytes_per_edge for a run that compresses inside the backend.
+  static std::uint64_t encoded_column_bytes(const CsrMatrix& matrix);
+
+  /// Exact inverse of from_csr: structure and values bit-identical.
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const { return cols_; }
+  [[nodiscard]] std::uint64_t nnz() const { return values_.size(); }
+
+  /// Entry offsets per row (rows+1, same contract as CsrMatrix::row_ptr):
+  /// row r's values live at [entry_ptr[r], entry_ptr[r+1]).
+  [[nodiscard]] const std::vector<std::uint64_t>& entry_ptr() const {
+    return entry_ptr_;
+  }
+  /// Byte offsets per row (rows+1) into the encoded column stream.
+  [[nodiscard]] const std::vector<std::uint64_t>& byte_ptr() const {
+    return byte_ptr_;
+  }
+  /// The encoded column stream (kDecodePad zero bytes appended).
+  [[nodiscard]] const std::vector<std::uint8_t>& encoded() const {
+    return encoded_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Encoded column-stream bytes (control + gaps, excluding padding).
+  [[nodiscard]] std::uint64_t column_bytes() const {
+    return encoded_.size() - kDecodePad;
+  }
+  /// Column-stream bytes per stored entry — the compression headline
+  /// (plain CSR spends 8.0 here). 0 for an empty matrix.
+  [[nodiscard]] double bytes_per_edge() const {
+    return nnz() == 0
+               ? 0.0
+               : static_cast<double>(column_bytes()) /
+                     static_cast<double>(nnz());
+  }
+
+  /// Decodes one row's columns into `cols` (assigned, not appended).
+  void decode_row(std::uint64_t row, std::vector<std::uint64_t>& cols) const;
+
+  /// Row-vector product y = x·A, bit-identical to CsrMatrix::vec_mat:
+  /// the same rows are visited in the same order with the same
+  /// zero-contribution skip, so every y[col] accumulates the exact
+  /// addition sequence of the plain loop.
+  void vec_mat(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Row sums (dout) — needed by the dangling-redistribution variant.
+  [[nodiscard]] std::vector<double> row_sums() const;
+
+ private:
+  std::uint64_t rows_ = 0;
+  std::uint64_t cols_ = 0;
+  std::vector<std::uint64_t> entry_ptr_;  // rows+1 entry offsets
+  std::vector<std::uint64_t> byte_ptr_;   // rows+1 byte offsets
+  std::vector<std::uint8_t> encoded_;     // group-varint gaps + padding
+  std::vector<double> values_;            // parallel to entry offsets
+};
+
+namespace ccsr {
+
+/// Unaligned little-endian word load (UBSan-clean; byte-swapped on
+/// big-endian hosts so the varint layout is host-independent).
+inline std::uint64_t load8(const std::uint8_t* p) {
+  std::uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  if constexpr (std::endian::native != std::endian::little) {
+    std::uint64_t swapped = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      swapped |= ((word >> (56 - 8 * i)) & 0xffu) << (8 * i);
+    }
+    word = swapped;
+  }
+  return word;
+}
+
+/// Gap width in bytes for a 2-bit control code: {1, 2, 4, 8}.
+inline std::uint32_t lane_width(std::uint8_t control, unsigned lane) {
+  return 1u << ((control >> (2 * lane)) & 3u);
+}
+
+/// Low `width`-byte mask (width in {1, 2, 4, 8}).
+inline std::uint64_t lane_mask(std::uint32_t width) {
+  return width == 8 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (8 * width)) - 1;
+}
+
+/// 2-bit control code for a gap: the smallest of {1, 2, 4, 8} bytes that
+/// holds it.
+inline unsigned gap_code(std::uint64_t gap) {
+  if (gap <= 0xffu) return 0;
+  if (gap <= 0xffffu) return 1;
+  if (gap <= 0xffffffffu) return 2;
+  return 3;
+}
+
+}  // namespace ccsr
+
+}  // namespace prpb::sparse

@@ -170,6 +170,44 @@ TEST(BenchDiff, ImprovementAddedRemoved) {
   EXPECT_EQ(report.cells[2].verdict, model::CellVerdict::kRemoved);
 }
 
+TEST(BenchDiff, CompressedCsrCellsExtendTheMatrix) {
+  // A head document that grows the csr axis: the compressed twin keys
+  // differently, so against a pre-axis baseline it diffs as "added" and
+  // the plain cell still matches its old key — no spurious removals.
+  auto plain = make_cell(3, "native", 1.0, 0.001);
+  plain.algorithm = "pagerank";
+  auto compressed = plain;
+  compressed.csr = "compressed";
+  compressed.bytes_per_edge = 1.3;
+  EXPECT_NE(compressed.key(), plain.key());
+  EXPECT_NE(compressed.key().find("csr=compressed"), std::string::npos);
+
+  const model::DiffReport report =
+      model::diff_cells({plain}, {plain, compressed});
+  EXPECT_FALSE(report.regressed());
+  EXPECT_EQ(report.added, 1);
+  EXPECT_EQ(report.removed, 0);
+
+  // The verdict JSON lists the new cell so CI logs say what grew.
+  const util::JsonValue parsed = util::JsonValue::parse(
+      model::diff_json(report, "base.json", "head.json"));
+  const util::JsonValue* added = parsed.find("summary")->find("added_cells");
+  ASSERT_NE(added, nullptr);
+  ASSERT_EQ(added->array().size(), 1u);
+  EXPECT_EQ(added->array()[0].string(), compressed.key());
+
+  // Round trip: csr + bytes_per_edge survive the kernels document, and
+  // plain cells serialize without the csr field (old-key compatible).
+  const auto cells =
+      model::parse_cells_text(model::cells_json({plain, compressed}));
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].csr, "plain");
+  EXPECT_DOUBLE_EQ(cells[0].bytes_per_edge, 0.0);
+  EXPECT_EQ(cells[1].csr, "compressed");
+  EXPECT_DOUBLE_EQ(cells[1].bytes_per_edge, 1.3);
+  EXPECT_EQ(cells[1].key(), compressed.key());
+}
+
 TEST(BenchDiff, SingleShotCellsUseTheFloor) {
   // Old documents carry no MAD; the 5% floor is the whole band.
   auto base_cell = make_cell(1, "native", 1.0, 0.0);

@@ -54,6 +54,11 @@ PipelineConfig golden_config(int scale) {
   config.num_files = 2;
   config.storage = "mem";
   config.algorithms = {"pagerank", "bfs", "cc"};
+  // PRPB_CSR=compressed runs the whole suite over the delta-varint CSR
+  // form (CI's sanitizer jobs set it): every committed checksum must
+  // reproduce unchanged, pinning the form's bit-identity end to end.
+  const char* csr = std::getenv("PRPB_CSR");
+  if (csr != nullptr && *csr != '\0') config.csr = csr;
   return config;
 }
 

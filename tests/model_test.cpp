@@ -36,6 +36,16 @@ TEST(CalibrateTest, RatesArePositiveAndOrdered) {
   EXPECT_GT(hw.generic_parse_s, hw.fast_parse_s);
 }
 
+TEST(CalibrateTest, CachedTriadBandwidthIsStable) {
+  // The memoized probe must return the exact same figure on repeat calls —
+  // benches lean on this so every sweep shares one peak-bandwidth estimate
+  // instead of re-timing the STREAM triad per cell.
+  constexpr std::uint64_t kBytes = 1u << 22;
+  const double first = cached_triad_bandwidth(kBytes);
+  EXPECT_GT(first, 1e8);
+  EXPECT_DOUBLE_EQ(cached_triad_bandwidth(kBytes), first);
+}
+
 TEST(PaperModelTest, PlausibleMagnitudes) {
   const HardwareModel hw = paper_platform_model();
   EXPECT_GT(hw.memory_bandwidth_bps, hw.io_write_bps);

@@ -2,9 +2,13 @@
 //
 // Compares the candidate against the baseline cell-by-cell (matched on the
 // full cell identity: kernel, backend, scale, storage, stage format,
-// fast-path, source, algorithm) and flags a regression only when the
-// median slowdown exceeds a band derived from both documents' recorded
+// fast-path, source, algorithm, CSR form) and flags a regression only when
+// the median slowdown exceeds a band derived from both documents' recorded
 // MADs — run-to-run jitter inside the band is reported but never fails.
+// Cells present only in the candidate (a freshly added config axis, e.g.
+// csr=compressed against a pre-axis baseline) are "added": they extend the
+// matrix, never fail the gate, and are listed in the --json verdict's
+// summary.added_cells.
 //
 //   bench_diff BENCH_kernels.json BENCH_new.json [--json verdict.json]
 //
