@@ -41,6 +41,7 @@ void write_key_fields(util::JsonWriter& json, const BenchCell& cell) {
   json.field("source", cell.source.empty() ? "generator" : cell.source);
   if (!cell.algorithm.empty()) json.field("algorithm", cell.algorithm);
   if (cell.csr == "compressed") json.field("csr", cell.csr);
+  if (cell.metric != "seconds") json.field("metric", cell.metric);
 }
 
 }  // namespace
@@ -54,13 +55,15 @@ std::string BenchCell::key() const {
   // Appended only for the non-default form so cells measured before the
   // axis existed keep their keys (old baselines still match).
   if (csr == "compressed") key += "|csr=compressed";
+  if (metric != "seconds") key += "|metric=" + metric;
   return key;
 }
 
-std::string cells_json(const std::vector<BenchCell>& cells) {
+std::string cells_json(const std::vector<BenchCell>& cells,
+                       const std::string& benchmark) {
   util::JsonWriter json;
   json.begin_object();
-  json.field("benchmark", "prpb-kernels");
+  json.field("benchmark", benchmark);
   json.begin_array("cells");
   for (const BenchCell& cell : cells) {
     json.begin_object();
@@ -87,6 +90,14 @@ std::string cells_json(const std::vector<BenchCell>& cells) {
     if (cell.bytes_per_edge > 0) {
       json.field("bytes_per_edge", cell.bytes_per_edge);
     }
+    if (cell.metric != "seconds") json.field("metric", cell.metric);
+    if (cell.metric == "qps") {
+      json.field("qps", cell.qps);
+      json.field("qps_mad", cell.qps_mad);
+      json.field("p50_ms", cell.p50_ms);
+      json.field("p99_ms", cell.p99_ms);
+      json.field("p999_ms", cell.p999_ms);
+    }
     if (cell.has_perf) {
       json.begin_object("perf");
       json.field("cycles", cell.cycles);
@@ -110,7 +121,8 @@ std::vector<BenchCell> parse_cells(const util::JsonValue& document) {
                "prpb-kernels: top level is not an object");
   const util::JsonValue* kind = document.find("benchmark");
   util::ensure(kind != nullptr && kind->is_string() &&
-                   kind->string() == "prpb-kernels",
+                   (kind->string() == "prpb-kernels" ||
+                    kind->string() == "prpb-serving"),
                "prpb-kernels: missing benchmark marker");
   const util::JsonValue* cells = document.find("cells");
   util::ensure(cells != nullptr && cells->is_array(),
@@ -143,6 +155,12 @@ std::vector<BenchCell> parse_cells(const util::JsonValue& document) {
     cell.algorithm = string_or(node, "algorithm", "");
     cell.csr = string_or(node, "csr", "plain");
     cell.bytes_per_edge = number_or(node, "bytes_per_edge", 0);
+    cell.metric = string_or(node, "metric", "seconds");
+    cell.qps = number_or(node, "qps", 0);
+    cell.qps_mad = number_or(node, "qps_mad", 0);
+    cell.p50_ms = number_or(node, "p50_ms", 0);
+    cell.p99_ms = number_or(node, "p99_ms", 0);
+    cell.p999_ms = number_or(node, "p999_ms", 0);
     const util::JsonValue* perf = node.find("perf");
     if (perf != nullptr && perf->is_object()) {
       cell.has_perf = true;
@@ -195,24 +213,34 @@ DiffReport diff_cells(const std::vector<BenchCell>& base,
     }
     diff.base = *it->second;
     by_key.erase(it);
-    if (diff.base.seconds <= 0 || diff.head.seconds <= 0) {
-      // Degenerate timing on either side — nothing trustworthy to judge.
+    const double base_value = diff.base.primary_value();
+    const double head_value = diff.head.primary_value();
+    if (base_value <= 0 || head_value <= 0) {
+      // Degenerate measurement on either side — nothing trustworthy.
       diff.verdict = CellVerdict::kWithinNoise;
       ++report.within_noise;
       report.cells.push_back(std::move(diff));
       continue;
     }
-    diff.delta_rel =
-        (diff.head.seconds - diff.base.seconds) / diff.base.seconds;
+    diff.delta_rel = (head_value - base_value) / base_value;
     diff.band_rel = std::max(
         options.min_rel_band,
         options.noise_mult *
-            (diff.base.seconds_mad + diff.head.seconds_mad) /
-            diff.base.seconds);
-    if (diff.delta_rel > diff.band_rel) {
+            (diff.base.primary_mad() + diff.head.primary_mad()) /
+            base_value);
+    // Direction-aware: a seconds cell regresses when it got slower
+    // (delta above the band); a qps cell regresses when throughput
+    // dropped (delta below the negated band).
+    const bool worse = diff.head.higher_is_better()
+                           ? diff.delta_rel < -diff.band_rel
+                           : diff.delta_rel > diff.band_rel;
+    const bool better = diff.head.higher_is_better()
+                            ? diff.delta_rel > diff.band_rel
+                            : diff.delta_rel < -diff.band_rel;
+    if (worse) {
       diff.verdict = CellVerdict::kRegression;
       ++report.regressions;
-    } else if (diff.delta_rel < -diff.band_rel) {
+    } else if (better) {
       diff.verdict = CellVerdict::kImprovement;
       ++report.improvements;
     } else {
@@ -252,13 +280,16 @@ std::string diff_json(const DiffReport& report, const std::string& base_name,
         diff.verdict == CellVerdict::kRemoved ? diff.base : diff.head;
     write_key_fields(json, id);
     json.field("verdict", verdict_name(diff.verdict));
+    const bool qps_cell = id.higher_is_better();
     if (diff.verdict != CellVerdict::kAdded) {
-      json.field("base_seconds", diff.base.seconds);
-      json.field("base_mad", diff.base.seconds_mad);
+      json.field(qps_cell ? "base_qps" : "base_seconds",
+                 diff.base.primary_value());
+      json.field("base_mad", diff.base.primary_mad());
     }
     if (diff.verdict != CellVerdict::kRemoved) {
-      json.field("head_seconds", diff.head.seconds);
-      json.field("head_mad", diff.head.seconds_mad);
+      json.field(qps_cell ? "head_qps" : "head_seconds",
+                 diff.head.primary_value());
+      json.field("head_mad", diff.head.primary_mad());
     }
     if (diff.verdict == CellVerdict::kRegression ||
         diff.verdict == CellVerdict::kImprovement ||

@@ -15,6 +15,12 @@
 //   band = max(min_rel_band, noise_mult · (MAD_base + MAD_head) / median_base)
 // — i.e. a delta has to clear both an absolute floor (protects single-shot
 // baselines) and a multiple of the combined measured noise.
+//
+// Since PR 10 a cell can measure throughput instead of latency: serving
+// cells (BENCH_serving.json, written by bench_serving) carry
+// metric = "qps" with a qps median/MAD and client-observed latency
+// percentiles. The diff is direction-aware — for a qps cell *lower* is
+// the regression, so the same band test runs with the sign flipped.
 #pragma once
 
 #include <cstdint>
@@ -66,18 +72,42 @@ struct BenchCell {
   double llc_miss_rate = 0;
   double dram_gbps = 0;               ///< LLC-miss-derived achieved GB/s
   double peak_bandwidth_fraction = 0; ///< dram_gbps / triad peak
+  /// Primary measurement of the cell: "seconds" (kernel cells, lower is
+  /// better) or "qps" (serving cells, higher is better). Part of the
+  /// identity key only when non-default, so pre-existing cells keep their
+  /// keys. The diff judges the matching value with the matching direction.
+  std::string metric = "seconds";
+  // Serving measurements (metric == "qps").
+  double qps = 0;      ///< median sustained queries/second across repeats
+  double qps_mad = 0;  ///< MAD of the per-repeat QPS
+  double p50_ms = 0;   ///< client-observed per-request latency percentiles
+  double p99_ms = 0;
+  double p999_ms = 0;
 
   /// Identity for cell-by-cell diffs (everything but the measurements).
   [[nodiscard]] std::string key() const;
+
+  /// True for throughput cells (higher primary value is better).
+  [[nodiscard]] bool higher_is_better() const { return metric == "qps"; }
+  /// The primary measured value the diff judges (seconds or qps).
+  [[nodiscard]] double primary_value() const {
+    return higher_is_better() ? qps : seconds;
+  }
+  [[nodiscard]] double primary_mad() const {
+    return higher_is_better() ? qps_mad : seconds_mad;
+  }
 };
 
-/// Serializes cells as the machine-readable kernel benchmark document
-/// ({"benchmark": "prpb-kernels", "cells": [...]}).
-std::string cells_json(const std::vector<BenchCell>& cells);
+/// Serializes cells as a machine-readable benchmark document
+/// ({"benchmark": <marker>, "cells": [...]}). The marker defaults to the
+/// kernel document ("prpb-kernels"); bench_serving writes "prpb-serving".
+std::string cells_json(const std::vector<BenchCell>& cells,
+                       const std::string& benchmark = "prpb-kernels");
 
-/// Parses a prpb-kernels document; pre-PR-8 documents (no repeats / MAD /
-/// counter fields) load with defaults. Throws util::IoError on malformed
-/// JSON and util::InvariantError on a wrong document shape.
+/// Parses a prpb-kernels or prpb-serving document; pre-PR-8 documents (no
+/// repeats / MAD / counter fields) load with defaults. Throws
+/// util::IoError on malformed JSON and util::InvariantError on a wrong
+/// document shape.
 std::vector<BenchCell> parse_cells(const util::JsonValue& document);
 std::vector<BenchCell> parse_cells_text(const std::string& text);
 
@@ -102,8 +132,11 @@ struct CellDiff {
   BenchCell base;  ///< default-constructed for kAdded
   BenchCell head;  ///< default-constructed for kRemoved
   CellVerdict verdict = CellVerdict::kWithinNoise;
-  double delta_rel = 0;  ///< (head.seconds - base.seconds) / base.seconds
-  double band_rel = 0;   ///< the noise band the delta was judged against
+  /// Relative change of the cell's primary value ((head - base) / base):
+  /// seconds for kernel cells, qps for serving cells. The verdict is
+  /// direction-aware — for qps, delta_rel < -band is the regression.
+  double delta_rel = 0;
+  double band_rel = 0;  ///< the noise band the delta was judged against
 };
 
 struct DiffReport {

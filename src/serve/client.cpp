@@ -1,0 +1,181 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace prpb::serve {
+
+namespace {
+
+bool recv_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw util::IoError("client: connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("client: recv failed: ") +
+                          std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("client: send failed: ") +
+                          std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+RankClient::RankClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::io_require(fd_ >= 0, "client: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw util::IoError("client: connect to 127.0.0.1:" +
+                        std::to_string(port) + " failed: " + detail);
+  }
+}
+
+RankClient::RankClient(RankClient&& other) noexcept
+    : next_id_(other.next_id_), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+RankClient& RankClient::operator=(RankClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+RankClient::~RankClient() { close(); }
+
+void RankClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response RankClient::ping() {
+  Request req;
+  req.opcode = Opcode::kPing;
+  return request(req);
+}
+
+Response RankClient::info() {
+  Request req;
+  req.opcode = Opcode::kInfo;
+  return request(req);
+}
+
+Response RankClient::topk(std::uint32_t k) {
+  Request req;
+  req.opcode = Opcode::kTopk;
+  req.topk_k = k;
+  return request(req);
+}
+
+Response RankClient::rank(std::uint64_t vertex) {
+  Request req;
+  req.opcode = Opcode::kRank;
+  req.vertex = vertex;
+  return request(req);
+}
+
+Response RankClient::neighbors(std::uint64_t vertex) {
+  Request req;
+  req.opcode = Opcode::kNeighbors;
+  req.vertex = vertex;
+  return request(req);
+}
+
+Response RankClient::ppr(const PprRequest& ppr_request) {
+  Request req;
+  req.opcode = Opcode::kPpr;
+  req.ppr = ppr_request;
+  return request(req);
+}
+
+Response RankClient::request(const Request& request) {
+  Request stamped = request;
+  if (stamped.id == 0) stamped.id = next_id_++;
+  send_raw_frame(encode_request(stamped));
+  for (;;) {
+    std::optional<std::string> payload = read_raw_frame();
+    if (!payload.has_value()) {
+      throw util::IoError("client: connection closed before the reply");
+    }
+    const Response response = decode_response(*payload);
+    if (response.id == stamped.id || response.id == 0) return response;
+  }
+}
+
+void RankClient::send_raw_frame(std::string_view payload) {
+  util::io_require(fd_ >= 0, "client: not connected");
+  const std::string framed = frame(payload);
+  send_all(fd_, framed.data(), framed.size());
+}
+
+void RankClient::send_raw_bytes(std::string_view bytes) {
+  util::io_require(fd_ >= 0, "client: not connected");
+  send_all(fd_, bytes.data(), bytes.size());
+}
+
+std::optional<std::string> RankClient::read_raw_frame() {
+  util::io_require(fd_ >= 0, "client: not connected");
+  char prefix[4];
+  if (!recv_exact(fd_, prefix, sizeof(prefix))) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(prefix[i]))
+              << (8 * i);
+  }
+  if (length > kMaxResponseBytes) {
+    throw ProtocolError("client: reply frame length " +
+                        std::to_string(length) + " exceeds the limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && !recv_exact(fd_, payload.data(), payload.size())) {
+    throw util::IoError("client: connection closed mid-frame");
+  }
+  return payload;
+}
+
+}  // namespace prpb::serve

@@ -1,0 +1,69 @@
+// RankClient: a blocking loopback client for RankServer (DESIGN.md §13).
+//
+// One TCP connection, synchronous request/reply: each typed call encodes
+// a request, writes one frame, and reads frames until the reply with the
+// matching id arrives (the server may interleave replies to pipelined
+// requests from other ids on a shared connection — this client issues one
+// request at a time, so in practice the first reply matches). Not
+// thread-safe; the load generator and tests open one client per thread.
+//
+// The raw hooks (send_raw_frame / read_raw_frame) exist for the protocol
+// fuzz tests, which need to write deliberately malformed bytes and watch
+// what comes back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace prpb::serve {
+
+class RankClient {
+ public:
+  /// Connects to 127.0.0.1:`port`. Throws util::IoError on failure.
+  explicit RankClient(std::uint16_t port);
+  RankClient(const RankClient&) = delete;
+  RankClient& operator=(const RankClient&) = delete;
+  RankClient(RankClient&& other) noexcept;
+  RankClient& operator=(RankClient&& other) noexcept;
+  ~RankClient();
+
+  /// Closes the connection (idempotent).
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  // ---- typed queries (throw util::IoError on transport failure; protocol
+  // errors come back as the Response's non-kOk status) -----------------------
+
+  Response ping();
+  Response info();
+  Response topk(std::uint32_t k);
+  Response rank(std::uint64_t vertex);
+  Response neighbors(std::uint64_t vertex);
+  Response ppr(const PprRequest& request);
+
+  /// Sends the request and reads frames until the reply whose id matches
+  /// arrives. Throws ProtocolError when a reply fails to decode and
+  /// util::IoError when the connection dies first.
+  Response request(const Request& request);
+
+  // ---- raw framing (fuzz-test hooks) ----------------------------------------
+
+  /// Writes `length prefix + payload` exactly as given — no validation.
+  void send_raw_frame(std::string_view payload);
+  /// Writes arbitrary bytes with no framing at all.
+  void send_raw_bytes(std::string_view bytes);
+  /// Reads one reply frame; nullopt on orderly EOF. Throws ProtocolError
+  /// when the frame exceeds kMaxResponseBytes.
+  std::optional<std::string> read_raw_frame();
+
+ private:
+  std::uint32_t next_id_ = 1;
+  int fd_ = -1;
+};
+
+}  // namespace prpb::serve

@@ -1,0 +1,350 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace prpb::serve {
+
+bool is_opcode(std::uint8_t value) {
+  return value <= static_cast<std::uint8_t>(Opcode::kPpr);
+}
+
+const char* opcode_name(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kInfo: return "info";
+    case Opcode::kTopk: return "topk";
+    case Opcode::kRank: return "rank";
+    case Opcode::kNeighbors: return "neighbors";
+    case Opcode::kPpr: return "ppr";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kUnknownVertex: return "unknown_vertex";
+    case Status::kMalformedFrame: return "malformed_frame";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+bool status_retryable(Status status) {
+  return status == Status::kOverloaded || status == Status::kShuttingDown;
+}
+
+// ---- wire helpers ----------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t value) {
+  out_.push_back(static_cast<char>(value));
+}
+
+void WireWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void WireWriter::u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void WireWriter::f64(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::bytes(std::string_view data) { out_.append(data); }
+
+std::uint8_t WireReader::u8() {
+  if (pos_ + 1 > data_.size()) {
+    throw ProtocolError("wire: truncated payload (u8 past end)");
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  if (pos_ + 4 > data_.size()) {
+    throw ProtocolError("wire: truncated payload (u32 past end)");
+  }
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_++]))
+             << shift;
+  }
+  return value;
+}
+
+std::uint64_t WireReader::u64() {
+  if (pos_ + 8 > data_.size()) {
+    throw ProtocolError("wire: truncated payload (u64 past end)");
+  }
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_++]))
+             << shift;
+  }
+  return value;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void WireReader::expect_exhausted(const char* what) const {
+  if (pos_ != data_.size()) {
+    throw ProtocolError(std::string("wire: ") + what + ": " +
+                        std::to_string(data_.size() - pos_) +
+                        " trailing byte(s)");
+  }
+}
+
+// ---- encode / decode -------------------------------------------------------
+
+std::string frame(std::string_view payload) {
+  WireWriter writer;
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.bytes(payload);
+  return writer.take();
+}
+
+std::string encode_request(const Request& request) {
+  WireWriter writer;
+  writer.u32(request.id);
+  writer.u8(static_cast<std::uint8_t>(request.opcode));
+  switch (request.opcode) {
+    case Opcode::kPing:
+    case Opcode::kInfo:
+      break;
+    case Opcode::kTopk:
+      writer.u32(request.topk_k);
+      break;
+    case Opcode::kRank:
+    case Opcode::kNeighbors:
+      writer.u64(request.vertex);
+      break;
+    case Opcode::kPpr:
+      writer.u32(request.ppr.iterations);
+      writer.u32(request.ppr.topk);
+      writer.f64(request.ppr.epsilon);
+      writer.u32(static_cast<std::uint32_t>(request.ppr.restart.size()));
+      for (const std::uint64_t vertex : request.ppr.restart) {
+        writer.u64(vertex);
+      }
+      break;
+  }
+  return writer.take();
+}
+
+Request decode_request(std::string_view payload) {
+  WireReader reader(payload);
+  Request request;
+  request.id = reader.u32();
+  const std::uint8_t opcode = reader.u8();
+  if (!is_opcode(opcode)) {
+    throw ProtocolError("request: unknown opcode " + std::to_string(opcode));
+  }
+  request.opcode = static_cast<Opcode>(opcode);
+  switch (request.opcode) {
+    case Opcode::kPing:
+    case Opcode::kInfo:
+      break;
+    case Opcode::kTopk:
+      request.topk_k = reader.u32();
+      if (request.topk_k > kMaxTopk) {
+        throw ProtocolError("topk: k " + std::to_string(request.topk_k) +
+                            " exceeds the limit " + std::to_string(kMaxTopk));
+      }
+      break;
+    case Opcode::kRank:
+    case Opcode::kNeighbors:
+      request.vertex = reader.u64();
+      break;
+    case Opcode::kPpr: {
+      request.ppr.iterations = reader.u32();
+      if (request.ppr.iterations > kMaxPprIterations) {
+        throw ProtocolError("ppr: iterations " +
+                            std::to_string(request.ppr.iterations) +
+                            " exceeds the limit " +
+                            std::to_string(kMaxPprIterations));
+      }
+      request.ppr.topk = reader.u32();
+      if (request.ppr.topk > kMaxTopk) {
+        throw ProtocolError("ppr: topk " + std::to_string(request.ppr.topk) +
+                            " exceeds the limit " + std::to_string(kMaxTopk));
+      }
+      request.ppr.epsilon = reader.f64();
+      if (!(request.ppr.epsilon >= 0.0)) {  // also rejects NaN
+        throw ProtocolError("ppr: epsilon must be >= 0");
+      }
+      const std::uint32_t count = reader.u32();
+      // The remaining payload must hold exactly `count` vertex ids; a huge
+      // declared count with a short payload is caught here, before any
+      // allocation proportional to the declared (attacker-chosen) size.
+      if (reader.remaining() != static_cast<std::size_t>(count) * 8) {
+        throw ProtocolError(
+            "ppr: restart count " + std::to_string(count) +
+            " inconsistent with payload (" +
+            std::to_string(reader.remaining()) + " bytes left)");
+      }
+      request.ppr.restart.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        request.ppr.restart.push_back(reader.u64());
+      }
+      break;
+    }
+  }
+  reader.expect_exhausted(opcode_name(request.opcode));
+  return request;
+}
+
+namespace {
+
+std::string encode_ok_header(std::uint32_t id, Opcode opcode,
+                             WireWriter& writer) {
+  writer.u32(id);
+  writer.u8(static_cast<std::uint8_t>(Status::kOk));
+  writer.u8(static_cast<std::uint8_t>(opcode));
+  return {};
+}
+
+void encode_entries(WireWriter& writer,
+                    const std::vector<RankEntry>& entries) {
+  writer.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const RankEntry& entry : entries) {
+    writer.u64(entry.vertex);
+    writer.f64(entry.rank);
+  }
+}
+
+std::vector<RankEntry> decode_entries(WireReader& reader) {
+  const std::uint32_t count = reader.u32();
+  if (reader.remaining() != static_cast<std::size_t>(count) * 16) {
+    throw ProtocolError("response: entry count " + std::to_string(count) +
+                        " inconsistent with payload");
+  }
+  std::vector<RankEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RankEntry entry;
+    entry.vertex = reader.u64();
+    entry.rank = reader.f64();
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::string encode_error(std::uint32_t id, Status status,
+                         std::string_view message) {
+  WireWriter writer;
+  writer.u32(id);
+  writer.u8(static_cast<std::uint8_t>(status));
+  writer.bytes(message);
+  return writer.take();
+}
+
+std::string encode_ping_reply(std::uint32_t id) {
+  WireWriter writer;
+  encode_ok_header(id, Opcode::kPing, writer);
+  return writer.take();
+}
+
+std::string encode_info_reply(std::uint32_t id, const InfoReply& info) {
+  WireWriter writer;
+  encode_ok_header(id, Opcode::kInfo, writer);
+  writer.u64(info.vertices);
+  writer.u64(info.nnz);
+  writer.u32(info.iterations);
+  writer.f64(info.damping);
+  return writer.take();
+}
+
+std::string encode_rank_reply(std::uint32_t id, double rank) {
+  WireWriter writer;
+  encode_ok_header(id, Opcode::kRank, writer);
+  writer.f64(rank);
+  return writer.take();
+}
+
+std::string encode_entries_reply(std::uint32_t id, Opcode opcode,
+                                 const std::vector<RankEntry>& entries) {
+  WireWriter writer;
+  encode_ok_header(id, opcode, writer);
+  encode_entries(writer, entries);
+  return writer.take();
+}
+
+std::string encode_ppr_reply(std::uint32_t id, const PprReply& reply) {
+  WireWriter writer;
+  encode_ok_header(id, Opcode::kPpr, writer);
+  writer.u32(reply.iterations_run);
+  writer.f64(reply.residual);
+  writer.u64(reply.digest);
+  encode_entries(writer, reply.top);
+  return writer.take();
+}
+
+Response decode_response(std::string_view payload) {
+  WireReader reader(payload);
+  Response response;
+  response.id = reader.u32();
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(Status::kInternalError)) {
+    throw ProtocolError("response: unknown status " + std::to_string(status));
+  }
+  response.status = static_cast<Status>(status);
+  if (response.status != Status::kOk) {
+    // Everything after the status byte is the error message.
+    std::string message;
+    while (reader.remaining() > 0) {
+      message.push_back(static_cast<char>(reader.u8()));
+    }
+    response.error = std::move(message);
+    return response;
+  }
+  const std::uint8_t opcode = reader.u8();
+  if (!is_opcode(opcode)) {
+    throw ProtocolError("response: unknown opcode " + std::to_string(opcode));
+  }
+  response.opcode = static_cast<Opcode>(opcode);
+  switch (response.opcode) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kInfo:
+      response.info.vertices = reader.u64();
+      response.info.nnz = reader.u64();
+      response.info.iterations = reader.u32();
+      response.info.damping = reader.f64();
+      break;
+    case Opcode::kRank:
+      response.rank = reader.f64();
+      break;
+    case Opcode::kTopk:
+    case Opcode::kNeighbors:
+      response.entries = decode_entries(reader);
+      break;
+    case Opcode::kPpr:
+      response.ppr.iterations_run = reader.u32();
+      response.ppr.residual = reader.f64();
+      response.ppr.digest = reader.u64();
+      response.ppr.top = decode_entries(reader);
+      break;
+  }
+  reader.expect_exhausted(opcode_name(response.opcode));
+  return response;
+}
+
+}  // namespace prpb::serve

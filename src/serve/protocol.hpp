@@ -1,0 +1,197 @@
+// Wire protocol for the rank-query server (DESIGN.md §13).
+//
+// Frames are length-prefixed: a 4-byte little-endian payload length
+// followed by exactly that many payload bytes. A request payload is
+//   u32 request_id | u8 opcode | opcode body
+// and a response payload is
+//   u32 request_id (echoed) | u8 status | status body
+// so a client can match replies to pipelined requests and a reply is
+// always classifiable without knowing which opcode produced it. All
+// integers are little-endian; doubles are IEEE-754 bit patterns shipped
+// through a u64.
+//
+// Malformed input never kills the server: every decode step is
+// bounds-checked and failures surface as ProtocolError, which the server
+// turns into a typed kMalformedFrame reply. Overload and shutdown replies
+// carry retryable statuses so a load balancer can tell "try again" from
+// "this query is wrong".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace prpb::serve {
+
+/// Hard ceiling on request payload bytes. Anything larger is rejected at
+/// the framing layer before allocation (a length prefix of 2 GiB must not
+/// make the server try to buffer 2 GiB).
+inline constexpr std::uint32_t kMaxRequestBytes = 1u << 20;
+
+/// Sanity ceiling for response payloads on the client side (responses are
+/// server-generated and can legitimately exceed the request bound, e.g. a
+/// large top-k table).
+inline constexpr std::uint32_t kMaxResponseBytes = 64u << 20;
+
+/// Largest accepted top-k request (also bounds the ppr top-k echo).
+inline constexpr std::uint32_t kMaxTopk = 1u << 17;
+
+/// Largest accepted ppr iteration count per request.
+inline constexpr std::uint32_t kMaxPprIterations = 1000;
+
+enum class Opcode : std::uint8_t {
+  kPing = 0,       ///< liveness probe; empty body
+  kInfo = 1,       ///< graph + config summary; empty body
+  kTopk = 2,       ///< body: u32 k
+  kRank = 3,       ///< body: u64 vertex
+  kNeighbors = 4,  ///< body: u64 vertex
+  kPpr = 5,        ///< body: u32 iters | u32 topk | f64 epsilon |
+                   ///<       u32 restart_count | restart_count × u64
+};
+
+/// True when `value` encodes a known opcode.
+bool is_opcode(std::uint8_t value);
+const char* opcode_name(Opcode opcode);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnknownVertex = 1,   ///< vertex id outside [0, N)
+  kMalformedFrame = 2,  ///< bad opcode, truncated/oversized body, bad arg
+  kOverloaded = 3,      ///< request queue full; retryable
+  kShuttingDown = 4,    ///< server draining; retryable
+  kInternalError = 5,   ///< unexpected server-side failure
+};
+
+const char* status_name(Status status);
+/// Retryable statuses describe server state, not the query: the same
+/// request can succeed later.
+bool status_retryable(Status status);
+
+/// Raised by decoders on any malformed payload. The server maps it to a
+/// kMalformedFrame reply; it never propagates out of request handling.
+class ProtocolError : public util::Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+// ---- request model ---------------------------------------------------------
+
+struct PprRequest {
+  std::uint32_t iterations = 0;
+  std::uint32_t topk = 0;       ///< personalized entries echoed back
+  double epsilon = 0.0;         ///< L1 early-exit; 0 = run all iterations
+  /// Restart vertices. Empty means the full vertex set (the degenerate
+  /// case that reproduces the global kernel-3 PageRank exactly).
+  std::vector<std::uint64_t> restart;
+};
+
+struct Request {
+  std::uint32_t id = 0;
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t topk_k = 0;     ///< kTopk
+  std::uint64_t vertex = 0;     ///< kRank / kNeighbors
+  PprRequest ppr;               ///< kPpr
+};
+
+// ---- response model --------------------------------------------------------
+
+struct RankEntry {
+  std::uint64_t vertex = 0;
+  double rank = 0.0;
+};
+
+struct InfoReply {
+  std::uint64_t vertices = 0;
+  std::uint64_t nnz = 0;
+  std::uint32_t iterations = 0;  ///< kernel-3 iteration count served
+  double damping = 0.0;
+};
+
+struct PprReply {
+  std::uint32_t iterations_run = 0;
+  double residual = 0.0;     ///< final L1 residual (0 when epsilon == 0)
+  std::uint64_t digest = 0;  ///< core::rank_digest of the full ppr vector
+  std::vector<RankEntry> top;
+};
+
+struct Response {
+  std::uint32_t id = 0;
+  Status status = Status::kOk;
+  Opcode opcode = Opcode::kPing;  ///< echoed opcode (kOk replies)
+  std::string error;              ///< human-readable detail (non-kOk)
+  double rank = 0.0;                ///< kRank
+  std::vector<RankEntry> entries;   ///< kTopk / kNeighbors
+  InfoReply info;                   ///< kInfo
+  PprReply ppr;                     ///< kPpr
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+// ---- little-endian wire helpers -------------------------------------------
+
+/// Appends little-endian scalars to a byte string.
+class WireWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void f64(double value);
+  void bytes(std::string_view data);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reads; throws ProtocolError past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws ProtocolError when payload bytes were left unconsumed.
+  void expect_exhausted(const char* what) const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- encode / decode -------------------------------------------------------
+
+/// Prepends the 4-byte length prefix to a payload.
+std::string frame(std::string_view payload);
+
+/// Serializes a request payload (no length prefix).
+std::string encode_request(const Request& request);
+
+/// Parses a request payload. Throws ProtocolError on truncated or trailing
+/// bytes, unknown opcodes, or argument bounds violations (k > kMaxTopk,
+/// iterations > kMaxPprIterations, restart count inconsistent with the
+/// payload size).
+Request decode_request(std::string_view payload);
+
+/// Serializes response payloads (no length prefix).
+std::string encode_error(std::uint32_t id, Status status,
+                         std::string_view message);
+std::string encode_ping_reply(std::uint32_t id);
+std::string encode_info_reply(std::uint32_t id, const InfoReply& info);
+std::string encode_rank_reply(std::uint32_t id, double rank);
+std::string encode_entries_reply(std::uint32_t id, Opcode opcode,
+                                 const std::vector<RankEntry>& entries);
+std::string encode_ppr_reply(std::uint32_t id, const PprReply& reply);
+
+/// Parses a response payload. Throws ProtocolError on malformed bytes.
+Response decode_response(std::string_view payload);
+
+}  // namespace prpb::serve

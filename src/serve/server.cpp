@@ -1,0 +1,328 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace prpb::serve {
+
+namespace {
+
+/// recv() exactly `size` bytes; false on orderly EOF before the first
+/// byte. Throws util::IoError on a mid-buffer EOF or socket error (the
+/// reader treats both as a dead connection).
+bool recv_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw util::IoError("serve: connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("serve: recv failed: ") +
+                          std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// send() the whole buffer; throws util::IoError on failure.
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::IoError(std::string("serve: send failed: ") +
+                          std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint32_t decode_le32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+RankServer::RankServer(const RankService& service,
+                       const ServerOptions& options)
+    : service_(service), options_(options) {
+  util::require(options_.threads >= 1, "serve: threads must be >= 1");
+  util::require(options_.queue_depth >= 1,
+                "serve: queue_depth must be >= 1");
+}
+
+RankServer::~RankServer() { shutdown(); }
+
+void RankServer::start() {
+  util::require(!running_.load(), "serve: server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::io_require(listen_fd_ >= 0, "serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::IoError("serve: bind to 127.0.0.1:" +
+                        std::to_string(options_.port) + " failed: " + detail);
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::IoError("serve: listen failed: " + detail);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void RankServer::shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // 1. Stop accepting: closing the listen socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Half-close every connection's read side. Blocked readers wake with
+  // EOF; frames already read still reach the queue before readers exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const ConnectionPtr& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+
+  // 3. Drain: workers finish everything enqueued, then exit.
+  draining_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 4. Close the sockets (replies for drained requests are already out).
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const ConnectionPtr& connection : connections_) {
+    ::close(connection->fd);
+    connection->fd = -1;
+  }
+  connections_.clear();
+}
+
+ServerStats RankServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_enqueued =
+      requests_enqueued_.load(std::memory_order_relaxed);
+  stats.replies_sent = replies_sent_.load(std::memory_order_relaxed);
+  stats.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  stats.malformed_frames =
+      malformed_frames_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RankServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listen socket closed (shutdown) or fatal error: stop accepting.
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.hooks.metrics != nullptr) {
+      options_.hooks.metrics->counter("serve/connections").increment();
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(connection);
+    readers_.emplace_back(
+        [this, connection] { reader_loop(connection); });
+  }
+}
+
+void RankServer::reader_loop(ConnectionPtr connection) {
+  try {
+    for (;;) {
+      char prefix[4];
+      if (!recv_exact(connection->fd, prefix, sizeof(prefix))) return;
+      const std::uint32_t length = decode_le32(prefix);
+      if (length == 0 || length > kMaxRequestBytes) {
+        // Unrecoverable framing: we cannot trust the stream position, so
+        // reply (id unknown — 0) and stop reading this connection.
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        send_reply(connection,
+                   encode_error(0, Status::kMalformedFrame,
+                                "frame length " + std::to_string(length) +
+                                    " outside (0, " +
+                                    std::to_string(kMaxRequestBytes) + "]"));
+        // Half-close so the peer sees EOF promptly. The fd itself stays
+        // open (closed centrally at shutdown) because workers may still
+        // hold this connection; closing here could let the kernel reuse
+        // the fd number under a concurrent send.
+        ::shutdown(connection->fd, SHUT_RDWR);
+        return;
+      }
+      std::string payload(length, '\0');
+      if (!recv_exact(connection->fd, payload.data(), payload.size())) {
+        return;  // EOF exactly on a frame boundary after the prefix
+      }
+
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= options_.queue_depth) {
+        lock.unlock();
+        requests_shed_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.hooks.metrics != nullptr) {
+          options_.hooks.metrics->counter("serve/shed").increment();
+        }
+        send_reply(connection,
+                   encode_error(peek_request_id(payload),
+                                Status::kOverloaded,
+                                "request queue full; retry"));
+        continue;
+      }
+      queue_.push_back(WorkItem{connection, std::move(payload),
+                                std::chrono::steady_clock::now()});
+      requests_enqueued_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      queue_cv_.notify_one();
+    }
+  } catch (const util::Error&) {
+    // Dead connection (reset, mid-frame EOF): the reader just stops; the
+    // socket itself is closed centrally at shutdown.
+  }
+}
+
+void RankServer::worker_loop() {
+  obs::MetricsRegistry* metrics = options_.hooks.metrics;
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (draining_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    obs::Span span(options_.hooks.trace, "serve/request");
+    std::string reply;
+    const char* op = "malformed";
+    try {
+      const Request request = decode_request(item.payload);
+      op = opcode_name(request.opcode);
+      reply = service_.handle(request);
+    } catch (const ProtocolError& e) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      reply = encode_error(peek_request_id(item.payload),
+                           Status::kMalformedFrame, e.what());
+    }
+    if (span.active()) {
+      span.set_args(std::string("{\"op\":\"") + op + "\"}");
+    }
+    span.finish();
+    if (metrics != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      const double queue_ms =
+          std::chrono::duration<double, std::milli>(started - item.enqueued)
+              .count();
+      const double handle_ms =
+          std::chrono::duration<double, std::milli>(now - started).count();
+      metrics->counter("serve/requests").increment();
+      metrics
+          ->histogram("serve/queue_ms", obs::latency_buckets_ms())
+          .observe(queue_ms);
+      metrics
+          ->histogram(std::string("serve/latency_ms/") + op,
+                      obs::latency_buckets_ms())
+          .observe(handle_ms);
+    }
+    send_reply(item.connection, reply);
+  }
+}
+
+void RankServer::send_reply(const ConnectionPtr& connection,
+                            std::string_view payload) {
+  const std::string framed = frame(payload);
+  try {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    if (connection->fd < 0) return;
+    send_all(connection->fd, framed.data(), framed.size());
+    replies_sent_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const util::Error&) {
+    // The client went away; its replies are undeliverable, nothing to do.
+  }
+}
+
+std::uint32_t RankServer::peek_request_id(std::string_view payload) {
+  if (payload.size() < 4) return 0;
+  return decode_le32(payload.data());
+}
+
+}  // namespace prpb::serve

@@ -1,0 +1,142 @@
+// RankServer: a long-lived loopback TCP front-end for a RankService
+// (DESIGN.md §13).
+//
+// Thread topology: one accept thread, one reader thread per live
+// connection, and a fixed worker pool draining a bounded request queue.
+// Readers do framing only (length prefix + payload bytes) and enqueue
+// complete frames; workers decode, execute the query against the shared
+// const RankService, and write the framed reply back under the
+// connection's write mutex (replies from different workers to one
+// pipelined connection never interleave mid-frame).
+//
+// Overload: when the queue is full the reader does not block — it sheds
+// the request immediately with a retryable kOverloaded reply, so a
+// saturated server stays responsive and tail latency stays bounded
+// instead of growing an unbounded backlog.
+//
+// Shutdown: shutdown() stops accepting, half-closes every connection's
+// read side (unblocking readers mid-recv), lets workers drain every
+// request already accepted, then joins all threads and closes all
+// sockets. Every request whose frame was fully read before the
+// half-close gets its reply; clients see EOF afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+
+namespace prpb::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+  /// port() after start()).
+  std::uint16_t port = 0;
+  /// Worker threads executing queries (>= 1).
+  int threads = 4;
+  /// Bounded request-queue capacity; a full queue sheds with kOverloaded.
+  std::size_t queue_depth = 256;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Observability sinks (metrics histograms/counters, trace spans). All
+  /// optional.
+  obs::Hooks hooks;
+};
+
+/// Monotonic counters exported by the server (also mirrored into the
+/// metrics registry when one is attached).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t replies_sent = 0;       ///< all statuses, shed included
+  std::uint64_t requests_shed = 0;      ///< kOverloaded replies
+  std::uint64_t malformed_frames = 0;   ///< kMalformedFrame replies
+};
+
+class RankServer {
+ public:
+  /// The service must outlive the server.
+  RankServer(const RankService& service, const ServerOptions& options);
+  RankServer(const RankServer&) = delete;
+  RankServer& operator=(const RankServer&) = delete;
+  /// Runs shutdown() if still live.
+  ~RankServer();
+
+  /// Binds, listens, and spawns the accept + worker threads. Throws
+  /// util::IoError when the socket cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown (idempotent): stop accepting, half-close reads,
+  /// drain the queue, join every thread, close every socket.
+  void shutdown();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the monotonic counters.
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct WorkItem {
+    ConnectionPtr connection;
+    std::string payload;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void accept_loop();
+  void reader_loop(ConnectionPtr connection);
+  void worker_loop();
+  /// Frames `payload` and writes it to the connection; counts the reply.
+  void send_reply(const ConnectionPtr& connection, std::string_view payload);
+  /// Best-effort extraction of the request id from a raw payload (the
+  /// first 4 bytes) so shed/malformed replies still echo an id.
+  static std::uint32_t peek_request_id(std::string_view payload);
+
+  const RankService& service_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  // Reader threads and live connections, guarded by connections_mutex_.
+  std::mutex connections_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<ConnectionPtr> connections_;
+
+  // Bounded request queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  // Counters (relaxed atomics; exported via stats()).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_enqueued_{0};
+  std::atomic<std::uint64_t> replies_sent_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+};
+
+}  // namespace prpb::serve

@@ -254,6 +254,88 @@ TEST(BenchDiff, VerdictJsonIsMachineReadable) {
   EXPECT_EQ(ok.find("verdict")->string(), "ok");
 }
 
+model::BenchCell make_qps_cell(const std::string& op, double qps,
+                               double mad) {
+  model::BenchCell cell;
+  cell.kernel = -1;
+  cell.backend = "native";
+  cell.scale = 16;
+  cell.edges = 1 << 20;
+  cell.algorithm = op;
+  cell.storage = "mem";
+  cell.stage_format = "tsv";
+  cell.source = "generator";
+  cell.metric = "qps";
+  cell.qps = qps;
+  cell.qps_mad = mad;
+  cell.p50_ms = 0.05;
+  cell.p99_ms = 0.4;
+  cell.p999_ms = 1.2;
+  cell.repeats = 3;
+  return cell;
+}
+
+TEST(BenchDiff, QpsCellsFlipTheRegressionDirection) {
+  // Throughput is higher-is-better: a drop beyond the band regresses even
+  // though the raw delta is negative — the exact delta that would read as
+  // an improvement for a seconds cell.
+  const auto base = {make_qps_cell("serve:mixed", 50000.0, 100.0)};
+  const auto slower = {make_qps_cell("serve:mixed", 35000.0, 100.0)};
+  const model::DiffReport drop = model::diff_cells(base, slower);
+  ASSERT_EQ(drop.cells.size(), 1u);
+  EXPECT_EQ(drop.cells[0].verdict, model::CellVerdict::kRegression);
+  EXPECT_NEAR(drop.cells[0].delta_rel, -0.3, 1e-12);
+  EXPECT_TRUE(drop.regressed());
+
+  // And a gain is an improvement, not a regression.
+  const auto faster = {make_qps_cell("serve:mixed", 65000.0, 100.0)};
+  const model::DiffReport gain = model::diff_cells(base, faster);
+  EXPECT_EQ(gain.cells[0].verdict, model::CellVerdict::kImprovement);
+  EXPECT_FALSE(gain.regressed());
+
+  // Jitter inside the band stays within noise in both directions.
+  const auto wiggle = {make_qps_cell("serve:mixed", 48500.0, 100.0)};
+  EXPECT_EQ(model::diff_cells(base, wiggle).cells[0].verdict,
+            model::CellVerdict::kWithinNoise);
+
+  // The verdict JSON names the qps sides so CI logs stay readable.
+  const util::JsonValue parsed = util::JsonValue::parse(
+      model::diff_json(drop, "base.json", "head.json"));
+  const util::JsonValue& cell = parsed.find("cells")->array()[0];
+  EXPECT_DOUBLE_EQ(cell.find("base_qps")->number(), 50000.0);
+  EXPECT_DOUBLE_EQ(cell.find("head_qps")->number(), 35000.0);
+  EXPECT_EQ(cell.find("base_seconds"), nullptr);
+}
+
+TEST(BenchDiff, QpsKeysNeverCollideWithSecondsKeys) {
+  const model::BenchCell qps = make_qps_cell("serve:topk", 1000.0, 1.0);
+  model::BenchCell seconds = qps;
+  seconds.metric = "seconds";
+  seconds.seconds = 0.001;
+  EXPECT_NE(qps.key(), seconds.key());
+  EXPECT_NE(qps.key().find("|metric=qps"), std::string::npos);
+  // Seconds cells keep their pre-serving keys: old baselines still match.
+  EXPECT_EQ(seconds.key().find("|metric="), std::string::npos);
+}
+
+TEST(BenchDiff, ServingDocumentRoundTrips) {
+  const auto cells = {make_qps_cell("serve:mixed", 42000.0, 250.0),
+                      make_qps_cell("serve:ppr", 900.0, 10.0)};
+  const std::string json = model::cells_json(cells, "prpb-serving");
+  EXPECT_NE(json.find("\"benchmark\":\"prpb-serving\""), std::string::npos);
+  const auto parsed = model::parse_cells_text(json);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].metric, "qps");
+  EXPECT_DOUBLE_EQ(parsed[0].qps, 42000.0);
+  EXPECT_DOUBLE_EQ(parsed[0].qps_mad, 250.0);
+  EXPECT_DOUBLE_EQ(parsed[0].p50_ms, 0.05);
+  EXPECT_DOUBLE_EQ(parsed[0].p99_ms, 0.4);
+  EXPECT_DOUBLE_EQ(parsed[0].p999_ms, 1.2);
+  EXPECT_EQ(parsed[0].key(), (*cells.begin()).key());
+  // Identical serving documents diff clean — the CI gate's fixpoint.
+  EXPECT_FALSE(model::diff_cells(parsed, parsed).regressed());
+}
+
 TEST(BenchDiff, CommittedBaselineStaysParseable) {
   const auto cells = model::parse_cells_text(
       io::read_file(PRPB_SOURCE_DIR "/BENCH_kernels.json"));

@@ -1,0 +1,280 @@
+// Protocol fuzz/property suite for the rank server's wire layer.
+//
+// Seed-driven, like fault_property_test: every seed derives a malformed
+// frame — truncated length prefix, oversized or zero length, bad opcode,
+// short body, inconsistent ppr restart count, random garbage — and the
+// property is that the server never crashes, answers on-stream damage
+// with a typed kMalformedFrame reply, and keeps serving fresh connections
+// afterwards. The decoders are additionally fuzzed in-process: arbitrary
+// bytes must either parse or throw ProtocolError, nothing else.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/backend.hpp"
+#include "core/runner.hpp"
+#include "rand/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace prpb::serve {
+namespace {
+
+std::unique_ptr<RankService> make_service(int scale) {
+  core::PipelineConfig config;
+  config.scale = scale;
+  config.storage = "mem";
+  const auto backend = core::make_backend("native");
+  core::PipelineResult result =
+      core::run_pipeline(config, *backend, core::RunOptions{});
+  ServiceOptions options;
+  options.iterations = config.iterations;
+  options.damping = config.damping;
+  options.seed = config.seed;
+  return std::make_unique<RankService>(std::move(result.matrix),
+                                       std::move(result.ranks), options);
+}
+
+std::string le32(std::uint32_t value) {
+  std::string bytes(4, '\0');
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<char>((value >> (8 * i)) & 0xffu);
+  }
+  return bytes;
+}
+
+/// A malformed request payload derived from the seed; the `kind` rotates
+/// through every damage category the decoder must reject.
+std::string malformed_payload(rnd::Xoshiro256& rng, int kind) {
+  switch (kind % 6) {
+    case 0: {  // truncated valid request: chop a well-formed topk payload
+      Request request;
+      request.id = static_cast<std::uint32_t>(rng.next());
+      request.opcode = Opcode::kTopk;
+      request.topk_k = 3;
+      std::string payload = encode_request(request);
+      return payload.substr(0, 1 + rng.next() % (payload.size() - 1));
+    }
+    case 1: {  // unknown opcode
+      std::string payload = le32(static_cast<std::uint32_t>(rng.next()));
+      payload.push_back(static_cast<char>(6 + rng.next() % 250));
+      return payload;
+    }
+    case 2: {  // topk k above the protocol cap
+      Request request;
+      request.id = 1;
+      request.opcode = Opcode::kTopk;
+      request.topk_k = kMaxTopk + 1 + static_cast<std::uint32_t>(
+                                          rng.next() % 1000);
+      return encode_request(request);
+    }
+    case 3: {  // ppr declaring a huge restart count with a short payload
+      std::string payload = le32(2);
+      payload.push_back(static_cast<char>(Opcode::kPpr));
+      payload += le32(5);                      // iterations
+      payload += le32(1);                      // topk
+      payload += std::string(8, '\0');         // epsilon = 0.0
+      payload += le32(0x00ffffffu);            // declared restart count
+      payload += std::string(8, '\x01');       // ...but only one id present
+      return payload;
+    }
+    case 4: {  // ppr iterations above the cap
+      Request request;
+      request.id = 2;
+      request.opcode = Opcode::kPpr;
+      request.ppr.iterations = kMaxPprIterations + 1;
+      return encode_request(request);
+    }
+    default: {  // random garbage, opcode byte included in the randomness
+      std::string payload(5 + rng.next() % 60, '\0');
+      for (char& byte : payload) {
+        byte = static_cast<char>(rng.next() & 0xffu);
+      }
+      // Force a garbage opcode so the payload cannot accidentally be a
+      // valid ping/info frame.
+      if (payload.size() >= 5) payload[4] = static_cast<char>(0xee);
+      return payload;
+    }
+  }
+}
+
+TEST(ServingProtocolTest, MalformedPayloadsGetTypedErrorsServerStaysUp) {
+  const auto service = make_service(8);
+  RankServer server(*service, ServerOptions{});
+  server.start();
+
+  rnd::Xoshiro256 rng(0x5eed);
+  for (int round = 0; round < 100; ++round) {
+    RankClient client(server.port());
+    const std::string payload = malformed_payload(rng, round);
+    client.send_raw_frame(payload);
+    const auto reply = client.read_raw_frame();
+    ASSERT_TRUE(reply.has_value()) << "round " << round;
+    const Response response = decode_response(*reply);
+    EXPECT_EQ(response.status, Status::kMalformedFrame) << "round " << round;
+    EXPECT_FALSE(response.error.empty());
+    // In-stream damage is recoverable (the frame boundary held), so the
+    // same connection keeps working...
+    EXPECT_TRUE(client.ping().ok()) << "round " << round;
+  }
+  // ...and the server serves fresh connections afterwards.
+  RankClient fresh(server.port());
+  EXPECT_TRUE(fresh.ping().ok());
+  server.shutdown();
+  EXPECT_EQ(server.stats().malformed_frames, 100u);
+}
+
+TEST(ServingProtocolTest, BrokenFramingRepliesTypedErrorThenCloses) {
+  const auto service = make_service(8);
+  RankServer server(*service, ServerOptions{});
+  server.start();
+
+  // Length prefix beyond the request cap: the stream position cannot be
+  // trusted, so the server replies kMalformedFrame and closes.
+  {
+    RankClient client(server.port());
+    client.send_raw_bytes(le32(kMaxRequestBytes + 1));
+    const auto reply = client.read_raw_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(decode_response(*reply).status, Status::kMalformedFrame);
+    EXPECT_FALSE(client.read_raw_frame().has_value()) << "expected EOF";
+  }
+  // Zero-length frame: same treatment.
+  {
+    RankClient client(server.port());
+    client.send_raw_bytes(le32(0));
+    const auto reply = client.read_raw_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(decode_response(*reply).status, Status::kMalformedFrame);
+    EXPECT_FALSE(client.read_raw_frame().has_value()) << "expected EOF";
+  }
+  // Truncated length prefix then disconnect: the reader must just drop
+  // the connection without tripping anything.
+  {
+    RankClient client(server.port());
+    client.send_raw_bytes("\x02\x00");
+    client.close();
+  }
+  // Disconnect mid-payload (prefix promises more bytes than ever arrive).
+  {
+    RankClient client(server.port());
+    client.send_raw_bytes(le32(100) + std::string(10, 'x'));
+    client.close();
+  }
+  // The server survived all of it.
+  RankClient fresh(server.port());
+  EXPECT_TRUE(fresh.ping().ok());
+  server.shutdown();
+}
+
+TEST(ServingProtocolTest, OutOfRangeVertexIdsAreTypedNotFatal) {
+  const auto service = make_service(8);
+  RankServer server(*service, ServerOptions{});
+  server.start();
+  RankClient client(server.port());
+
+  rnd::Xoshiro256 rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t bad =
+        service->vertices() + (rng.next() % 1000000);
+    const Response rank = client.rank(bad);
+    EXPECT_EQ(rank.status, Status::kUnknownVertex);
+    const Response neighbors = client.neighbors(bad);
+    EXPECT_EQ(neighbors.status, Status::kUnknownVertex);
+    PprRequest request;
+    request.iterations = 1;
+    request.restart = {0, bad};
+    const Response ppr = client.ppr(request);
+    EXPECT_EQ(ppr.status, Status::kUnknownVertex);
+  }
+  EXPECT_TRUE(client.ping().ok());
+  server.shutdown();
+}
+
+TEST(ServingProtocolTest, RequestDecoderNeverCrashesOnArbitraryBytes) {
+  rnd::Xoshiro256 rng(0xfeedface);
+  int parsed = 0;
+  int rejected = 0;
+  for (int round = 0; round < 5000; ++round) {
+    std::string payload(rng.next() % 80, '\0');
+    for (char& byte : payload) {
+      byte = static_cast<char>(rng.next() & 0xffu);
+    }
+    try {
+      const Request request = decode_request(payload);
+      EXPECT_TRUE(is_opcode(static_cast<std::uint8_t>(request.opcode)));
+      ++parsed;
+    } catch (const ProtocolError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 5000);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ServingProtocolTest, ResponseDecoderNeverCrashesOnArbitraryBytes) {
+  rnd::Xoshiro256 rng(0xdecade);
+  int outcomes = 0;
+  for (int round = 0; round < 5000; ++round) {
+    std::string payload(rng.next() % 80, '\0');
+    for (char& byte : payload) {
+      byte = static_cast<char>(rng.next() & 0xffu);
+    }
+    try {
+      (void)decode_response(payload);
+    } catch (const ProtocolError&) {
+    }
+    ++outcomes;
+  }
+  EXPECT_EQ(outcomes, 5000);
+}
+
+TEST(ServingProtocolTest, RequestRoundTripsThroughEncodeDecode) {
+  rnd::Xoshiro256 rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    Request request;
+    request.id = static_cast<std::uint32_t>(rng.next());
+    switch (rng.next() % 6) {
+      case 0: request.opcode = Opcode::kPing; break;
+      case 1: request.opcode = Opcode::kInfo; break;
+      case 2:
+        request.opcode = Opcode::kTopk;
+        request.topk_k = static_cast<std::uint32_t>(rng.next() % kMaxTopk);
+        break;
+      case 3:
+        request.opcode = Opcode::kRank;
+        request.vertex = rng.next();
+        break;
+      case 4:
+        request.opcode = Opcode::kNeighbors;
+        request.vertex = rng.next();
+        break;
+      default:
+        request.opcode = Opcode::kPpr;
+        request.ppr.iterations =
+            static_cast<std::uint32_t>(rng.next() % kMaxPprIterations);
+        request.ppr.topk = static_cast<std::uint32_t>(rng.next() % 100);
+        request.ppr.epsilon = 1e-6;
+        for (std::uint64_t i = rng.next() % 8; i > 0; --i) {
+          request.ppr.restart.push_back(rng.next());
+        }
+        break;
+    }
+    const Request decoded = decode_request(encode_request(request));
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.opcode, request.opcode);
+    EXPECT_EQ(decoded.topk_k, request.topk_k);
+    EXPECT_EQ(decoded.vertex, request.vertex);
+    EXPECT_EQ(decoded.ppr.iterations, request.ppr.iterations);
+    EXPECT_EQ(decoded.ppr.topk, request.ppr.topk);
+    EXPECT_EQ(decoded.ppr.restart, request.ppr.restart);
+  }
+}
+
+}  // namespace
+}  // namespace prpb::serve

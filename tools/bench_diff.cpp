@@ -1,10 +1,13 @@
-// bench_diff: noise-aware comparison of two BENCH_kernels.json documents.
+// bench_diff: noise-aware comparison of two benchmark cell documents
+// (BENCH_kernels.json, BENCH_serving.json).
 //
 // Compares the candidate against the baseline cell-by-cell (matched on the
 // full cell identity: kernel, backend, scale, storage, stage format,
-// fast-path, source, algorithm, CSR form) and flags a regression only when
-// the median slowdown exceeds a band derived from both documents' recorded
-// MADs — run-to-run jitter inside the band is reported but never fails.
+// fast-path, source, algorithm, CSR form, metric) and flags a regression
+// only when the median change exceeds a band derived from both documents'
+// recorded MADs — run-to-run jitter inside the band is reported but never
+// fails. The check is direction-aware: seconds cells regress when slower,
+// qps (serving throughput) cells regress when throughput drops.
 // Cells present only in the candidate (a freshly added config axis, e.g.
 // csr=compressed against a pre-axis baseline) are "added": they extend the
 // matrix, never fail the gate, and are listed in the --json verdict's
@@ -68,22 +71,27 @@ int main(int argc, char** argv) {
     const model::DiffReport report = model::diff_cells(base, head, options);
 
     if (!args.get_flag("quiet")) {
+      // "base"/"head" carry the cell's primary value: seconds for kernel
+      // cells, QPS (suffixed "/s") for serving cells.
       util::TextTable table(
-          {"cell", "base s", "head s", "delta", "band", "verdict"});
+          {"cell", "base", "head", "delta", "band", "verdict"});
       for (const model::CellDiff& diff : report.cells) {
         const model::BenchCell& id =
             diff.verdict == model::CellVerdict::kRemoved ? diff.base
                                                          : diff.head;
         const bool matched = diff.verdict != model::CellVerdict::kAdded &&
                              diff.verdict != model::CellVerdict::kRemoved;
+        const auto show = [&id](const model::BenchCell& cell) {
+          return id.higher_is_better()
+                     ? util::fixed(cell.primary_value(), 0) + "/s"
+                     : util::fixed(cell.primary_value(), 4) + " s";
+        };
         table.add_row(
             {id.key(),
-             diff.verdict == model::CellVerdict::kAdded
-                 ? "-"
-                 : util::fixed(diff.base.seconds, 4),
-             diff.verdict == model::CellVerdict::kRemoved
-                 ? "-"
-                 : util::fixed(diff.head.seconds, 4),
+             diff.verdict == model::CellVerdict::kAdded ? "-"
+                                                        : show(diff.base),
+             diff.verdict == model::CellVerdict::kRemoved ? "-"
+                                                          : show(diff.head),
              matched ? percent(diff.delta_rel) : "-",
              matched ? percent(diff.band_rel) : "-",
              model::verdict_name(diff.verdict)});
